@@ -1,0 +1,109 @@
+"""Ablation A3: deny-by-default and subscription gating under probing.
+
+§5.1's semantics: "unless permitted by some privacy policy an Event
+Details cannot be accessed by any subject."  We bombard a platform with
+randomized unauthorized probes — wrong purposes, wrong actors, foreign
+event ids, unauthorized subscriptions — and verify zero leaks and full
+denial logging, at measured cost.
+
+Expected shape: no probe ever yields a field value; every probe appends a
+DENY audit record; the deny path stays cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import build_micro_platform
+from repro import AccessDeniedError, DataConsumer
+from repro.audit.log import AuditAction, AuditOutcome
+from repro.audit.query import AuditQuery
+
+WRONG_PURPOSES = ["statistical-analysis", "administration", "reimbursement"]
+
+
+def test_probing_storm_yields_zero_leaks(benchmark):
+    """500 randomized unauthorized probes leak nothing."""
+    platform = build_micro_platform(n_policies=5)
+    intruders = [
+        DataConsumer(platform.controller, f"Intruder-{i}", f"Intruder {i}")
+        for i in range(5)
+    ]
+    rng = random.Random(99)
+
+    def storm():
+        leaks = 0
+        for _ in range(100):
+            intruder = rng.choice(intruders)
+            purpose = rng.choice(WRONG_PURPOSES + ["healthcare-treatment"])
+            try:
+                detail = intruder.request_details_by_id(
+                    "BloodTest", platform.notification.event_id, purpose)
+                if detail.exposed_values():
+                    leaks += 1
+            except AccessDeniedError:
+                pass
+        return leaks
+
+    leaks = benchmark.pedantic(storm, rounds=5, iterations=1)
+    assert leaks == 0
+
+
+def test_every_denied_probe_is_logged(benchmark):
+    """Denials are not silent: each appends one DENY audit record."""
+    platform = build_micro_platform()
+    intruder = DataConsumer(platform.controller, "Intruder", "Intruder")
+
+    def probe_and_count():
+        before = (AuditQuery().by_action(AuditAction.DETAIL_REQUEST)
+                  .by_outcome(AuditOutcome.DENY).count(platform.controller.audit_log))
+        for purpose in WRONG_PURPOSES:
+            try:
+                intruder.request_details_by_id(
+                    "BloodTest", platform.notification.event_id, purpose)
+            except AccessDeniedError:
+                pass
+        after = (AuditQuery().by_action(AuditAction.DETAIL_REQUEST)
+                 .by_outcome(AuditOutcome.DENY).count(platform.controller.audit_log))
+        return after - before
+
+    new_denials = benchmark.pedantic(probe_and_count, rounds=10, iterations=1)
+    assert new_denials == len(WRONG_PURPOSES)
+    platform.controller.audit_log.verify_integrity()
+
+
+def test_unauthorized_subscription_gate(benchmark):
+    """Subscription requests without a policy are rejected and queued."""
+    platform = build_micro_platform()
+    counter = {"n": 0}
+
+    def attempt():
+        counter["n"] += 1
+        newcomer = DataConsumer(
+            platform.controller, f"Newcomer-{counter['n']}", "Newcomer")
+        try:
+            newcomer.subscribe("BloodTest")
+            return False
+        except AccessDeniedError:
+            return True
+
+    rejected = benchmark.pedantic(attempt, rounds=30, iterations=1)
+    assert rejected
+    assert len(platform.controller.pending_requests) >= 1
+
+
+@pytest.mark.parametrize("n_policies", [1, 50])
+def test_deny_cost_scales_with_candidates(benchmark, n_policies):
+    """Denies still walk the candidate set; measure that cost."""
+    platform = build_micro_platform(n_policies=n_policies)
+
+    def denied():
+        try:
+            platform.consumer.request_details(platform.notification, "reimbursement")
+        except AccessDeniedError:
+            return True
+        return False
+
+    assert benchmark(denied)

@@ -1,0 +1,115 @@
+"""Ablation A4: gateway-side detail persistence vs live-source retrieval.
+
+§4: the local cooperation gateway "persists each detail message notified
+so that they can be retrieved even when the source systems are
+un-accessible", and requests "may arrive ... even months after the
+publication".  We measure detail-request success under simulated source
+downtime with the gateway's persistence on versus off.
+
+Expected shape: with persistence, success stays at 100 % regardless of
+downtime; without it, failures equal the requests issued while the source
+is down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_micro_platform
+from repro.clock import MONTH
+from repro.exceptions import SourceUnavailableError
+
+
+@pytest.mark.parametrize("downtime_fraction", [0.0, 0.5, 1.0])
+def test_success_rate_with_persistence(benchmark, downtime_fraction):
+    """Persistence keeps the success rate at 100 % under any downtime."""
+    platform = build_micro_platform()
+    gateway = platform.producer.gateway
+    requests_per_round = 10
+    down_requests = int(requests_per_round * downtime_fraction)
+
+    def run_round():
+        successes = 0
+        for index in range(requests_per_round):
+            if index < down_requests:
+                gateway.take_source_offline()
+            else:
+                gateway.bring_source_online()
+            detail = platform.consumer.request_details(
+                platform.notification, "healthcare-treatment")
+            if detail.exposed_values():
+                successes += 1
+        gateway.bring_source_online()
+        return successes
+
+    successes = benchmark.pedantic(run_round, rounds=5, iterations=1)
+    assert successes == requests_per_round
+
+
+@pytest.mark.parametrize("downtime_fraction", [0.0, 0.5, 1.0])
+def test_failure_rate_without_persistence(benchmark, downtime_fraction):
+    """Without the gateway store, failures track downtime exactly."""
+    platform = build_micro_platform()
+    gateway = platform.producer.gateway
+    gateway.persistence_enabled = False
+    requests_per_round = 10
+    down_requests = int(requests_per_round * downtime_fraction)
+
+    def run_round():
+        failures = 0
+        for index in range(requests_per_round):
+            if index < down_requests:
+                gateway.take_source_offline()
+            else:
+                gateway.bring_source_online()
+            try:
+                platform.consumer.request_details(
+                    platform.notification, "healthcare-treatment")
+            except SourceUnavailableError:
+                failures += 1
+        gateway.bring_source_online()
+        return failures
+
+    failures = benchmark.pedantic(run_round, rounds=5, iterations=1)
+    assert failures == down_requests
+
+
+def test_months_later_retrieval(benchmark):
+    """The temporal-decoupling claim: requests months after publication."""
+    platform = build_micro_platform()
+    platform.controller.clock.advance(6 * MONTH)
+    platform.producer.gateway.take_source_offline()  # source long gone
+
+    detail = benchmark(
+        platform.consumer.request_details,
+        platform.notification, "healthcare-treatment",
+    )
+    assert detail.exposed_values()
+    assert platform.producer.gateway.stats.served_from_cache > 0
+
+
+def test_gateway_store_growth_cost(benchmark):
+    """Persisting one more detail into a store that already holds 1000."""
+    platform = build_micro_platform()
+    for index in range(1000):
+        platform.producer.publish(
+            platform.event_class, subject_id=f"pat-{index}", subject_name="X Y",
+            summary="s",
+            details={"PatientId": f"pat-{index}", "Name": "X", "Surname": "Y",
+                     "Hemoglobin": 14.0, "Glucose": 90.0, "Cholesterol": 180.0,
+                     "HivResult": "negative"},
+        )
+    counter = {"n": 0}
+
+    def publish_one():
+        counter["n"] += 1
+        return platform.producer.publish(
+            platform.event_class, subject_id=f"late-{counter['n']}",
+            subject_name="X Y", summary="s",
+            details={"PatientId": f"late-{counter['n']}", "Name": "X",
+                     "Surname": "Y", "Hemoglobin": 14.0, "Glucose": 90.0,
+                     "Cholesterol": 180.0, "HivResult": "negative"},
+        )
+
+    notification = benchmark(publish_one)
+    assert notification is not None

@@ -1,0 +1,85 @@
+"""Experiment F3 (paper Fig. 3): the elicitation → enforcement lifecycle.
+
+Fig. 3 shows the whole life of a privacy constraint: defined once through
+the elicitation tool, stored in the certified repository, then enforced on
+every detail request.  The claims we measure:
+
+* policies produced by the wizard are enforceable with **zero translation
+  steps** — the first request after ``save()`` already honours them;
+* the decision path (matching + PDP evaluation) is cheap relative to the
+  full detail-retrieval path (which adds two SOA hops and field
+  filtering).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from benchmarks.conftest import build_micro_platform
+from repro.core.enforcement import DetailRequest
+
+_seq = itertools.count()
+
+
+def test_policy_definition_cost(benchmark):
+    """Time one full wizard session (start → selections → save)."""
+    platform = build_micro_platform()
+
+    def define():
+        return platform.producer.define_policy(
+            "BloodTest",
+            fields=["Hemoglobin"],
+            consumers=[(f"Unit-{next(_seq)}", "unit")],
+            purposes=["statistical-analysis"],
+            label="bench rule",
+        )
+
+    result = benchmark(define)
+    assert result.policies
+    assert result.xacml_documents[0].startswith("<Policy")
+
+
+def test_policy_immediately_enforceable(benchmark):
+    """Define-then-enforce in one step: no deployment/translation gap."""
+    platform = build_micro_platform()
+
+    def define_and_enforce():
+        suffix = next(_seq)
+        from repro import DataConsumer
+
+        consumer = DataConsumer(platform.controller, f"Clinic-{suffix}",
+                                f"Clinic {suffix}")
+        platform.producer.define_policy(
+            "BloodTest", fields=["Hemoglobin"],
+            consumers=[(f"Clinic-{suffix}", "unit")],
+            purposes=["statistical-analysis"],
+        )
+        return consumer.request_details(platform.notification, "statistical-analysis")
+
+    detail = benchmark.pedantic(define_and_enforce, rounds=20, iterations=1)
+    assert detail.exposed_values() == {"Hemoglobin": 13.9}
+
+
+def test_decision_only_cost(benchmark):
+    """The pure decision path (no gateway retrieval)."""
+    platform = build_micro_platform()
+    request = DetailRequest(
+        actor=platform.consumer.actor,
+        event_type="BloodTest",
+        event_id=platform.notification.event_id,
+        purpose="healthcare-treatment",
+    )
+
+    permitted = benchmark(platform.controller.enforcer.decide, request)
+    assert permitted is True
+
+
+def test_full_retrieval_cost(benchmark):
+    """Decision + PIP mapping + gateway filtering + SOA hops."""
+    platform = build_micro_platform()
+
+    detail = benchmark(
+        platform.consumer.request_details,
+        platform.notification, "healthcare-treatment",
+    )
+    assert detail.exposed_values()

@@ -1,0 +1,113 @@
+"""Experiment F5 (paper Fig. 5, in-text): notation-independent enforcement.
+
+§5.2: "the request for details of the data consumer is mapped to an XACML
+request by the policy enforcer ... the way we interact with the data
+producer and data consumer is independent from the underlying notation".
+
+We measure the cost of that indirection — evaluating the same policy as
+(a) a native Def. 3 ``PrivacyPolicy.matches`` check versus (b) the full
+XACML compile-once / evaluate-per-request pipeline — and assert the two
+notations always produce identical decisions.
+
+Expected shape: XACML adds a bounded constant factor per decision; no
+request exists on which the notations disagree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import DetailRequestSpec, PrivacyPolicy
+from repro.xacml.context import Decision, RequestContext
+from repro.xacml.pdp import PolicyDecisionPoint
+
+
+def make_policy() -> PrivacyPolicy:
+    return PrivacyPolicy(
+        policy_id="f5-policy",
+        producer_id="Hospital",
+        event_type="BloodTest",
+        fields=frozenset({"PatientId", "Hemoglobin"}),
+        purposes=frozenset({"healthcare-treatment", "administration"}),
+        actor_id="Hospital-Network",
+    )
+
+
+PROBES = [
+    DetailRequestSpec("Hospital-Network", "BloodTest", "healthcare-treatment"),
+    DetailRequestSpec("Hospital-Network/Clinic", "BloodTest", "administration"),
+    DetailRequestSpec("Hospital-Network", "BloodTest", "statistical-analysis"),
+    DetailRequestSpec("Elsewhere", "BloodTest", "healthcare-treatment"),
+    DetailRequestSpec("Hospital-Network", "OtherEvent", "healthcare-treatment"),
+]
+
+
+def to_context(spec: DetailRequestSpec) -> RequestContext:
+    return RequestContext.build(
+        subject__actor_id=spec.actor_id,
+        resource__event_type=spec.event_type,
+        action__purpose=spec.purpose,
+    )
+
+
+def test_native_matching_cost(benchmark):
+    """Def. 3 matching, the notation-free fast path."""
+    policy = make_policy()
+
+    def run():
+        return [policy.matches(spec) for spec in PROBES]
+
+    results = benchmark(run)
+    assert results == [True, True, False, False, False]
+
+
+def test_xacml_mapped_evaluation_cost(benchmark):
+    """The same decisions through the compiled-XACML PDP pipeline."""
+    policy = make_policy()
+    compiled = policy.to_xacml()  # compile once, as the repository does
+    pdp = PolicyDecisionPoint()
+    contexts = [to_context(spec) for spec in PROBES]
+
+    def run():
+        return [pdp.evaluate_policy(compiled, ctx).decision for ctx in contexts]
+
+    decisions = benchmark(run)
+    assert decisions == [
+        Decision.PERMIT, Decision.PERMIT,
+        Decision.NOT_APPLICABLE, Decision.NOT_APPLICABLE, Decision.NOT_APPLICABLE,
+    ]
+
+
+def test_xacml_request_mapping_cost(benchmark):
+    """Just the request → XACML-context mapping step of Fig. 5."""
+    spec = PROBES[0]
+    ctx = benchmark(to_context, spec)
+    assert ctx.single("subject:actor-id") == "Hospital-Network"
+
+
+@pytest.mark.parametrize("n_purposes", [1, 5, 20])
+def test_decisions_identical_across_notations(benchmark, n_purposes):
+    """Exhaustive agreement check under growing purpose sets."""
+    purposes = frozenset(f"purpose-{i}" for i in range(n_purposes))
+    policy = PrivacyPolicy(
+        policy_id="f5-agree", producer_id="H", event_type="E",
+        fields=frozenset({"f"}), purposes=purposes, actor_id="A",
+    )
+    compiled = policy.to_xacml()
+    pdp = PolicyDecisionPoint()
+    specs = [
+        DetailRequestSpec(actor, "E", purpose)
+        for actor in ("A", "A/Sub", "B")
+        for purpose in [f"purpose-{i}" for i in range(n_purposes)] + ["other"]
+    ]
+
+    def compare_all():
+        disagreements = 0
+        for spec in specs:
+            native = policy.matches(spec)
+            mapped = pdp.evaluate_policy(compiled, to_context(spec)).decision
+            if native != (mapped is Decision.PERMIT):
+                disagreements += 1
+        return disagreements
+
+    assert benchmark(compare_all) == 0

@@ -1,0 +1,61 @@
+"""Experiment F6 (paper Fig. 6): the Privacy Rules Manager dashboard.
+
+Fig. 6 is the data owner's overview: one section per event class with its
+rules.  We reproduce the dashboard's data model and measure its cost as
+the rule inventory grows, plus the coverage report that flags classes left
+locked-down (no rule at all — deny-by-default makes them inaccessible).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataController, DataProducer
+from repro.sim.generators import standard_event_templates
+
+
+def build_producer_with_rules(n_rules_per_class: int) -> tuple[DataController, DataProducer]:
+    controller = DataController(seed=f"dash-{n_rules_per_class}")
+    producer = DataProducer(controller, "Municipality", "Municipality")
+    templates = standard_event_templates()
+    for name in ("AutonomyAssessment", "TelecareAlarm"):
+        producer.declare_event_class(templates[name].build_schema(), category="social")
+        for index in range(n_rules_per_class):
+            producer.define_policy(
+                name,
+                fields=[templates[name].build_schema().field_names[0]],
+                consumers=[(f"Consumer-{index}", "unit")],
+                purposes=["administration"],
+                label=f"rule {index}",
+            )
+    # One class intentionally left uncovered.
+    producer.declare_event_class(
+        templates["HomeCareServiceEvent"].build_schema(), category="social")
+    return controller, producer
+
+
+@pytest.mark.parametrize("n_rules", [5, 50, 200])
+def test_dashboard_build_scales_in_rules(benchmark, n_rules):
+    """rules_by_class is linear in the policy inventory."""
+    controller, producer = build_producer_with_rules(n_rules)
+
+    listing = benchmark(controller.dashboard.rules_by_class, "Municipality")
+    assert len(listing["AutonomyAssessment"]) == n_rules
+    assert listing["HomeCareServiceEvent"] == []
+
+
+def test_coverage_report_flags_locked_classes(benchmark):
+    """The dashboard surfaces deny-by-default lockdowns as explicit flags."""
+    controller, producer = build_producer_with_rules(3)
+
+    uncovered = benchmark(controller.dashboard.uncovered_classes, "Municipality")
+    assert uncovered == ["HomeCareServiceEvent"]
+
+
+def test_dashboard_render_cost(benchmark):
+    """Rendering the full Fig. 6 text view."""
+    controller, producer = build_producer_with_rules(20)
+
+    text = benchmark(controller.dashboard.render, "Municipality")
+    assert "AutonomyAssessment" in text
+    assert "deny-by-default" in text  # the uncovered class warning

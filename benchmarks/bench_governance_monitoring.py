@@ -1,0 +1,106 @@
+"""Experiment G1 (§2's monitoring mandate): aggregated governance reporting.
+
+The governing body consumes *aggregated* data; the paper's architecture
+implies those aggregates must come from the events index (notification
+metadata), not from detail payloads.  We measure the monitor's report
+costs on a populated platform and assert its privacy properties: zero
+gateway calls, and small cells suppressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import ProcessMonitor
+from repro.clock import DAY
+from repro.sim.scenario import CssScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def populated_scenario() -> CssScenario:
+    scenario = CssScenario(ScenarioConfig(
+        n_patients=30, n_events=300, detail_request_rate=0.4, seed=77,
+        mean_interarrival=(30 * DAY) / 300,
+    ))
+    scenario.run()
+    return scenario
+
+
+def test_class_breakdown_cost(benchmark, populated_scenario):
+    monitor = ProcessMonitor(populated_scenario.controller)
+    breakdown = benchmark(monitor.class_breakdown)
+    assert breakdown
+
+
+def test_volume_report_cost(benchmark, populated_scenario):
+    monitor = ProcessMonitor(populated_scenario.controller, suppression_threshold=1)
+    report = benchmark(monitor.volume_report, 7 * DAY)
+    assert report.total_lower_bound() == len(populated_scenario.controller.index)
+
+
+def test_latency_report_cost(benchmark, populated_scenario):
+    monitor = ProcessMonitor(populated_scenario.controller)
+    latencies = benchmark(monitor.access_latency_report)
+    assert latencies
+
+
+def test_monitoring_makes_no_detail_requests(benchmark, populated_scenario):
+    """The aggregated view costs zero sensitive disclosures (asserted)."""
+    controller = populated_scenario.controller
+    monitor = ProcessMonitor(controller)
+
+    def full_monitoring_pass():
+        before = controller.endpoints.total_calls()
+        monitor.class_breakdown()
+        monitor.producer_breakdown()
+        monitor.volume_report(7 * DAY)
+        monitor.distinct_citizens_served()
+        monitor.events_per_citizen()
+        monitor.access_latency_report()
+        return controller.endpoints.total_calls() - before
+
+    extra_calls = benchmark(full_monitoring_pass)
+    assert extra_calls == 0
+
+
+def test_pathway_mining_cost(benchmark, populated_scenario):
+    """Transition-graph construction + suppression over the full deployment."""
+    from repro.analytics import PathwayMiner
+
+    miner = PathwayMiner(populated_scenario.controller, suppression_threshold=5)
+    transitions = benchmark(miner.transitions)
+    assert transitions
+    # Rare transitions are suppressed; common ones carry exact counts.
+    assert any(t.count.suppressed for t in transitions) or all(
+        (t.count.value or 0) >= 5 for t in transitions
+    )
+
+
+def test_pathway_mining_touches_no_payloads(benchmark, populated_scenario):
+    from repro.analytics import PathwayMiner
+
+    controller = populated_scenario.controller
+    miner = PathwayMiner(controller)
+
+    def mine():
+        before = controller.endpoints.total_calls()
+        miner.transitions()
+        miner.common_pathways(length=3)
+        miner.entry_points()
+        miner.hub_classes()
+        return controller.endpoints.total_calls() - before
+
+    assert benchmark(mine) == 0
+
+
+@pytest.mark.parametrize("threshold", [1, 5, 20])
+def test_suppression_threshold_effect(benchmark, populated_scenario, threshold):
+    """Higher k suppresses more cells; totals never exceed the true count."""
+    monitor = ProcessMonitor(populated_scenario.controller,
+                             suppression_threshold=threshold)
+    breakdown = benchmark(monitor.class_breakdown)
+    true_total = len(populated_scenario.controller.index)
+    lower_bound = sum(cell.lower_bound() for cell in breakdown.values())
+    assert lower_bound <= true_total
+    if threshold == 1:
+        assert lower_bound == true_total

@@ -1,0 +1,108 @@
+"""The paper's future work, implemented: identity management + citizen PHR.
+
+§5 defers "identity management mechanisms ... to validate their credentials
+and roles and to manage changes and revocation of authorizations" to a
+future extension; §7 announces the CSS as "the backbone for the
+implementation of a Personalized Health Records (PHR) in Trentino".
+This example runs both extensions together:
+
+* every party presents a signed role credential at join time — a party
+  asserting a role its credential does not certify is rejected, and
+  revoking a credential cuts access immediately;
+* the citizen drives her own Personal Health Record: timeline, consent
+  switches, and the "who accessed my data" report.
+
+Run with::
+
+    python examples/citizen_phr_and_identity.py
+"""
+
+from repro import (
+    AccessDeniedError,
+    ConsentScope,
+    DataConsumer,
+    DataController,
+    DataProducer,
+)
+from repro.clock import DAY
+from repro.identity import CredentialAuthority, LocalIdentityProvider
+from repro.phr import PersonalHealthRecord
+from repro.sim.generators import standard_event_templates
+
+
+def main() -> None:
+    controller = DataController(seed="phr-demo")
+    authority = CredentialAuthority("national-federation-secret",
+                                    clock=controller.clock)
+    controller.attach_identity_provider(LocalIdentityProvider(authority))
+    templates = standard_event_templates()
+
+    print("== identity management is active ==")
+    try:
+        DataProducer(controller, "Hospital", "Hospital")
+    except AccessDeniedError as exc:
+        print(f"joining without a credential fails: {exc}")
+
+    hospital = DataProducer(controller, "Hospital", "Hospital",
+                            credential=authority.issue("Hospital", ""))
+    blood = hospital.declare_event_class(templates["BloodTest"].build_schema())
+    print("the hospital joined with its signed credential")
+
+    try:
+        DataConsumer(controller, "Impostor", "Impostor", role="family-doctor",
+                     credential=authority.issue("Impostor", "clerk"))
+    except AccessDeniedError as exc:
+        print(f"role spoofing fails: {exc}")
+
+    doctor_credential = authority.issue("Dr-Rossi", "family-doctor")
+    doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                          role="family-doctor", credential=doctor_credential)
+    hospital.define_policy(
+        "BloodTest",
+        fields=["PatientId", "Name", "Surname", "Hemoglobin"],
+        consumers=[("family-doctor", "role")],
+        purposes=["healthcare-treatment"],
+    )
+    doctor.subscribe("BloodTest")
+
+    print("\n== the citizen's PHR ==")
+    phr = PersonalHealthRecord(controller, "pat-0042", producers=[hospital])
+
+    def publish():
+        return hospital.publish(
+            blood, subject_id="pat-0042", subject_name="Anna Conti",
+            summary="blood test completed for Anna Conti",
+            details={"PatientId": "pat-0042", "Name": "Anna", "Surname": "Conti",
+                     "Hemoglobin": 12.1, "Glucose": 101.0, "Cholesterol": 210.0,
+                     "HivResult": "negative"})
+
+    note = publish()
+    controller.clock.advance(30 * DAY)
+    publish()
+    doctor.request_details(note, "healthcare-treatment")
+
+    print(phr.render_timeline())
+    print(f"\nconsent status: {phr.consent_status('Hospital', 'BloodTest')}")
+
+    print("\nthe citizen pauses detail sharing from her PHR:")
+    phr.opt_out("Hospital", ConsentScope.DETAILS, "BloodTest")
+    note3 = publish()
+    try:
+        doctor.request_details(note3, "healthcare-treatment")
+    except AccessDeniedError as exc:
+        print(f"  doctor's next request: {exc}")
+    phr.opt_in("Hospital", ConsentScope.DETAILS, "BloodTest")
+
+    print("\nher access report (who touched my data, and why):")
+    print(phr.access_report().to_text())
+
+    print("\n== revocation: the doctor leaves the practice ==")
+    authority.revoke(doctor_credential.credential_id)
+    try:
+        doctor.request_details(note, "healthcare-treatment")
+    except AccessDeniedError as exc:
+        print(f"post-revocation request fails: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Governance monitoring: the province's aggregated view (§2).
+
+"Each service provider has to provide data at different level of
+granularity (detailed vs aggregated data) to the governing body ... The
+governing body also uses the data to assess the efficiency of the services
+being delivered."
+
+This example runs a month of synthetic socio-health activity through the
+platform and shows what the governing body gets: volume trends, per-class
+and per-institution breakdowns, service intensity, and responsiveness —
+all computed from notification metadata with small-cell suppression, never
+from the sensitive detail payloads.
+
+Run with::
+
+    python examples/governance_monitoring.py
+"""
+
+from repro.analytics import PathwayMiner, ProcessMonitor
+from repro.clock import DAY
+from repro.sim.scenario import CssScenario, ScenarioConfig
+
+
+def main() -> None:
+    print("running one simulated month of socio-health activity...")
+    config = ScenarioConfig(
+        n_patients=40,
+        n_events=400,
+        detail_request_rate=0.5,
+        seed=2010,
+        mean_interarrival=(30 * DAY) / 400,
+    )
+    scenario = CssScenario(config)
+    report = scenario.run()
+    print(f"  {report.events_published} events published, "
+          f"{report.detail_requests} detail requests, "
+          f"{report.audit_records} audit records\n")
+
+    monitor = ProcessMonitor(scenario.controller, suppression_threshold=5)
+
+    print("== service volumes per week ==")
+    print(monitor.volume_report(bucket_seconds=7 * DAY).to_text())
+
+    print("\n== events per class (suppression k=5) ==")
+    for name, cell in sorted(monitor.class_breakdown().items()):
+        print(f"  {name:<24} {cell.display}")
+
+    print("\n== events per institution ==")
+    for name, cell in sorted(monitor.producer_breakdown().items()):
+        print(f"  {name:<40} {cell.display}")
+
+    print("\n== citizens served ==")
+    total = monitor.distinct_citizens_served()
+    print(f"  distinct citizens: {total.display}")
+    print(f"  events per citizen: {monitor.events_per_citizen():.1f}")
+    for event_type in scenario.templates:
+        cell = monitor.distinct_citizens_served(event_type)
+        print(f"    {event_type:<24} {cell.display}")
+
+    print("\n== responsiveness: median publish→first-detail-request delay ==")
+    for event_type, delay in sorted(monitor.access_latency_report().items()):
+        print(f"  {event_type:<24} {delay:.0f}s")
+
+    print("\n== care-pathway mining (process view) ==")
+    miner = PathwayMiner(scenario.controller, suppression_threshold=5)
+    print(miner.render())
+    common = miner.common_pathways(length=2, top=3)
+    if common:
+        print("most frequent 2-step pathways:")
+        for pathway, count in common:
+            print(f"  {' -> '.join(pathway)}  ({count} citizens-steps)")
+
+    print("\nnote: every number above came from notification metadata; the")
+    print("monitor and the pathway miner issued zero detail requests and")
+    print("opened zero payloads.")
+
+
+if __name__ == "__main__":
+    main()

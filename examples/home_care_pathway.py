@@ -1,0 +1,118 @@
+"""The paper's motivating scenario: a multi-organization care pathway.
+
+An elderly citizen is discharged from hospital with a home-care plan.
+Three organizations cooperate through the CSS platform without ever
+exchanging paper documents: the hospital (producer), a home-assistance
+cooperative (producer), the municipality's social services and the family
+doctor (consumers), and the provincial welfare department (aggregate
+monitoring).  Each party sees exactly the fields its role and purpose
+justify.
+
+Run with::
+
+    python examples/home_care_pathway.py
+"""
+
+from repro import DataConsumer, DataController, DataProducer
+from repro.clock import DAY
+from repro.sim.generators import standard_event_templates
+
+
+def main() -> None:
+    controller = DataController(seed="pathway")
+    templates = standard_event_templates()
+
+    # --- organizations join the platform --------------------------------
+    hospital = DataProducer(controller, "Hospital-S-Maria", "Hospital S. Maria")
+    coop = DataProducer(controller, "HomeAssist-Coop", "HomeAssist Cooperative")
+    discharge = hospital.declare_event_class(
+        templates["HospitalDischarge"].build_schema())
+    home_care = coop.declare_event_class(
+        templates["HomeCareServiceEvent"].build_schema(), category="social")
+
+    doctor = DataConsumer(controller, "FamilyDoctors/Dr-Rossi", "Dr. Rossi",
+                          role="family-doctor")
+    social = DataConsumer(controller, "Municipality-Trento/SocialServices",
+                          "Social Services of Trento", role="social-worker")
+    welfare = DataConsumer(controller, "Province/SocialWelfare",
+                           "Social Welfare Department", role="administrator")
+
+    # --- producers define minimal-usage policies via the wizard ----------
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["PatientId", "Name", "Surname", "Ward", "DiagnosisCode", "FollowUpPlan"],
+        consumers=[("family-doctor", "role")],
+        purposes=["healthcare-treatment"],
+        label="clinical continuity for family doctors",
+    )
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["PatientId", "Name", "Surname", "FollowUpPlan"],
+        consumers=[("Municipality-Trento/SocialServices", "unit")],
+        purposes=["healthcare-treatment"],
+        label="social services see the follow-up plan, not the diagnosis",
+    )
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["Ward", "LengthOfStayDays", "CostEuro"],
+        consumers=[("Province/SocialWelfare", "unit")],
+        purposes=["reimbursement"],
+        label="welfare sees costs, nothing clinical",
+    )
+    coop.define_policy(
+        "HomeCareServiceEvent",
+        fields=["PatientId", "Name", "Surname", "ServiceType",
+                "DurationMinutes", "CareNotes"],
+        consumers=[("family-doctor", "role"),
+                   ("Municipality-Trento/SocialServices", "unit")],
+        purposes=["healthcare-treatment"],
+    )
+
+    for consumer in (doctor, social):
+        consumer.subscribe("HospitalDischarge")
+        consumer.subscribe("HomeCareServiceEvent")
+    welfare.subscribe("HospitalDischarge")
+
+    # --- the pathway unfolds ---------------------------------------------
+    print("== day 0: discharge ==")
+    note = hospital.publish(
+        discharge, subject_id="pat-0077", subject_name="Anna Conti",
+        summary="hospital discharge of Anna Conti",
+        details={"PatientId": "pat-0077", "Name": "Anna", "Surname": "Conti",
+                 "Ward": "Geriatrics", "LengthOfStayDays": 12,
+                 "DiagnosisCode": "I50.1",
+                 "FollowUpPlan": "home care activation", "CostEuro": 4180.0},
+    )
+    print(f"notification fan-out: doctor={len(doctor.inbox)}, "
+          f"social={len(social.inbox)}, welfare={len(welfare.inbox)}")
+
+    plan = social.request_details(note, "healthcare-treatment")
+    print(f"social services see : {sorted(plan.exposed_values())}")
+    clinical = doctor.request_details(note, "healthcare-treatment")
+    print(f"family doctor sees  : {sorted(clinical.exposed_values())}")
+    money = welfare.request_details(note, "reimbursement")
+    print(f"welfare dept. sees  : {sorted(money.exposed_values())}")
+
+    print("\n== day 3: home care starts ==")
+    controller.clock.advance(3 * DAY)
+    visit = coop.publish(
+        home_care, subject_id="pat-0077", subject_name="Anna Conti",
+        summary="home care service delivered to Anna Conti",
+        details={"PatientId": "pat-0077", "Name": "Anna", "Surname": "Conti",
+                 "ServiceType": "nursing", "OperatorId": "op-012",
+                 "DurationMinutes": 60,
+                 "CareNotes": "medication adherence issue", "CostEuro": 45.0},
+    )
+    followup = doctor.request_details(visit, "healthcare-treatment")
+    print(f"doctor reads care notes: {followup.exposed_values()['CareNotes']!r}")
+
+    print("\n== audit ==")
+    controller.audit_log.verify_integrity()
+    from repro.audit.reports import data_subject_report
+
+    report = data_subject_report(controller.audit_log, "pat-0077")
+    print(report.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without wheel/bdist_wheel support.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy ``pip install -e .`` path on older toolchains.
+"""
+
+from setuptools import setup
+
+setup()

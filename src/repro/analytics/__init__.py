@@ -1,0 +1,26 @@
+"""Process-monitoring analytics for the governing body.
+
+The project's goal is "monitoring healthcare and social processes across
+the different government and healthcare institutions" (§1), and §2 notes
+the governing body "uses the data to assess the efficiency of the services
+being delivered" on "detailed vs aggregated data".
+
+This subpackage is the aggregated side: a
+:class:`~repro.analytics.monitor.ProcessMonitor` that computes service
+statistics *from notification metadata only* (event class, producer,
+time — never the detail payloads), with small-cell suppression so that
+aggregate reports cannot single out individual citizens.
+"""
+
+from repro.analytics.monitor import ProcessMonitor, VolumeReport
+from repro.analytics.pathways import PathwayMiner, Transition
+from repro.analytics.suppression import SuppressedCount, suppress_small_cells
+
+__all__ = [
+    "PathwayMiner",
+    "ProcessMonitor",
+    "SuppressedCount",
+    "Transition",
+    "VolumeReport",
+    "suppress_small_cells",
+]

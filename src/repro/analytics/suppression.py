@@ -1,0 +1,61 @@
+"""Small-cell suppression for aggregate reports.
+
+Aggregates computed over few individuals can re-identify them (a count of
+1 for "telecare alarms in Levico this week" *is* somebody).  Statistical
+disclosure control suppresses cells below a threshold ``k``: the consumer
+sees ``<k`` instead of the exact count.  The platform's aggregate reports
+apply this uniformly, which keeps the governing body's monitoring view
+(§2) compatible with the minimal-usage principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SuppressedCount:
+    """A count that may be suppressed.
+
+    ``value`` is None when suppressed; ``display`` renders either the exact
+    count or the ``<k`` marker.
+    """
+
+    value: int | None
+    threshold: int
+
+    @property
+    def suppressed(self) -> bool:
+        """Whether the exact count was withheld."""
+        return self.value is None
+
+    @property
+    def display(self) -> str:
+        """The publishable form of the count."""
+        return f"<{self.threshold}" if self.value is None else str(self.value)
+
+    def lower_bound(self) -> int:
+        """A safe lower bound usable in downstream arithmetic."""
+        return 0 if self.value is None else self.value
+
+
+def suppress(count: int, threshold: int) -> SuppressedCount:
+    """Suppress one count if it is positive but below ``threshold``.
+
+    Zero cells are not suppressed — an empty cell discloses nothing about
+    any individual.
+    """
+    if threshold < 1:
+        raise ConfigurationError("suppression threshold must be at least 1")
+    if 0 < count < threshold:
+        return SuppressedCount(None, threshold)
+    return SuppressedCount(count, threshold)
+
+
+def suppress_small_cells(
+    cells: dict[str, int], threshold: int
+) -> dict[str, SuppressedCount]:
+    """Apply :func:`suppress` to every cell of a breakdown."""
+    return {key: suppress(count, threshold) for key, count in cells.items()}

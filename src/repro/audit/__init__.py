@@ -1,0 +1,26 @@
+"""Audit substrate: tamper-evident logging and compliance reporting.
+
+The data controller "maintains logs of the access request for auditing
+purposes" and must "answer to auditing inquiry by the privacy guarantor or
+the data subject herself" (paper §2, §4).  This subpackage provides:
+
+* :mod:`~repro.audit.log` — the hash-chained, append-only audit log;
+* :mod:`~repro.audit.query` — filtered queries (actor, purpose, subject,
+  event, outcome, time window);
+* :mod:`~repro.audit.reports` — the guarantor inquiry report and the
+  data-subject access report.
+"""
+
+from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
+from repro.audit.query import AuditQuery
+from repro.audit.reports import data_subject_report, guarantor_report
+
+__all__ = [
+    "AuditAction",
+    "AuditLog",
+    "AuditOutcome",
+    "AuditQuery",
+    "AuditRecord",
+    "data_subject_report",
+    "guarantor_report",
+]

@@ -1,0 +1,27 @@
+"""Baseline integration architectures the paper argues against.
+
+Four comparators, each exercising the same seeded workloads as the CSS
+scenario so the benchmarks can compare like with like:
+
+* :mod:`~repro.baselines.manual` — the Fig. 1 status quo: paper/fax/email
+  document exchange, full disclosure, zero traceability;
+* :mod:`~repro.baselines.point_to_point` — synchronous point-to-point SOA
+  (the N×M connector problem of §3);
+* :mod:`~repro.baselines.warehouse` — centralized data-warehouse
+  replication (the approach §1 rejects as infeasible and §4 as
+  non-compliant: sensitive data duplicated outside the owner);
+* :mod:`~repro.baselines.full_push` — pub/sub that pushes full details in
+  every notification (what CSS's two-phase protocol avoids).
+"""
+
+from repro.baselines.full_push import FullPushBaseline
+from repro.baselines.manual import ManualExchangeBaseline
+from repro.baselines.point_to_point import PointToPointSoaBaseline
+from repro.baselines.warehouse import WarehouseBaseline
+
+__all__ = [
+    "FullPushBaseline",
+    "ManualExchangeBaseline",
+    "PointToPointSoaBaseline",
+    "WarehouseBaseline",
+]

@@ -1,0 +1,148 @@
+"""The service bus broker.
+
+:class:`ServiceBus` ties together the topic tree, the subscription registry
+and the delivery engine, and exposes the operations the data controller
+uses: declare topics, subscribe/unsubscribe, publish (fan-out), and run
+dispatch rounds.  ``auto_dispatch`` (the default) runs a dispatch round
+after every publish so simple callers see synchronous-looking delivery;
+benchmarks switch it off to measure batched dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bus.delivery import DeliveryEngine, DeliveryPolicy, DeliveryReport
+from repro.bus.envelope import Envelope
+from repro.bus.subscriptions import Handler, Subscription, SubscriptionRegistry
+from repro.bus.topics import TopicTree
+from repro.clock import Clock
+from repro.exceptions import UnknownTopicError
+from repro.ids import IdFactory
+
+
+@dataclass
+class BusStats:
+    """Broker-wide counters (benchmark instrumentation)."""
+
+    published: int = 0
+    fanned_out: int = 0
+    dispatch_rounds: int = 0
+    bytes_published: int = 0
+
+
+class ServiceBus:
+    """In-process ESB with durable pub/sub and explicit dispatch."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        ids: IdFactory | None = None,
+        delivery_policy: DeliveryPolicy | None = None,
+        auto_dispatch: bool = True,
+        strict_topics: bool = True,
+    ) -> None:
+        self._clock = clock or Clock()
+        self._ids = ids or IdFactory()
+        self._topics = TopicTree()
+        self._subscriptions = SubscriptionRegistry()
+        self._engine = DeliveryEngine(delivery_policy)
+        self.auto_dispatch = auto_dispatch
+        self.strict_topics = strict_topics
+        self.stats = BusStats()
+
+    # -- topics ------------------------------------------------------------
+
+    @property
+    def topics(self) -> TopicTree:
+        """The broker's topic tree."""
+        return self._topics
+
+    def declare_topic(self, path: str) -> None:
+        """Declare a topic (idempotent)."""
+        self._topics.declare(path)
+
+    # -- subscriptions ---------------------------------------------------------
+
+    def subscribe(self, subscriber: str, pattern: str, handler: Handler) -> Subscription:
+        """Create a durable subscription and return it."""
+        subscription = Subscription(
+            subscription_id=self._ids.next("sub"),
+            subscriber=subscriber,
+            pattern=pattern,
+            handler=handler,
+        )
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        """Remove a subscription; queued messages are dropped."""
+        self._subscriptions.remove(subscription_id)
+
+    def subscriptions_of(self, subscriber: str) -> list[Subscription]:
+        """Every subscription held by ``subscriber``."""
+        return self._subscriptions.for_subscriber(subscriber)
+
+    @property
+    def subscription_count(self) -> int:
+        """Number of registered subscriptions."""
+        return len(self._subscriptions)
+
+    # -- publish -------------------------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        sender: str,
+        body: object,
+        correlation_id: str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> Envelope:
+        """Publish ``body`` on ``topic``; returns the envelope.
+
+        With ``strict_topics`` (default) the topic must have been declared —
+        undeclared topics mean the producer skipped catalog installation.
+        Fan-out enqueues into every matching subscription; with
+        ``auto_dispatch`` a dispatch round runs immediately.
+        """
+        if self.strict_topics and not self._topics.exists(topic):
+            raise UnknownTopicError(f"publish to undeclared topic {topic!r}")
+        envelope = Envelope(
+            message_id=self._ids.next("msg"),
+            topic=topic,
+            sender=sender,
+            body=body,
+            created_at=self._clock.now(),
+            correlation_id=correlation_id,
+            headers=headers or {},
+        )
+        self.stats.published += 1
+        self.stats.bytes_published += envelope.size_estimate()
+        now = self._clock.now()
+        matching = self._subscriptions.matching_topic(topic)
+        for subscription in matching:
+            subscription.queue.enqueue(envelope, now=now)
+            self.stats.fanned_out += 1
+        if self.auto_dispatch and matching:
+            self.dispatch()
+        return envelope
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def dispatch(self) -> DeliveryReport:
+        """Run one dispatch round over all subscriptions."""
+        self.stats.dispatch_rounds += 1
+        return self._engine.dispatch_all(self._subscriptions.all_subscriptions())
+
+    def pending_messages(self) -> int:
+        """Total messages waiting across all subscription queues."""
+        return sum(sub.queue.depth for sub in self._subscriptions.all_subscriptions())
+
+    @property
+    def dead_letter_depth(self) -> int:
+        """Messages parked in the dead-letter queue."""
+        return self._engine.dead_letter.depth
+
+    def drain_dead_letters(self) -> list[Envelope]:
+        """Remove and return every dead-lettered envelope (operator action)."""
+        return self._engine.dead_letter.drain()

@@ -1,0 +1,101 @@
+"""Per-subscription FIFO queues.
+
+Each durable subscription owns a :class:`MessageQueue`.  Messages are
+appended at publish time and consumed with explicit acknowledgement, which
+gives the at-least-once semantics the delivery engine needs: an unacked
+message stays at the head and is re-offered on the next dispatch round.
+The queue also keeps a bounded redelivery counter per message so the
+delivery engine can divert poison messages to the dead-letter queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.bus.envelope import Envelope
+from repro.exceptions import BusError
+
+
+@dataclass
+class QueuedMessage:
+    """An envelope waiting in a queue plus its redelivery bookkeeping."""
+
+    envelope: Envelope
+    attempts: int = 0
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class QueueStats:
+    """Counters exposed for monitoring and benchmarks."""
+
+    enqueued: int = 0
+    delivered: int = 0
+    redelivered: int = 0
+    dead_lettered: int = 0
+
+
+class MessageQueue:
+    """A FIFO queue with peek/ack/nack semantics."""
+
+    def __init__(self, name: str, max_depth: int | None = None) -> None:
+        if not name:
+            raise BusError("queue needs a name")
+        if max_depth is not None and max_depth <= 0:
+            raise BusError("max_depth must be positive")
+        self.name = name
+        self._max_depth = max_depth
+        self._messages: deque[QueuedMessage] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    @property
+    def depth(self) -> int:
+        """Number of messages waiting."""
+        return len(self._messages)
+
+    def enqueue(self, envelope: Envelope, now: float = 0.0) -> None:
+        """Append a message; raises ``BusError`` if the queue is full."""
+        if self._max_depth is not None and len(self._messages) >= self._max_depth:
+            raise BusError(f"queue {self.name!r} is full ({self._max_depth} messages)")
+        self._messages.append(QueuedMessage(envelope, enqueued_at=now))
+        self.stats.enqueued += 1
+
+    def peek(self) -> QueuedMessage | None:
+        """The head message without removing it (None if empty)."""
+        return self._messages[0] if self._messages else None
+
+    def ack(self) -> Envelope:
+        """Remove and return the head message (successful delivery)."""
+        if not self._messages:
+            raise BusError(f"ack on empty queue {self.name!r}")
+        queued = self._messages.popleft()
+        self.stats.delivered += 1
+        return queued.envelope
+
+    def nack(self) -> int:
+        """Record a failed delivery of the head message; return its attempt count."""
+        if not self._messages:
+            raise BusError(f"nack on empty queue {self.name!r}")
+        head = self._messages[0]
+        head.attempts += 1
+        self.stats.redelivered += 1
+        return head.attempts
+
+    def evict_head(self) -> Envelope:
+        """Remove the head without counting it delivered (dead-letter path)."""
+        if not self._messages:
+            raise BusError(f"evict on empty queue {self.name!r}")
+        queued = self._messages.popleft()
+        self.stats.dead_lettered += 1
+        return queued.envelope
+
+    def drain(self) -> list[Envelope]:
+        """Remove and return every queued envelope (used by index rebuilds)."""
+        envelopes = [queued.envelope for queued in self._messages]
+        self.stats.delivered += len(self._messages)
+        self._messages.clear()
+        return envelopes

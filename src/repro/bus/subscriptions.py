@@ -1,0 +1,100 @@
+"""Durable subscriptions.
+
+A subscription names a subscriber, a topic pattern, and a callback.  It is
+*durable*: messages published while the subscriber's callback is failing (or
+while dispatch is paused) wait in the subscription's queue.  The data
+controller creates subscriptions only after verifying the privacy policy
+authorizes the consumer for the event class — that gating lives in
+:mod:`repro.core.controller`; the bus only transports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bus.envelope import Envelope
+from repro.bus.queue import MessageQueue
+from repro.bus.topics import validate_pattern
+from repro.exceptions import SubscriptionError
+
+#: Signature of subscriber callbacks. Raising marks the delivery failed.
+Handler = Callable[[Envelope], None]
+
+
+@dataclass
+class Subscription:
+    """A durable subscription and its queue."""
+
+    subscription_id: str
+    subscriber: str
+    pattern: str
+    handler: Handler
+    active: bool = True
+    queue: MessageQueue = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.subscription_id:
+            raise SubscriptionError("subscription needs an id")
+        if not self.subscriber:
+            raise SubscriptionError("subscription needs a subscriber")
+        validate_pattern(self.pattern)
+        self.queue = MessageQueue(f"sub:{self.subscription_id}")
+
+    def pause(self) -> None:
+        """Stop dispatching; messages keep queueing."""
+        self.active = False
+
+    def resume(self) -> None:
+        """Resume dispatching."""
+        self.active = True
+
+
+class SubscriptionRegistry:
+    """All subscriptions known to the broker, indexed for fan-out."""
+
+    def __init__(self) -> None:
+        self._subscriptions: dict[str, Subscription] = {}
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def add(self, subscription: Subscription) -> None:
+        """Register a subscription; duplicate ids are rejected."""
+        if subscription.subscription_id in self._subscriptions:
+            raise SubscriptionError(
+                f"duplicate subscription id {subscription.subscription_id!r}"
+            )
+        self._subscriptions[subscription.subscription_id] = subscription
+
+    def remove(self, subscription_id: str) -> Subscription:
+        """Unregister and return a subscription."""
+        try:
+            return self._subscriptions.pop(subscription_id)
+        except KeyError as exc:
+            raise SubscriptionError(f"no subscription {subscription_id!r}") from exc
+
+    def get(self, subscription_id: str) -> Subscription:
+        """Fetch a subscription by id."""
+        try:
+            return self._subscriptions[subscription_id]
+        except KeyError as exc:
+            raise SubscriptionError(f"no subscription {subscription_id!r}") from exc
+
+    def for_subscriber(self, subscriber: str) -> list[Subscription]:
+        """Every subscription held by ``subscriber``."""
+        return [sub for sub in self._subscriptions.values() if sub.subscriber == subscriber]
+
+    def matching_topic(self, topic: str) -> list[Subscription]:
+        """Every subscription whose pattern matches ``topic``."""
+        from repro.bus.topics import topic_matches
+
+        return [
+            sub
+            for sub in self._subscriptions.values()
+            if topic_matches(sub.pattern, topic)
+        ]
+
+    def all_subscriptions(self) -> list[Subscription]:
+        """Every registered subscription."""
+        return list(self._subscriptions.values())

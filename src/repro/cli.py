@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Four subcommands, all built on the public API::
+
+    python -m repro scenario  [--events N] [--patients N] [--rate R]
+                              [--seed S] [--archive DIR]
+    python -m repro compare   [--events N] [--seed S]
+    python -m repro monitor   [--events N] [--seed S] [--threshold K]
+    python -m repro inspect   DIR [--secret SECRET]
+
+``scenario`` runs a full synthetic deployment and prints its report
+(optionally archiving the resulting platform); ``compare`` prints the
+CSS-vs-baselines table; ``monitor`` prints the governing body's
+aggregated view; ``inspect`` restores an archive and prints its audit
+summary (verifying the hash chain in the process).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analytics import ProcessMonitor
+from repro.audit.reports import guarantor_report
+from repro.baselines import (
+    FullPushBaseline,
+    ManualExchangeBaseline,
+    PointToPointSoaBaseline,
+    WarehouseBaseline,
+)
+from repro.clock import DAY
+from repro.sim.scenario import (
+    DEFAULT_CONSUMERS,
+    DEFAULT_PRODUCER_ASSIGNMENT,
+    CssScenario,
+    ScenarioConfig,
+)
+from repro.storage import PlatformArchive
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSS privacy-preserving event-driven integration platform "
+                    "(reproduction of Armellin et al., SDM@VLDB 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run a synthetic deployment")
+    _scenario_options(scenario)
+    scenario.add_argument("--archive", metavar="DIR",
+                          help="snapshot the platform into DIR afterwards")
+
+    compare = sub.add_parser("compare", help="CSS vs the four baselines")
+    _scenario_options(compare)
+
+    monitor = sub.add_parser("monitor", help="governing-body aggregate view")
+    _scenario_options(monitor)
+    monitor.add_argument("--threshold", type=int, default=5,
+                         help="small-cell suppression threshold k (default 5)")
+
+    inspect = sub.add_parser("inspect", help="restore an archive and audit it")
+    inspect.add_argument("directory", help="archive directory to restore")
+    inspect.add_argument("--secret", default="css-platform-secret",
+                         help="master secret the platform was created with")
+    return parser
+
+
+def _scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events", type=int, default=200)
+    parser.add_argument("--patients", type=int, default=30)
+    parser.add_argument("--rate", type=float, default=0.3,
+                        help="detail-request rate in [0, 1] (default 0.3)")
+    parser.add_argument("--seed", type=int, default=2010)
+
+
+def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
+    config = ScenarioConfig(
+        n_patients=args.patients, n_events=args.events,
+        detail_request_rate=args.rate, seed=args.seed,
+    )
+    scenario = CssScenario(config)
+    return scenario, scenario.generate_workload()
+
+
+def _cmd_scenario(args: argparse.Namespace, out) -> int:
+    scenario, workload = _make_scenario(args)
+    report = scenario.run(workload)
+    print(report.to_text(), file=out)
+    if args.archive:
+        PlatformArchive(args.archive).save(scenario.controller)
+        print(f"platform archived to {args.archive}", file=out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace, out) -> int:
+    scenario, workload = _make_scenario(args)
+    consumers = list(DEFAULT_CONSUMERS)
+    print(scenario.run(workload).exposure.to_row(), file=out)
+    for baseline in (
+        ManualExchangeBaseline(scenario.templates, consumers),
+        PointToPointSoaBaseline(scenario.templates, consumers,
+                                DEFAULT_PRODUCER_ASSIGNMENT),
+        WarehouseBaseline(scenario.templates, consumers),
+        FullPushBaseline(scenario.templates, consumers,
+                         DEFAULT_PRODUCER_ASSIGNMENT),
+    ):
+        print(baseline.run(workload).exposure.to_row(), file=out)
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace, out) -> int:
+    scenario, workload = _make_scenario(args)
+    scenario.run(workload)
+    monitor = ProcessMonitor(scenario.controller,
+                             suppression_threshold=args.threshold)
+    print(monitor.volume_report(bucket_seconds=7 * DAY).to_text(), file=out)
+    print("per class:", file=out)
+    for name, cell in sorted(monitor.class_breakdown().items()):
+        print(f"  {name:<24} {cell.display}", file=out)
+    print(f"distinct citizens served: "
+          f"{monitor.distinct_citizens_served().display}", file=out)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace, out) -> int:
+    controller = PlatformArchive(args.directory).restore(args.secret)
+    print(f"restored platform from {args.directory}", file=out)
+    print(f"  clock: t={controller.clock.now():.0f}  "
+          f"actors: {len(controller.actors)}  "
+          f"classes: {len(controller.catalog)}  "
+          f"policies: {len(controller.policies)}  "
+          f"indexed events: {len(controller.index)}", file=out)
+    report = guarantor_report(controller.audit_log)
+    print(f"  audit: {len(controller.audit_log)} records, chain verified", file=out)
+    print(report.to_text(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "scenario": _cmd_scenario,
+        "compare": _cmd_compare,
+        "monitor": _cmd_monitor,
+        "inspect": _cmd_inspect,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

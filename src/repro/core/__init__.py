@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the CSS privacy-preserving event platform.
+
+Subpackage map (one module per architectural concept of the paper):
+
+* :mod:`~repro.core.actors` / :mod:`~repro.core.purposes` — the vocabulary
+  policies are written in;
+* :mod:`~repro.core.events` / :mod:`~repro.core.messages` — event classes
+  and the notification/detail message dichotomy (§4);
+* :mod:`~repro.core.catalog` / :mod:`~repro.core.index` — events catalog
+  and the ebXML events index;
+* :mod:`~repro.core.policy` — Definitions 1–4 of §5.1/§5.2;
+* :mod:`~repro.core.enforcement` — the Policy Enforcer and Algorithm 1;
+* :mod:`~repro.core.gateway` — the Local Cooperation Gateway and Algorithm 2;
+* :mod:`~repro.core.controller` — the Data Controller facade;
+* :mod:`~repro.core.producer` / :mod:`~repro.core.consumer` — party clients;
+* :mod:`~repro.core.elicitation` — the Privacy Requirements Elicitation
+  Tool (Figs. 6–7);
+* :mod:`~repro.core.consent` — citizen opt-in/opt-out;
+* :mod:`~repro.core.contracts` — contractual agreements (§5);
+* :mod:`~repro.core.idmap` — the global/local event id mapping.
+"""
+
+from repro.core.actors import Actor, ActorDirectory, ActorKind
+from repro.core.catalog import EventCatalog
+from repro.core.consent import ConsentRegistry, ConsentScope
+from repro.core.consumer import DataConsumer
+from repro.core.controller import DataController
+from repro.core.elicitation import ElicitationWizard, PolicyDashboard
+from repro.core.enforcement import DetailRequest, PolicyEnforcer
+from repro.core.events import EventClass, EventOccurrence
+from repro.core.gateway import LocalCooperationGateway
+from repro.core.index import EventsIndex
+from repro.core.messages import DetailMessage, NotificationMessage
+from repro.core.policy import PolicyRepository, PrivacyPolicy
+from repro.core.producer import DataProducer
+from repro.core.purposes import Purpose, PurposeRegistry
+
+__all__ = [
+    "Actor",
+    "ActorDirectory",
+    "ActorKind",
+    "ConsentRegistry",
+    "ConsentScope",
+    "DataConsumer",
+    "DataController",
+    "DataProducer",
+    "DetailMessage",
+    "DetailRequest",
+    "ElicitationWizard",
+    "EventCatalog",
+    "EventClass",
+    "EventOccurrence",
+    "EventsIndex",
+    "LocalCooperationGateway",
+    "NotificationMessage",
+    "PolicyDashboard",
+    "PolicyEnforcer",
+    "PolicyRepository",
+    "PrivacyPolicy",
+    "Purpose",
+    "PurposeRegistry",
+]

@@ -1,0 +1,132 @@
+"""The events catalog.
+
+"The data producer declares the ability to generate a certain type of event
+... The structure of the event is specified by an XSD that is 'installed'
+in an event catalog module.  The event catalog, as the structure of its
+events, is visible to any candidate data consumer" (paper §5).
+
+The catalog is the union of all producers' event classes (Def. 1:
+``E = ∪ E(D_i)``).  It owns the class → bus-topic mapping and renders the
+browsable listing consumers use before subscribing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace
+
+from repro.core.events import EventClass
+from repro.core.evolution import check_backward_compatible
+from repro.exceptions import DuplicateEventClassError, SchemaError, UnknownEventClassError
+
+
+class EventCatalog:
+    """The platform-wide registry of declared event classes."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, EventClass] = {}
+        self._by_producer: dict[str, list[str]] = defaultdict(list)
+        self._versions: dict[str, list[EventClass]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def install(self, event_class: EventClass) -> None:
+        """Install a declared class (its XSD) in the catalog.
+
+        Class names are platform-global: two producers cannot declare the
+        same name (the paper's ids are producer-qualified; globally unique
+        names keep topics and policies unambiguous).
+        """
+        if event_class.name in self._classes:
+            raise DuplicateEventClassError(
+                f"event class {event_class.name!r} already installed"
+            )
+        self._classes[event_class.name] = event_class
+        self._by_producer[event_class.producer_id].append(event_class.name)
+        self._versions[event_class.name].append(event_class)
+
+    def upgrade(self, event_class: EventClass) -> EventClass:
+        """Install a new, backward-compatible version of an existing class.
+
+        The upgrade must come from the declaring producer, keep every
+        existing field (same type, no tightened occurrence, no dropped
+        sensitivity flag) and add only optional fields — so existing
+        policies and stored events stay valid.  Returns the stored class
+        (with the version number assigned by the catalog).
+        """
+        current = self.get(event_class.name)
+        if current.producer_id != event_class.producer_id:
+            raise SchemaError(
+                f"{event_class.producer_id!r} cannot upgrade class "
+                f"{event_class.name!r} owned by {current.producer_id!r}"
+            )
+        violations = check_backward_compatible(current.schema, event_class.schema)
+        if violations:
+            raise SchemaError(
+                f"incompatible upgrade of {event_class.name!r}: "
+                + "; ".join(violations)
+            )
+        upgraded = replace(event_class, version=current.version + 1,
+                           category=current.category)
+        self._classes[upgraded.name] = upgraded
+        self._versions[upgraded.name].append(upgraded)
+        return upgraded
+
+    def get_version(self, name: str, version: int) -> EventClass:
+        """A specific historical version of a class (for parsing old events)."""
+        for event_class in self._versions.get(name, ()):
+            if event_class.version == version:
+                return event_class
+        raise UnknownEventClassError(f"no version {version} of class {name!r}")
+
+    def history(self, name: str) -> list[EventClass]:
+        """Every installed version of a class, oldest first."""
+        self.get(name)  # raises for unknown classes
+        return list(self._versions[name])
+
+    def get(self, name: str) -> EventClass:
+        """Look up an event class by name."""
+        try:
+            return self._classes[name]
+        except KeyError as exc:
+            raise UnknownEventClassError(f"event class {name!r} not in catalog") from exc
+
+    def classes_of(self, producer_id: str) -> list[EventClass]:
+        """``E(D_i)`` — every class declared by one producer."""
+        return [self._classes[name] for name in self._by_producer.get(producer_id, [])]
+
+    def all_classes(self) -> list[EventClass]:
+        """``E`` — the full catalog."""
+        return list(self._classes.values())
+
+    def producer_of(self, name: str) -> str:
+        """The producer that declared class ``name``."""
+        return self.get(name).producer_id
+
+    def topic_of(self, name: str) -> str:
+        """The bus topic for class ``name``."""
+        return self.get(name).topic
+
+    def browse(self) -> str:
+        """Render the consumer-facing catalog listing (schemas included)."""
+        lines = ["EVENT CATALOG", "============="]
+        for event_class in self._classes.values():
+            lines.append("")
+            lines.append(f"{event_class.name}  (producer: {event_class.producer_id}, "
+                         f"category: {event_class.category})")
+            if event_class.description:
+                lines.append(f"  {event_class.description}")
+            for decl in event_class.schema.elements:
+                flags = []
+                if decl.sensitive:
+                    flags.append("sensitive")
+                if decl.identifying:
+                    flags.append("identifying")
+                suffix = f"  [{', '.join(flags)}]" if flags else ""
+                lines.append(f"  - {decl.name}: {decl.type_.describe()} "
+                             f"({decl.occurs.value}){suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,494 @@
+"""The Data Controller — the central mediator of the CSS platform (Fig. 2).
+
+"The data controller acts as a mediator and broker between data sources and
+consumers and is the guarantor for the correct application of the privacy
+policy" (§4).  Its responsibilities, each a method below:
+
+* support producers and consumers in **joining** (contracts, §5);
+* let producers **declare event classes** in the catalog and define
+  policies through the elicitation tool;
+* let consumers **subscribe** to event classes — gated on an authorizing
+  policy, with pending access requests when none exists;
+* **receive, index and route notifications** (encrypted identifying info in
+  the events index, pub/sub fan-out over the service bus);
+* **resolve requests for details** through the policy enforcer
+  (Algorithm 1) and the producers' local cooperation gateways
+  (Algorithm 2);
+* **resolve events-index inquiries**, also policy-gated;
+* **maintain audit logs** of every access for the privacy guarantor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
+from repro.bus.broker import ServiceBus
+from repro.bus.endpoints import EndpointRegistry
+from repro.bus.envelope import Envelope
+from repro.clock import Clock
+from repro.core.actors import Actor, ActorDirectory
+from repro.core.catalog import EventCatalog
+from repro.core.consent import ConsentRegistry
+from repro.core.contracts import Contract, ContractRegistry
+from repro.core.elicitation import (
+    ElicitationWizard,
+    PendingAccessRequest,
+    PendingRequestQueue,
+    PolicyDashboard,
+)
+from repro.core.enforcement import DetailRequest, PolicyEnforcer
+from repro.core.events import EventClass, EventOccurrence
+from repro.core.gateway import LocalCooperationGateway
+from repro.core.idmap import EventIdEntry, EventIdMap
+from repro.core.index import EventsIndex
+from repro.core.messages import NotificationMessage
+from repro.core.policy import PolicyRepository
+from repro.core.purposes import PurposeRegistry
+from repro.core.roster import PatientRoster
+from repro.crypto.keystore import KeyStore
+from repro.exceptions import (
+    AccessDeniedError,
+    EndpointError,
+    SourceUnavailableError,
+    UnknownEventClassError,
+    UnknownProducerError,
+)
+from repro.ids import IdFactory
+
+#: Callback receiving decrypted notifications at an authorized subscriber.
+NotificationHandler = Callable[[NotificationMessage], None]
+
+
+class _GatewayEndpointProxy:
+    """Routes enforcement's gateway calls through the SOA endpoint layer.
+
+    Keeps the endpoint call accounting honest (every detail retrieval is a
+    web-service invocation in the paper's architecture) and converts
+    endpoint-level unavailability into the gateway's failure type.
+    """
+
+    def __init__(self, endpoints: EndpointRegistry, endpoint_name: str) -> None:
+        self._endpoints = endpoints
+        self._endpoint_name = endpoint_name
+
+    def get_response(self, src_event_id: str, allowed_fields, event_id: str):
+        try:
+            return self._endpoints.call(
+                self._endpoint_name, (src_event_id, frozenset(allowed_fields), event_id)
+            )
+        except EndpointError as exc:
+            raise SourceUnavailableError(str(exc)) from exc
+
+
+class DataController:
+    """The CSS platform's central node."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        master_secret: str = "css-platform-secret",
+        seed: str = "css",
+        encrypt_identity: bool = True,
+        auto_dispatch: bool = True,
+    ) -> None:
+        self.clock = clock or Clock()
+        self.ids = IdFactory(seed=seed)
+        self.keystore = KeyStore(master_secret)
+        self.bus = ServiceBus(clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch)
+        self.endpoints = EndpointRegistry()
+        self.actors = ActorDirectory()
+        self.contracts = ContractRegistry()
+        self.catalog = EventCatalog()
+        self.purposes = PurposeRegistry()
+        self.index = EventsIndex(self.keystore, encrypt_identity=encrypt_identity)
+        self.id_map = EventIdMap()
+        self.policies = PolicyRepository()
+        self.audit_log = AuditLog()
+        self.pending_requests = PendingRequestQueue()
+        self.roster = PatientRoster()
+        self.dashboard = PolicyDashboard(self.catalog, self.policies)
+        self._gateways: dict[str, LocalCooperationGateway] = {}
+        self._consent: dict[str, ConsentRegistry] = {}
+        self._identity = None  # optional LocalIdentityProvider (future-work extension)
+        self.enforcer = PolicyEnforcer(
+            repository=self.policies,
+            id_map=self.id_map,
+            purposes=self.purposes,
+            gateway_resolver=self._gateway_proxy,
+            audit_log=self.audit_log,
+            clock=self.clock,
+            ids=self.ids,
+            consent_resolver=self._consent.get,
+        )
+        self.endpoints.expose(
+            "controller.getEventDetails",
+            lambda request: self.enforcer.get_event_details(request),
+            "Request-for-details resolution (Algorithm 1)",
+        )
+        self.endpoints.expose(
+            "controller.inquireIndex",
+            lambda request: self._inquire_endpoint(request),
+            "Events-index inquiry",
+        )
+
+    # -- identity management (the paper's future-work extension) --------------
+
+    def attach_identity_provider(self, provider) -> None:
+        """Activate identity management (see :mod:`repro.identity`).
+
+        From this point on, ``join`` requires a credential whose subject
+        and certified role match the joining actor, and subscriptions /
+        detail requests must present a live credential.
+        """
+        self._identity = provider
+
+    @property
+    def identity_active(self) -> bool:
+        """Whether an identity provider is attached."""
+        return self._identity is not None
+
+    def _authenticate(self, actor_id: str, credential, asserted_role: str = "") -> None:
+        if self._identity is None:
+            return
+        self._identity.authenticate(actor_id, credential, asserted_role)
+
+    # -- joining (contracts) -------------------------------------------------
+
+    def join(self, actor: Actor, valid_until: float | None = None,
+             credential=None) -> Contract:
+        """Register a party and sign its contract (§5)."""
+        self._authenticate(actor.actor_id, credential, actor.role)
+        self.actors.add(actor)
+        contract = Contract(
+            party_id=actor.actor_id,
+            kind=actor.kind,
+            signed_at=self.clock.now(),
+            valid_until=valid_until,
+        )
+        self.contracts.sign(contract)
+        self._record(
+            actor.actor_id, AuditAction.JOIN, AuditOutcome.PERMIT,
+            detail=f"joined as {actor.kind.value}",
+        )
+        return contract
+
+    # -- producer-side operations ----------------------------------------------
+
+    def declare_event_class(self, producer_id: str, event_class: EventClass) -> None:
+        """Install a producer's event class (its XSD) in the catalog (§5)."""
+        self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        if event_class.producer_id != producer_id:
+            raise UnknownProducerError(
+                f"class {event_class.name!r} names producer "
+                f"{event_class.producer_id!r}, not {producer_id!r}"
+            )
+        self.catalog.install(event_class)
+        self.bus.declare_topic(event_class.topic)
+        self._record(
+            producer_id, AuditAction.DECLARE_EVENT_CLASS, AuditOutcome.PERMIT,
+            event_type=event_class.name,
+            detail=f"fields: {', '.join(event_class.fields)}",
+        )
+
+    def upgrade_event_class(self, producer_id: str, event_class: EventClass) -> EventClass:
+        """Install a backward-compatible new version of a declared class.
+
+        Existing policies, subscriptions and stored events are untouched:
+        compatibility rules (see :mod:`repro.core.evolution`) guarantee
+        every field they reference still exists with the same meaning.
+        """
+        self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        if event_class.producer_id != producer_id:
+            raise UnknownProducerError(
+                f"class {event_class.name!r} names producer "
+                f"{event_class.producer_id!r}, not {producer_id!r}"
+            )
+        upgraded = self.catalog.upgrade(event_class)
+        self._record(
+            producer_id, AuditAction.DECLARE_EVENT_CLASS, AuditOutcome.PERMIT,
+            event_type=upgraded.name,
+            detail=f"upgraded to version {upgraded.version}; "
+                   f"fields: {', '.join(upgraded.fields)}",
+        )
+        return upgraded
+
+    def attach_gateway(self, producer_id: str, gateway: LocalCooperationGateway,
+                       check_contract: bool = True) -> None:
+        """Register a producer's local cooperation gateway and its endpoint.
+
+        ``check_contract=False`` is used by archive restoration, where a
+        suspended producer's gateway must still be re-attached so its
+        already-published details keep serving.
+        """
+        if check_contract:
+            self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        self._gateways[producer_id] = gateway
+        self.endpoints.expose(
+            f"gateway.{producer_id}.getResponse",
+            lambda request, gw=gateway: gw.get_response(*request),
+            f"Local cooperation gateway of {producer_id} (Algorithm 2)",
+        )
+
+    def attach_consent(self, producer_id: str, registry: ConsentRegistry,
+                       check_contract: bool = True) -> None:
+        """Register a producer's source-level consent registry."""
+        if check_contract:
+            self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        self._consent[producer_id] = registry
+
+    def consent_registry_of(self, producer_id: str) -> ConsentRegistry | None:
+        """The consent registry a producer attached (None if absent)."""
+        return self._consent.get(producer_id)
+
+    def gateway_of(self, producer_id: str) -> LocalCooperationGateway:
+        """The gateway a producer attached (raises if missing)."""
+        try:
+            return self._gateways[producer_id]
+        except KeyError as exc:
+            raise UnknownProducerError(
+                f"producer {producer_id!r} attached no gateway"
+            ) from exc
+
+    def _gateway_proxy(self, producer_id: str) -> _GatewayEndpointProxy:
+        self.gateway_of(producer_id)  # fail fast on unknown producers
+        return _GatewayEndpointProxy(self.endpoints, f"gateway.{producer_id}.getResponse")
+
+    def publish(self, producer_id: str, occurrence: EventOccurrence) -> NotificationMessage | None:
+        """Receive an event from a producer: persist, index, route (§4).
+
+        Returns the distributed notification, or ``None`` when the data
+        subject's consent blocks publication (the event then stays entirely
+        inside the source).
+        """
+        self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        event_class = self.catalog.get(occurrence.event_class.name)
+        if event_class.producer_id != producer_id:
+            raise UnknownProducerError(
+                f"{producer_id!r} cannot publish events of class "
+                f"{event_class.name!r} owned by {event_class.producer_id!r}"
+            )
+        occurrence.validate()
+
+        consent = self._consent.get(producer_id)
+        if consent is not None and not consent.allows_notification(
+            occurrence.subject_id, event_class.name
+        ):
+            self._record(
+                producer_id, AuditAction.PUBLISH, AuditOutcome.DENY,
+                event_type=event_class.name, subject_ref=occurrence.subject_id,
+                detail="data subject opted out of event sharing",
+            )
+            return None
+
+        gateway = self.gateway_of(producer_id)
+        gateway.persist(occurrence)
+
+        event_id = self.ids.next("evt")
+        self.id_map.record(
+            EventIdEntry(
+                event_id=event_id,
+                producer_id=producer_id,
+                src_event_id=occurrence.src_event_id,
+                event_type=event_class.name,
+                subject_ref=occurrence.subject_id,
+                published_at=self.clock.now(),
+            )
+        )
+        notification = NotificationMessage(
+            event_id=event_id,
+            event_type=event_class.name,
+            producer_id=producer_id,
+            occurred_at=occurrence.occurred_at,
+            summary=occurrence.summary,
+            subject_ref=occurrence.subject_id,
+            subject_display=occurrence.subject_name,
+        )
+        self.index.store(notification)
+        self.bus.publish(
+            topic=event_class.topic,
+            sender=producer_id,
+            body=notification.to_xml(),
+            headers={"eventId": event_id, "eventType": event_class.name},
+        )
+        self._record(
+            producer_id, AuditAction.PUBLISH, AuditOutcome.PERMIT,
+            event_id=event_id, event_type=event_class.name,
+            subject_ref=occurrence.subject_id, detail=occurrence.summary,
+        )
+        return notification
+
+    # -- consumer-side operations --------------------------------------------------
+
+    def subscribe(
+        self, consumer_id: str, event_type: str, handler: NotificationHandler,
+        credential=None, roster_scoped: bool = False,
+    ) -> str:
+        """Subscribe a consumer to an event class (policy-gated, §5.2).
+
+        Returns the subscription id.  Without an authorizing policy the
+        subscription is rejected (deny-by-default), a pending access
+        request is queued for the producer, and
+        :class:`~repro.exceptions.AccessDeniedError` is raised.
+
+        With ``roster_scoped=True`` only notifications about subjects on
+        the consumer's patient roster are delivered — the minimal-usage
+        scoping of :mod:`repro.core.roster`.
+        """
+        self.contracts.require_active(consumer_id, self.clock.now(), must_consume=True)
+        actor = self.actors.get(consumer_id)
+        self._authenticate(consumer_id, credential, actor.role)
+        event_class = self.catalog.get(event_type)
+        if not self.policies.has_policy_for(
+            event_class.producer_id, event_type, actor.actor_id, actor.role
+        ):
+            request = PendingAccessRequest(
+                request_id=self.ids.next("par"),
+                consumer_id=consumer_id,
+                consumer_role=actor.role,
+                event_type=event_type,
+                producer_id=event_class.producer_id,
+                requested_at=self.clock.now(),
+            )
+            self.pending_requests.add(request)
+            self._record(
+                consumer_id, AuditAction.SUBSCRIBE, AuditOutcome.DENY,
+                event_type=event_type,
+                detail="no authorizing policy; pending access request queued",
+            )
+            raise AccessDeniedError(
+                f"no policy authorizes {consumer_id!r} for {event_type!r}; "
+                "access request is pending with the producer"
+            )
+
+        def deliver(envelope: Envelope) -> None:
+            notification = NotificationMessage.from_xml(str(envelope.body))
+            if roster_scoped and not self.roster.is_assigned(
+                consumer_id, notification.subject_ref
+            ):
+                return  # not this consumer's patient: silently filtered
+            self._record(
+                consumer_id, AuditAction.NOTIFY, AuditOutcome.PERMIT,
+                event_id=notification.event_id, event_type=notification.event_type,
+                subject_ref=notification.subject_ref,
+            )
+            handler(notification)
+
+        subscription = self.bus.subscribe(consumer_id, event_class.topic, deliver)
+        self._record(
+            consumer_id, AuditAction.SUBSCRIBE, AuditOutcome.PERMIT,
+            event_type=event_type,
+        )
+        return subscription.subscription_id
+
+    def request_details(self, consumer_id: str, request: DetailRequest,
+                        credential=None):
+        """Resolve a request for details through the SOA endpoint + enforcer."""
+        self.contracts.require_active(consumer_id, self.clock.now(), must_consume=True)
+        self._authenticate(consumer_id, credential, request.actor.role)
+        if request.actor.actor_id != consumer_id:
+            raise AccessDeniedError(
+                f"request actor {request.actor.actor_id!r} does not match "
+                f"caller {consumer_id!r}"
+            )
+        return self.endpoints.call("controller.getEventDetails", request)
+
+    def inquire_index(
+        self,
+        consumer_id: str,
+        event_types: list[str],
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[NotificationMessage]:
+        """Events-index inquiry, restricted to authorized classes (§4).
+
+        Classes the consumer is not authorized for are skipped and audited
+        as denials; authorized classes are queried and the identifying
+        slots decrypted.
+        """
+        self.contracts.require_active(consumer_id, self.clock.now(), must_consume=True)
+        return self.endpoints.call(
+            "controller.inquireIndex", (consumer_id, tuple(event_types), since, until)
+        )
+
+    def _inquire_endpoint(self, request) -> list[NotificationMessage]:
+        consumer_id, event_types, since, until = request
+        actor = self.actors.get(consumer_id)
+        authorized: list[str] = []
+        for event_type in event_types:
+            try:
+                producer_id = self.catalog.producer_of(event_type)
+            except UnknownEventClassError:
+                self._record(
+                    consumer_id, AuditAction.INDEX_INQUIRY, AuditOutcome.DENY,
+                    event_type=event_type, detail="unknown event class",
+                )
+                continue
+            if self.policies.has_policy_for(producer_id, event_type, actor.actor_id, actor.role):
+                authorized.append(event_type)
+                self._record(
+                    consumer_id, AuditAction.INDEX_INQUIRY, AuditOutcome.PERMIT,
+                    event_type=event_type,
+                )
+            else:
+                self._record(
+                    consumer_id, AuditAction.INDEX_INQUIRY, AuditOutcome.DENY,
+                    event_type=event_type, detail="no authorizing policy",
+                )
+        results = self.index.inquire(authorized, since=since, until=until)
+        # Minimal usage for inquiries too: a consumer with a patient roster
+        # only sees notifications about its assigned citizens.
+        assigned = self.roster.subjects_of(consumer_id)
+        if assigned:
+            results = [n for n in results if n.subject_ref in assigned]
+        return results
+
+    # -- elicitation ---------------------------------------------------------------
+
+    def elicitation_wizard(self) -> ElicitationWizard:
+        """A fresh Fig. 7 wizard bound to this platform's catalog/repository."""
+        return ElicitationWizard(self.catalog, self.purposes, self.policies, self.ids)
+
+    def policy_tester(self):
+        """A dry-run policy test-bench (§1's testability challenge).
+
+        See :class:`repro.core.policy_testing.PolicyTester`.
+        """
+        from repro.core.policy_testing import PolicyTester
+
+        return PolicyTester(self.catalog, self.policies)
+
+    def record_policy_definition(self, producer_id: str, policy_ids: list[str]) -> None:
+        """Audit that a producer defined policies (called by the wizard flow)."""
+        self._record(
+            producer_id, AuditAction.DEFINE_POLICY, AuditOutcome.PERMIT,
+            detail=f"policies: {', '.join(policy_ids)}",
+        )
+
+    # -- audit ------------------------------------------------------------------------
+
+    def _record(
+        self,
+        actor: str,
+        action: AuditAction,
+        outcome: AuditOutcome,
+        event_id: str | None = None,
+        event_type: str | None = None,
+        subject_ref: str | None = None,
+        purpose: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.audit_log.append(
+            AuditRecord(
+                record_id=self.ids.next("aud"),
+                timestamp=self.clock.now(),
+                actor=actor,
+                action=action,
+                outcome=outcome,
+                event_id=event_id,
+                event_type=event_type,
+                subject_ref=subject_ref,
+                purpose=purpose,
+                detail=detail,
+            )
+        )

@@ -1,0 +1,314 @@
+"""Privacy Requirements Elicitation Tool (Figs. 6 and 7).
+
+The paper's answer to "how to make it simple for all the various data
+sources to define the privacy constraints": a step-by-step wizard that asks
+the data owner only domain questions — which *fields* of which *event
+class*, for which *consumers*, for which *purposes*, optionally until
+*when* — and compiles the answers into enforceable XACML, "without any
+knowledge of XACML" (§6).
+
+Three pieces:
+
+* :class:`ElicitationWizard` — the Fig. 7 definition flow.  Each completed
+  session yields one :class:`~repro.core.policy.PrivacyPolicy` per selected
+  consumer (Def. 2 policies are per-actor) plus the generated XACML text,
+  and records how many *decisions* the author made — the quantity the
+  Fig. 7 benchmark compares against hand-written XACML complexity.
+* :class:`PendingAccessRequest` / the pending queue — "if there is not
+  already a privacy policy defined for that particular data consumer the
+  data producer is notified of the pending access request and it is guided
+  by the Privacy Requirements Elicitation Tool" (§5).
+* :class:`PolicyDashboard` — the Fig. 6 overview: rules per event class,
+  plus a coverage report flagging classes with no policy at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.catalog import EventCatalog
+from repro.core.events import EventClass
+from repro.core.policy import PolicyRepository, PrivacyPolicy
+from repro.core.purposes import PurposeRegistry
+from repro.exceptions import PolicyError
+from repro.ids import IdFactory
+from repro.xacml.serialize import serialize_policy
+
+
+@dataclass(frozen=True)
+class PendingAccessRequest:
+    """A consumer's subscription attempt awaiting a producer decision."""
+
+    request_id: str
+    consumer_id: str
+    consumer_role: str
+    event_type: str
+    producer_id: str
+    requested_at: float
+
+
+@dataclass
+class WizardSession:
+    """State of one in-progress Fig. 7 wizard run."""
+
+    producer_id: str
+    event_class: EventClass
+    selected_fields: list[str] = field(default_factory=list)
+    selected_consumers: list[tuple[str, str]] = field(default_factory=list)  # (id, kind)
+    selected_purposes: list[str] = field(default_factory=list)
+    label: str = ""
+    description: str = ""
+    valid_from: float | None = None
+    valid_until: float | None = None
+    decisions: int = 0  # how many wizard interactions the author performed
+
+
+@dataclass(frozen=True)
+class ElicitationResult:
+    """Outcome of a completed wizard session."""
+
+    policies: tuple[PrivacyPolicy, ...]
+    xacml_documents: tuple[str, ...]
+    decisions: int
+    warnings: tuple[str, ...]
+
+
+class ElicitationWizard:
+    """The step-by-step policy definition flow of Fig. 7.
+
+    Usage mirrors the UI: ``start`` → ``select_fields`` →
+    ``select_consumers`` → ``select_purposes`` → (optional)
+    ``set_label`` / ``set_validity`` → ``save``.  Every selector validates
+    against the catalog/purpose registry so the wizard can only produce
+    enforceable policies — the "no translation step" property the paper
+    claims over raw policy languages (§3).
+    """
+
+    def __init__(
+        self,
+        catalog: EventCatalog,
+        purposes: PurposeRegistry,
+        repository: PolicyRepository,
+        ids: IdFactory,
+    ) -> None:
+        self._catalog = catalog
+        self._purposes = purposes
+        self._repository = repository
+        self._ids = ids
+        self._session: WizardSession | None = None
+
+    # -- Fig. 7 steps ------------------------------------------------------
+
+    def start(self, producer_id: str, event_type: str) -> WizardSession:
+        """Step 0: pick the event class to protect."""
+        event_class = self._catalog.get(event_type)
+        if event_class.producer_id != producer_id:
+            raise PolicyError(
+                f"{producer_id!r} cannot define policies for {event_type!r}, "
+                f"which belongs to {event_class.producer_id!r}"
+            )
+        self._session = WizardSession(producer_id=producer_id, event_class=event_class)
+        self._session.decisions += 1
+        return self._session
+
+    def _require_session(self) -> WizardSession:
+        if self._session is None:
+            raise PolicyError("wizard session not started")
+        return self._session
+
+    def available_fields(self) -> tuple[str, ...]:
+        """The field list the UI shows (left column of Fig. 7)."""
+        return self._require_session().event_class.fields
+
+    def select_fields(self, field_names: list[str]) -> None:
+        """Step 1: choose the releasable fields."""
+        session = self._require_session()
+        for name in field_names:
+            if not session.event_class.schema.has_element(name):
+                raise PolicyError(
+                    f"event class {session.event_class.name!r} has no field {name!r}"
+                )
+        session.selected_fields = list(dict.fromkeys(field_names))
+        session.decisions += 1
+
+    def select_consumers(self, consumers: list[tuple[str, str]]) -> None:
+        """Step 2: choose the consumers (middle column of Fig. 7).
+
+        Each consumer is ``(selector, kind)`` with ``kind`` one of
+        ``"unit"`` (organizational-unit id, hierarchical grant) or
+        ``"role"`` (functional role, as in Fig. 8).
+        """
+        session = self._require_session()
+        for selector, kind in consumers:
+            if kind not in ("unit", "role"):
+                raise PolicyError(f"unknown consumer kind {kind!r}")
+            if not selector:
+                raise PolicyError("empty consumer selector")
+        session.selected_consumers = list(dict.fromkeys(consumers))
+        session.decisions += 1
+
+    def select_purposes(self, purpose_ids: list[str]) -> None:
+        """Step 3: choose the admissible purposes (right column of Fig. 7)."""
+        session = self._require_session()
+        for purpose_id in purpose_ids:
+            self._purposes.require(purpose_id)
+        session.selected_purposes = list(dict.fromkeys(purpose_ids))
+        session.decisions += 1
+
+    def set_label(self, label: str, description: str = "") -> None:
+        """Optional: name and describe the rule."""
+        session = self._require_session()
+        session.label = label
+        session.description = description
+        session.decisions += 1
+
+    def set_validity(self, valid_from: float | None = None, valid_until: float | None = None) -> None:
+        """Optional: bound the rule in time (the 'Valid until' box of Fig. 7)."""
+        session = self._require_session()
+        session.valid_from = valid_from
+        session.valid_until = valid_until
+        session.decisions += 1
+
+    # -- completion -----------------------------------------------------------------
+
+    def preview_warnings(self) -> tuple[str, ...]:
+        """Warnings the UI would surface before saving.
+
+        Flags release of sensitive fields and release of every field — both
+        legal but worth a second look (the minimal-usage principle, §2).
+        """
+        session = self._require_session()
+        warnings: list[str] = []
+        sensitive = set(session.event_class.sensitive_fields)
+        released_sensitive = sorted(sensitive.intersection(session.selected_fields))
+        if released_sensitive:
+            warnings.append(
+                "releases sensitive fields: " + ", ".join(released_sensitive)
+            )
+        if set(session.selected_fields) == set(session.event_class.fields):
+            warnings.append("releases every field of the event class")
+        return tuple(warnings)
+
+    def save(self) -> ElicitationResult:
+        """Finalize: emit one policy per consumer, compiled to XACML, stored.
+
+        Raises :class:`~repro.exceptions.PolicyError` if any step was
+        skipped — the wizard refuses to save partial rules.
+        """
+        session = self._require_session()
+        if not session.selected_fields:
+            raise PolicyError("no fields selected")
+        if not session.selected_consumers:
+            raise PolicyError("no consumers selected")
+        if not session.selected_purposes:
+            raise PolicyError("no purposes selected")
+        warnings = self.preview_warnings()
+        policies: list[PrivacyPolicy] = []
+        documents: list[str] = []
+        for selector, kind in session.selected_consumers:
+            policy = PrivacyPolicy(
+                policy_id=self._ids.next("pol"),
+                producer_id=session.producer_id,
+                event_type=session.event_class.name,
+                fields=frozenset(session.selected_fields),
+                purposes=frozenset(session.selected_purposes),
+                actor_id=selector if kind == "unit" else "",
+                actor_role=selector if kind == "role" else "",
+                label=session.label,
+                description=session.description,
+                valid_from=session.valid_from,
+                valid_until=session.valid_until,
+            )
+            xacml_text = serialize_policy(policy.to_xacml())
+            self._repository.add(policy, xacml_text)
+            policies.append(policy)
+            documents.append(xacml_text)
+        decisions = session.decisions + 1  # +1 for pressing Save
+        self._session = None
+        return ElicitationResult(
+            policies=tuple(policies),
+            xacml_documents=tuple(documents),
+            decisions=decisions,
+            warnings=warnings,
+        )
+
+
+class PendingRequestQueue:
+    """Pending access requests awaiting producer decisions (§5)."""
+
+    def __init__(self) -> None:
+        self._pending: list[PendingAccessRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, request: PendingAccessRequest) -> None:
+        """Queue a pending request (duplicates for the same pair collapse)."""
+        for existing in self._pending:
+            if (
+                existing.consumer_id == request.consumer_id
+                and existing.event_type == request.event_type
+            ):
+                return
+        self._pending.append(request)
+
+    def for_producer(self, producer_id: str) -> list[PendingAccessRequest]:
+        """Requests awaiting one producer's decision."""
+        return [req for req in self._pending if req.producer_id == producer_id]
+
+    def resolve(self, request_id: str) -> PendingAccessRequest:
+        """Remove a handled request and return it."""
+        for index, request in enumerate(self._pending):
+            if request.request_id == request_id:
+                return self._pending.pop(index)
+        raise PolicyError(f"no pending access request {request_id!r}")
+
+
+class PolicyDashboard:
+    """The Fig. 6 dashboard data model: rules per event class + coverage."""
+
+    def __init__(self, catalog: EventCatalog, repository: PolicyRepository) -> None:
+        self._catalog = catalog
+        self._repository = repository
+
+    def rules_by_class(self, producer_id: str) -> dict[str, list[PrivacyPolicy]]:
+        """Active rules per event class for one producer."""
+        listing: dict[str, list[PrivacyPolicy]] = {
+            event_class.name: []
+            for event_class in self._catalog.classes_of(producer_id)
+        }
+        for policy in self._repository.policies_of_producer(producer_id):
+            listing.setdefault(policy.event_type, []).append(policy)
+        return listing
+
+    def uncovered_classes(self, producer_id: str) -> list[str]:
+        """Event classes with *no* active policy — fully locked down.
+
+        Deny-by-default makes these classes inaccessible to everyone; the
+        dashboard flags them so the owner can tell intent from omission.
+        """
+        return [
+            name for name, rules in self.rules_by_class(producer_id).items() if not rules
+        ]
+
+    def render(self, producer_id: str) -> str:
+        """Printable dashboard (the Fig. 6 table, in text)."""
+        listing = self.rules_by_class(producer_id)
+        lines = [f"PRIVACY RULES — {producer_id}", "=" * (16 + len(producer_id))]
+        for event_type, rules in listing.items():
+            lines.append("")
+            lines.append(f"{event_type}  ({len(rules)} rule(s))")
+            if not rules:
+                lines.append("  !! no policy: class is inaccessible (deny-by-default)")
+            for policy in rules:
+                window = ""
+                if policy.valid_until is not None:
+                    window = f"  until t={policy.valid_until:.0f}"
+                effect = "RESTRICTION (deny)" if policy.deny else \
+                    f"fields={sorted(policy.fields)}"
+                lines.append(
+                    f"  [{policy.policy_id}] {policy.actor_selector} "
+                    f"purposes={sorted(policy.purposes)} "
+                    f"{effect}{window}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""The Policy Enforcer — Algorithm 1, ``getEventDetails(R) -> e``.
+
+Fig. 4's pipeline, component by component:
+
+1. The **PEP** receives the authorization request
+   ``R = {a, τ_e, eID, s}`` and, through the **PIP**, resolves the
+   producer-local event id (``src_eID``) plus the producer and event type
+   recorded at publication time;
+2. the **PDP** retrieves and evaluates the matching policy
+   ``⟨A, e_j, S, F⟩`` from the certified repository;
+3. on *permit*, the PEP asks the producer's local cooperation gateway for
+   the allowed part of the details (``getResponse(src_eID, F)``,
+   Algorithm 2) — so unauthorized data never leaves the producer;
+4. every request, permitted or denied, is audited.
+
+The enforcer also honours source-level **consent**: a data subject's detail
+opt-out denies the request before any policy is consulted (consent is the
+stronger constraint — policies grant, consent vetoes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
+from repro.clock import Clock
+from repro.core.actors import Actor
+from repro.core.consent import ConsentRegistry
+from repro.core.gateway import LocalCooperationGateway
+from repro.core.idmap import EventIdMap
+from repro.core.messages import DetailMessage
+from repro.core.policy import DetailRequestSpec, PolicyRepository
+from repro.core.purposes import PurposeRegistry
+from repro.exceptions import (
+    AccessDeniedError,
+    GatewayError,
+    SourceUnavailableError,
+    UnknownEventError,
+)
+from repro.ids import IdFactory
+from repro.xacml.context import (
+    ATTR_ACTION_PURPOSE,
+    ATTR_ENV_TIME,
+    ATTR_RESOURCE_EVENT_ID,
+    ATTR_RESOURCE_EVENT_TYPE,
+    ATTR_RESOURCE_PRODUCER,
+    ATTR_SUBJECT_ID,
+    ATTR_SUBJECT_ORGANIZATION,
+    ATTR_SUBJECT_ROLE,
+    RequestContext,
+)
+from repro.xacml.model import OBLIGATION_AUDIT, OBLIGATION_RELEASE_FIELDS
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.pep import PolicyEnforcementPoint
+from repro.xacml.pip import PolicyInformationPoint
+
+#: Resolves a producer id to its local cooperation gateway (or a remote proxy).
+GatewayResolver = Callable[[str], LocalCooperationGateway]
+#: Resolves a producer id to its consent registry (may return None).
+ConsentResolver = Callable[[str], "ConsentRegistry | None"]
+
+
+@dataclass(frozen=True)
+class DetailRequest:
+    """``R = {a, τ_e, eID, s}`` — the runtime request for details (§5.2)."""
+
+    actor: Actor
+    event_type: str
+    event_id: str
+    purpose: str
+
+    def to_spec(self, requested_at: float) -> DetailRequestSpec:
+        """Project onto the Def. 3 matching shape."""
+        return DetailRequestSpec(
+            actor_id=self.actor.actor_id,
+            event_type=self.event_type,
+            purpose=self.purpose,
+            actor_role=self.actor.role,
+            requested_at=requested_at,
+        )
+
+
+@dataclass
+class EnforcerStats:
+    """Stage counters for the Fig. 4 latency-breakdown benchmark."""
+
+    requests: int = 0
+    permits: int = 0
+    denies: int = 0
+    consent_vetoes: int = 0
+    gateway_failures: int = 0
+
+
+class PolicyEnforcer:
+    """Implements Algorithm 1 over the XACML PEP/PIP/PDP stack."""
+
+    def __init__(
+        self,
+        repository: PolicyRepository,
+        id_map: EventIdMap,
+        purposes: PurposeRegistry,
+        gateway_resolver: GatewayResolver,
+        audit_log: AuditLog,
+        clock: Clock,
+        ids: IdFactory,
+        consent_resolver: ConsentResolver | None = None,
+    ) -> None:
+        self._repository = repository
+        self._id_map = id_map
+        self._purposes = purposes
+        self._resolve_gateway = gateway_resolver
+        self._audit = audit_log
+        self._clock = clock
+        self._ids = ids
+        self._resolve_consent = consent_resolver or (lambda producer_id: None)
+        self._pdp = PolicyDecisionPoint()
+        self._pip = self._build_pip()
+        self._pep = PolicyEnforcementPoint(
+            pdp=self._pdp,
+            pip=self._pip,
+            enrich_attributes=[
+                ATTR_RESOURCE_PRODUCER,
+                ATTR_RESOURCE_EVENT_TYPE,
+                ATTR_ENV_TIME,
+            ],
+        )
+        self._audit_obligations_fired = 0
+        self._pep.on_obligation(OBLIGATION_RELEASE_FIELDS, self._noop_obligation)
+        self._pep.on_obligation(OBLIGATION_AUDIT, self._audit_obligation)
+        self.stats = EnforcerStats()
+
+    # -- PIP wiring -----------------------------------------------------------
+
+    def _build_pip(self) -> PolicyInformationPoint:
+        pip = PolicyInformationPoint()
+
+        def resolve_producer(request: RequestContext) -> tuple[str, ...]:
+            event_id = request.single(ATTR_RESOURCE_EVENT_ID)
+            if event_id is None or event_id not in self._id_map:
+                return ()
+            return (self._id_map.resolve(event_id).producer_id,)
+
+        def resolve_event_type(request: RequestContext) -> tuple[str, ...]:
+            event_id = request.single(ATTR_RESOURCE_EVENT_ID)
+            if event_id is None or event_id not in self._id_map:
+                return ()
+            return (self._id_map.resolve(event_id).event_type,)
+
+        def resolve_time(request: RequestContext) -> tuple[str, ...]:
+            return (f"{self._clock.now():020.6f}",)
+
+        pip.register(ATTR_RESOURCE_PRODUCER, resolve_producer)
+        pip.register(ATTR_RESOURCE_EVENT_TYPE, resolve_event_type)
+        pip.register(ATTR_ENV_TIME, resolve_time)
+        return pip
+
+    # -- obligations --------------------------------------------------------------
+
+    @staticmethod
+    def _noop_obligation(request: RequestContext, outcome: object) -> None:
+        # Field release is discharged by the gateway call below; the handler
+        # exists so the PEP accepts the obligation instead of downgrading.
+        return None
+
+    def _audit_obligation(self, request: RequestContext, outcome: object) -> None:
+        # The actual audit record is written by _record with the full
+        # request context; the obligation only needs to be dischargeable.
+        self._audit_obligations_fired += 1
+
+    # -- Algorithm 1 -----------------------------------------------------------------
+
+    def get_event_details(self, request: DetailRequest) -> DetailMessage:
+        """Resolve an authorization request; returns the privacy-aware event.
+
+        Raises :class:`~repro.exceptions.AccessDeniedError` on deny — the
+        "Access Denied message" of Fig. 4 — and propagates gateway
+        availability failures.  Every outcome is audited.
+        """
+        self.stats.requests += 1
+        now = self._clock.now()
+        try:
+            entry = self._resolve_request_entry(request)
+        except (AccessDeniedError, UnknownEventError) as exc:
+            self._record(request, AuditOutcome.DENY, str(exc), subject_ref=None)
+            self.stats.denies += 1
+            raise AccessDeniedError(str(exc), request) from exc
+
+        # Consent veto (source-level, checked before policy matching).
+        consent = self._resolve_consent(entry.producer_id)
+        if consent is not None and not consent.allows_details(
+            entry.subject_ref, entry.event_type
+        ):
+            self.stats.consent_vetoes += 1
+            self.stats.denies += 1
+            reason = "data subject opted out of detail disclosure"
+            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
+            raise AccessDeniedError(reason, request)
+
+        # Steps 2-3: matching policy retrieval + PDP evaluation.
+        policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
+        context = self._build_context(request)
+        response = self._pep.authorize(policy_set, context)
+        if not response.permitted:
+            self.stats.denies += 1
+            reason = response.status_message or "no matching policy (deny-by-default)"
+            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
+            raise AccessDeniedError(reason, request)
+
+        allowed_fields = self._released_fields(response.obligations)
+        if not allowed_fields:
+            self.stats.denies += 1
+            reason = "matching policy releases no fields"
+            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
+            raise AccessDeniedError(reason, request)
+
+        # Step 4: ask the producer for the allowed part of the details.
+        gateway = self._resolve_gateway(entry.producer_id)
+        try:
+            detail = gateway.get_response(
+                entry.src_event_id, allowed_fields, event_id=request.event_id
+            )
+        except (GatewayError, SourceUnavailableError) as exc:
+            self.stats.gateway_failures += 1
+            self._record(request, AuditOutcome.ERROR, str(exc), entry.subject_ref)
+            raise
+        self.stats.permits += 1
+        self._record(
+            request,
+            AuditOutcome.PERMIT,
+            f"released fields: {', '.join(sorted(allowed_fields))}",
+            entry.subject_ref,
+        )
+        return detail
+
+    def decide(self, request: DetailRequest) -> bool:
+        """Policy decision only (no gateway call, no exception on deny).
+
+        Used by benchmarks to time the decision path in isolation and by
+        the controller's subscription gating.
+        """
+        try:
+            entry = self._resolve_request_entry(request)
+        except (AccessDeniedError, UnknownEventError):
+            return False
+        policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
+        response = self._pep.authorize(policy_set, self._build_context(request))
+        return response.permitted
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _resolve_request_entry(self, request: DetailRequest):
+        if request.purpose not in self._purposes:
+            raise AccessDeniedError(f"unknown purpose {request.purpose!r}", request)
+        entry = self._id_map.resolve(request.event_id)  # step 1 (PIP mapping)
+        if entry.event_type != request.event_type:
+            raise AccessDeniedError(
+                f"request claims type {request.event_type!r} but event "
+                f"{request.event_id!r} is a {entry.event_type!r}",
+                request,
+            )
+        return entry
+
+    def _build_context(self, request: DetailRequest) -> RequestContext:
+        attributes: dict[str, tuple[str, ...]] = {
+            ATTR_SUBJECT_ID: (request.actor.actor_id,),
+            ATTR_SUBJECT_ORGANIZATION: (request.actor.organization,),
+            ATTR_RESOURCE_EVENT_TYPE: (request.event_type,),
+            ATTR_RESOURCE_EVENT_ID: (request.event_id,),
+            ATTR_ACTION_PURPOSE: (request.purpose,),
+        }
+        if request.actor.role:
+            attributes[ATTR_SUBJECT_ROLE] = (request.actor.role,)
+        return RequestContext(attributes)
+
+    @staticmethod
+    def _released_fields(obligations) -> frozenset[str]:
+        fields: set[str] = set()
+        for outcome in obligations:
+            if outcome.obligation_id == OBLIGATION_RELEASE_FIELDS:
+                fields.update(outcome.assignment("field"))
+        return frozenset(fields)
+
+    def _record(
+        self,
+        request: DetailRequest,
+        outcome: AuditOutcome,
+        detail: str,
+        subject_ref: str | None,
+    ) -> None:
+        self._audit.append(
+            AuditRecord(
+                record_id=self._ids.next("aud"),
+                timestamp=self._clock.now(),
+                actor=request.actor.actor_id,
+                action=AuditAction.DETAIL_REQUEST,
+                outcome=outcome,
+                event_id=request.event_id,
+                event_type=request.event_type,
+                subject_ref=subject_ref,
+                purpose=request.purpose,
+                detail=detail,
+            )
+        )
+
+    @property
+    def pdp_stats(self):
+        """The underlying PDP's evaluation counters."""
+        return self._pdp.stats

@@ -1,0 +1,184 @@
+"""The events index — the central notification store (§4).
+
+"The central rooting node of the CSS platform is represented by the data
+controller that maintains an index of the events (events index, implemented
+according to the ebXML standard) as it stores all the notification messages
+published by the producers ... The identifying information of the person
+specified in the notification is stored in encrypted form to comply with
+the privacy regulations."
+
+Each notification becomes a registry object classified by event class and
+producer, with the *identifying* slots (subject reference and display name)
+sealed with the controller's index key.  Inquiry decrypts only for callers
+the controller has already authorized — the index itself never hands out
+plaintext identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import NotificationMessage
+from repro.crypto.keystore import KeyStore
+from repro.exceptions import UnknownEventError
+from repro.registry.objects import RegistryObject
+from repro.registry.query import FilterQuery
+from repro.registry.registry import Registry
+
+#: Registry object type of index entries.
+OBJECT_TYPE = "Notification"
+#: Classification schemes used by the index.
+SCHEME_EVENT_CLASS = "EventClass"
+SCHEME_PRODUCER = "Producer"
+#: Name of the keystore key sealing identifying slots.
+INDEX_KEY = "index-identity"
+
+
+@dataclass
+class IndexStats:
+    """Instrumentation for the encryption ablation (A2)."""
+
+    stored: int = 0
+    inquiries: int = 0
+    seal_operations: int = 0
+    open_operations: int = 0
+
+
+class EventsIndex:
+    """ebXML-backed notification index with sealed identifying fields.
+
+    ``encrypt_identity=False`` exists only for ablation A2 (measuring the
+    cost of the paper's encrypted-index requirement); production use keeps
+    it on.
+    """
+
+    def __init__(self, keystore: KeyStore, encrypt_identity: bool = True) -> None:
+        self._registry = Registry()
+        self._keystore = keystore
+        self._keystore.create(INDEX_KEY)
+        self.encrypt_identity = encrypt_identity
+        self.stats = IndexStats()
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, event_id: str) -> bool:
+        return event_id in self._registry
+
+    @property
+    def registry(self) -> Registry:
+        """The underlying ebXML-style registry (read-mostly)."""
+        return self._registry
+
+    @property
+    def sequence(self) -> int:
+        """The nonce sequence counter (archived to avoid nonce reuse)."""
+        return self._sequence
+
+    def restore_sequence(self, value: int) -> None:
+        """Fast-forward the nonce counter after an archive restore."""
+        if value < self._sequence:
+            raise UnknownEventError("cannot rewind the index nonce sequence")
+        self._sequence = value
+
+    def restore_raw(self, obj: RegistryObject) -> None:
+        """Re-insert an archived registry object, slots kept as stored.
+
+        Identity slots arrive still sealed (the archive never holds
+        plaintext identities), so this bypasses :meth:`store`'s sealing.
+        """
+        self._registry.submit(obj)
+        self._registry.approve(obj.object_id)
+        self.stats.stored += 1
+
+    # -- storage ------------------------------------------------------------
+
+    def store(self, notification: NotificationMessage) -> RegistryObject:
+        """Index a published notification and return its registry object."""
+        obj = RegistryObject(
+            object_id=notification.event_id,
+            object_type=OBJECT_TYPE,
+            name=notification.summary,
+            description=notification.summary,
+        )
+        obj.classify(SCHEME_EVENT_CLASS, notification.event_type)
+        obj.classify(SCHEME_PRODUCER, notification.producer_id)
+        obj.set_slot("occurredAt", f"{notification.occurred_at:020.6f}")
+        obj.set_slot("producerId", notification.producer_id)
+        obj.set_slot("subjectRef", self._seal(notification.subject_ref))
+        if notification.subject_display:
+            obj.set_slot("subjectDisplay", self._seal(notification.subject_display))
+        self._registry.submit(obj)
+        self._registry.approve(notification.event_id)
+        self.stats.stored += 1
+        return obj
+
+    def _seal(self, value: str) -> str:
+        if not self.encrypt_identity:
+            return value
+        self._sequence += 1
+        self.stats.seal_operations += 1
+        return self._keystore.seal(INDEX_KEY, value, self._sequence)
+
+    def _open(self, token: str) -> str:
+        if not self.encrypt_identity:
+            return token
+        self.stats.open_operations += 1
+        return self._keystore.open_(INDEX_KEY, token)
+
+    # -- retrieval ------------------------------------------------------------
+
+    def get(self, event_id: str) -> NotificationMessage:
+        """Rebuild the notification stored under ``event_id``."""
+        if event_id not in self._registry:
+            raise UnknownEventError(f"no notification indexed under {event_id!r}")
+        return self._to_notification(self._registry.get(event_id))
+
+    def _to_notification(self, obj: RegistryObject) -> NotificationMessage:
+        display_token = obj.slot_value("subjectDisplay")
+        return NotificationMessage(
+            event_id=obj.object_id,
+            event_type=obj.classification_node(SCHEME_EVENT_CLASS) or "",
+            producer_id=obj.slot_value("producerId") or "",
+            occurred_at=float(obj.slot_value("occurredAt") or 0.0),
+            summary=obj.name,
+            subject_ref=self._open(obj.slot_value("subjectRef") or ""),
+            subject_display=self._open(display_token) if display_token else "",
+        )
+
+    # -- inquiry -------------------------------------------------------------------
+
+    def inquire(
+        self,
+        event_types: list[str],
+        since: float | None = None,
+        until: float | None = None,
+        producer_id: str | None = None,
+    ) -> list[NotificationMessage]:
+        """Query notifications of the authorized ``event_types``.
+
+        Authorization (which classes the caller may see) is the data
+        controller's job; the index evaluates the filter over each
+        authorized class and decrypts the identity slots of the results.
+        """
+        self.stats.inquiries += 1
+        results: list[NotificationMessage] = []
+        for event_type in dict.fromkeys(event_types):  # dedupe, keep order
+            query = FilterQuery(object_type=OBJECT_TYPE).where(
+                f"class:{SCHEME_EVENT_CLASS}", "eq", event_type
+            )
+            if since is not None:
+                query.where("slot:occurredAt", "ge", f"{since:020.6f}")
+            if until is not None:
+                query.where("slot:occurredAt", "le", f"{until:020.6f}")
+            if producer_id is not None:
+                query.where(f"class:{SCHEME_PRODUCER}", "eq", producer_id)
+            for obj in self._registry.query(query):
+                results.append(self._to_notification(obj))
+        results.sort(key=lambda n: (n.occurred_at, n.event_id))
+        return results
+
+    def count_for_type(self, event_type: str) -> int:
+        """Number of indexed notifications of one class."""
+        return len(self._registry.by_classification(SCHEME_EVENT_CLASS, event_type))

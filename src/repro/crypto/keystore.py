@@ -1,0 +1,75 @@
+"""Named key management with rotation.
+
+The data controller holds one key per purpose ("index-identity", per-producer
+channel keys, audit MAC key).  Keys can be rotated; old versions remain
+readable so sealed tokens created before a rotation still open.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cipher import SealedBox, derive_key
+from repro.exceptions import KeyNotFoundError, TokenError
+
+
+class KeyStore:
+    """Versioned named keys, each exposing a :class:`SealedBox`.
+
+    Tokens are prefixed with the key version (``v1:...``) so :meth:`open_`
+    can pick the right box even after rotations.
+    """
+
+    def __init__(self, master_secret: str) -> None:
+        if not master_secret:
+            raise KeyNotFoundError("master secret must be non-empty")
+        self._master = master_secret
+        self._versions: dict[str, int] = {}
+        self._boxes: dict[tuple[str, int], SealedBox] = {}
+
+    def create(self, name: str) -> None:
+        """Create key ``name`` at version 1 (no-op if it already exists)."""
+        if name in self._versions:
+            return
+        self._versions[name] = 1
+        self._boxes[(name, 1)] = self._make_box(name, 1)
+
+    def _make_box(self, name: str, version: int) -> SealedBox:
+        subkey = derive_key(self._master, f"key:{name}:v{version}")
+        return SealedBox(subkey)
+
+    def rotate(self, name: str) -> int:
+        """Advance ``name`` to the next version and return it."""
+        version = self._current_version(name) + 1
+        self._versions[name] = version
+        self._boxes[(name, version)] = self._make_box(name, version)
+        return version
+
+    def _current_version(self, name: str) -> int:
+        try:
+            return self._versions[name]
+        except KeyError as exc:
+            raise KeyNotFoundError(f"no key named {name!r}") from exc
+
+    def current_version(self, name: str) -> int:
+        """Current version number of key ``name``."""
+        return self._current_version(name)
+
+    def seal(self, name: str, plaintext: str, sequence: int) -> str:
+        """Seal ``plaintext`` under the current version of key ``name``."""
+        version = self._current_version(name)
+        token = self._boxes[(name, version)].seal(plaintext, sequence)
+        return f"v{version}:{token}"
+
+    def open_(self, name: str, token: str) -> str:
+        """Open a token, resolving the key version from its prefix."""
+        self._current_version(name)  # raises if the key does not exist
+        prefix, _, body = token.partition(":")
+        if not body or not prefix.startswith("v"):
+            raise TokenError("token missing version prefix")
+        try:
+            version = int(prefix[1:])
+        except ValueError as exc:
+            raise TokenError(f"bad token version prefix {prefix!r}") from exc
+        box = self._boxes.get((name, version))
+        if box is None:
+            raise TokenError(f"token sealed under unknown version {version} of key {name!r}")
+        return box.open(body)

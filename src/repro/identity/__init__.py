@@ -1,0 +1,35 @@
+"""Identity management extension (the paper's explicit future work).
+
+§5: "we plan to include as future extension of the infrastructure identity
+management mechanisms ... for the identification of the specific users
+accessing the information, to validate their credentials and roles and to
+manage changes and revocation of authorizations".
+
+The base platform assumes trusted parties: consumers self-declare their
+functional role at join time, which a malicious party could abuse to
+capture role-based grants (e.g. claim ``family-doctor`` and receive
+Fig. 8-style policies).  This subpackage closes that hole:
+
+* :mod:`~repro.identity.credentials` — HMAC-signed role credentials with
+  expiry, issued by a :class:`~repro.identity.credentials.CredentialAuthority`
+  and revocable;
+* :mod:`~repro.identity.provider` — the
+  :class:`~repro.identity.provider.LocalIdentityProvider` the data
+  controller consults to authenticate actors and validate their role
+  assertions.
+
+Attach a provider with
+:meth:`repro.core.controller.DataController.attach_identity_provider`;
+from then on ``join`` requires a credential whose subject and role match
+the joining actor, and detail requests must present a live credential.
+"""
+
+from repro.identity.credentials import CredentialAuthority, RoleCredential
+from repro.identity.provider import AuthContext, LocalIdentityProvider
+
+__all__ = [
+    "AuthContext",
+    "CredentialAuthority",
+    "LocalIdentityProvider",
+    "RoleCredential",
+]

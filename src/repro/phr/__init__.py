@@ -1,0 +1,22 @@
+"""Personalized Health Record (PHR) extension.
+
+§7 of the paper: "The system can be used also directly by the citizens to
+specify and control their consent on data exchanges.  This possibility
+will acquire more importance considering that the CSS is the backbone for
+the implementation of a Personalized Health Records (PHR) in Trentino."
+
+:class:`~repro.phr.record.PersonalHealthRecord` is that citizen-facing
+surface, built entirely on the platform's existing primitives:
+
+* a **timeline** of the citizen's own events, assembled from the events
+  index (the citizen is the data subject, so her identity decrypts for
+  her);
+* **consent management** — opt in/out per producer and event class,
+  delegated to the producers' source-level consent registries;
+* the **access report** — who accessed my data, when, and for which
+  purpose — backed by the tamper-evident audit chain.
+"""
+
+from repro.phr.record import PersonalHealthRecord, TimelineEntry
+
+__all__ = ["PersonalHealthRecord", "TimelineEntry"]

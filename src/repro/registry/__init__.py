@@ -1,0 +1,30 @@
+"""ebXML-style registry substrate.
+
+The CSS events index is "implemented according to the ebXML standard" (paper
+§4): notification metadata is stored as registry objects that consumers can
+inquire.  This subpackage implements the slice of OASIS ebRIM/ebRS the
+platform needs:
+
+* :mod:`~repro.registry.objects` — registry objects with classifications,
+  slots (named attribute lists) and associations;
+* :mod:`~repro.registry.registry` — the registry itself: submit, approve,
+  deprecate, remove lifecycle plus indexed retrieval;
+* :mod:`~repro.registry.query` — an ad-hoc filter-query engine mirroring the
+  ebRS ``AdhocQueryRequest`` (conjunctions of slot/classification/attribute
+  predicates).
+"""
+
+from repro.registry.objects import Association, Classification, LifecycleStatus, RegistryObject, Slot
+from repro.registry.query import FilterQuery, Predicate
+from repro.registry.registry import Registry
+
+__all__ = [
+    "Association",
+    "Classification",
+    "FilterQuery",
+    "LifecycleStatus",
+    "Predicate",
+    "Registry",
+    "RegistryObject",
+    "Slot",
+]

@@ -1,0 +1,106 @@
+"""Ad-hoc filter queries over the registry (ebRS ``AdhocQuery`` subset).
+
+A :class:`FilterQuery` is a conjunction of predicates over an object's
+attributes, classifications and slots, optionally restricted to an object
+type.  Supported operators cover what the events-index inquiries need:
+equality, inequality, membership, prefix, and numeric/lexicographic ranges
+over slot values (timestamps are ISO strings, so lexicographic range ==
+chronological range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import QueryError
+from repro.registry.objects import RegistryObject
+
+#: Operators supported by :class:`Predicate`.
+_OPERATORS: dict[str, Callable[[str, str], bool]] = {
+    "eq": lambda actual, wanted: actual == wanted,
+    "ne": lambda actual, wanted: actual != wanted,
+    "prefix": lambda actual, wanted: actual.startswith(wanted),
+    "contains": lambda actual, wanted: wanted in actual,
+    "lt": lambda actual, wanted: actual < wanted,
+    "le": lambda actual, wanted: actual <= wanted,
+    "gt": lambda actual, wanted: actual > wanted,
+    "ge": lambda actual, wanted: actual >= wanted,
+}
+
+#: Places a predicate can look.
+_FIELDS = {"name", "description", "status", "object_type"}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One condition of a filter query.
+
+    ``selector`` is either a built-in attribute name (``name``,
+    ``description``, ``status``, ``object_type``), ``class:<scheme>`` for a
+    classification node, or ``slot:<slot name>`` for slot values.  A slot
+    predicate matches if *any* of the slot's values satisfies the operator.
+    """
+
+    selector: str
+    operator: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise QueryError(f"unknown operator {self.operator!r}")
+        if not (
+            self.selector in _FIELDS
+            or self.selector.startswith("class:")
+            or self.selector.startswith("slot:")
+        ):
+            raise QueryError(f"unknown selector {self.selector!r}")
+
+    def matches(self, obj: RegistryObject) -> bool:
+        """Whether ``obj`` satisfies this predicate."""
+        op = _OPERATORS[self.operator]
+        if self.selector in _FIELDS:
+            actual = getattr(obj, self.selector)
+            if self.selector == "status":
+                actual = actual.value
+            return op(actual, self.value)
+        if self.selector.startswith("class:"):
+            scheme = self.selector[len("class:"):]
+            node = obj.classification_node(scheme)
+            return node is not None and op(node, self.value)
+        slot_name = self.selector[len("slot:"):]
+        return any(op(value, self.value) for value in obj.slot_values(slot_name))
+
+
+class FilterQuery:
+    """A conjunction of predicates, built fluently::
+
+        query = (FilterQuery(object_type="Notification")
+                 .where("class:EventClass", "eq", "BloodTest")
+                 .where("slot:occurredAt", "ge", "2010-03-01"))
+    """
+
+    def __init__(self, object_type: str | None = None) -> None:
+        self._object_type = object_type
+        self._predicates: list[Predicate] = []
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        """The conjunction's predicates."""
+        return tuple(self._predicates)
+
+    @property
+    def object_type(self) -> str | None:
+        """Optional object-type restriction."""
+        return self._object_type
+
+    def where(self, selector: str, operator: str, value: str) -> "FilterQuery":
+        """Append a predicate and return ``self`` for chaining."""
+        self._predicates.append(Predicate(selector, operator, value))
+        return self
+
+    def matches(self, obj: RegistryObject) -> bool:
+        """Whether ``obj`` satisfies the type restriction and every predicate."""
+        if self._object_type is not None and obj.object_type != self._object_type:
+            return False
+        return all(predicate.matches(obj) for predicate in self._predicates)

@@ -1,0 +1,139 @@
+"""The registry service (ebRS subset).
+
+Stores :class:`~repro.registry.objects.RegistryObject` instances with a
+submit/approve/deprecate/withdraw lifecycle, keeps secondary indexes on
+object type and classifications for fast inquiry, and evaluates
+:class:`~repro.registry.query.FilterQuery` requests.  The events index
+(:mod:`repro.core.index`) is built on top of this service.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+from repro.exceptions import DuplicateObjectError, ObjectNotFoundError
+from repro.registry.objects import Association, LifecycleStatus, RegistryObject
+from repro.registry.query import FilterQuery
+
+
+class Registry:
+    """An in-memory ebXML-style registry with secondary indexes."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, RegistryObject] = {}
+        self._by_type: dict[str, list[str]] = defaultdict(list)
+        self._by_classification: dict[tuple[str, str], list[str]] = defaultdict(list)
+        self._associations: list[Association] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    def submit(self, obj: RegistryObject) -> None:
+        """Store a new object in ``SUBMITTED`` state.
+
+        Raises :class:`~repro.exceptions.DuplicateObjectError` if the id is
+        already stored.
+        """
+        if obj.object_id in self._objects:
+            raise DuplicateObjectError(f"object {obj.object_id!r} already in registry")
+        self._objects[obj.object_id] = obj
+        self._by_type[obj.object_type].append(obj.object_id)
+        for classification in obj.classifications:
+            key = (classification.scheme, classification.node)
+            self._by_classification[key].append(obj.object_id)
+
+    def approve(self, object_id: str) -> None:
+        """Move an object to ``APPROVED`` (visible to inquiries by default)."""
+        self.get(object_id).status = LifecycleStatus.APPROVED
+
+    def deprecate(self, object_id: str) -> None:
+        """Move an object to ``DEPRECATED`` (kept but flagged)."""
+        self.get(object_id).status = LifecycleStatus.DEPRECATED
+
+    def withdraw(self, object_id: str) -> None:
+        """Move an object to ``WITHDRAWN`` (hidden from default inquiries)."""
+        self.get(object_id).status = LifecycleStatus.WITHDRAWN
+
+    # -- retrieval ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def get(self, object_id: str) -> RegistryObject:
+        """Fetch an object by id.
+
+        Raises :class:`~repro.exceptions.ObjectNotFoundError` if absent.
+        """
+        try:
+            return self._objects[object_id]
+        except KeyError as exc:
+            raise ObjectNotFoundError(f"no registry object {object_id!r}") from exc
+
+    def by_type(self, object_type: str) -> list[RegistryObject]:
+        """All objects of ``object_type`` in submission order."""
+        return [self._objects[oid] for oid in self._by_type.get(object_type, [])]
+
+    def by_classification(self, scheme: str, node: str) -> list[RegistryObject]:
+        """All objects classified under ``scheme``/``node``."""
+        return [self._objects[oid] for oid in self._by_classification.get((scheme, node), [])]
+
+    def all_objects(self) -> Iterator[RegistryObject]:
+        """Iterate over every stored object."""
+        return iter(self._objects.values())
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, filter_query: FilterQuery, include_withdrawn: bool = False) -> list[RegistryObject]:
+        """Evaluate a filter query.
+
+        Uses the classification index as an access path when the query pins
+        a classification with an equality predicate; falls back to a type
+        scan, then a full scan.  Withdrawn objects are excluded unless
+        requested.
+        """
+        candidates = self._candidates(filter_query)
+        results = []
+        for obj in candidates:
+            if not include_withdrawn and obj.status is LifecycleStatus.WITHDRAWN:
+                continue
+            if filter_query.matches(obj):
+                results.append(obj)
+        return results
+
+    def _candidates(self, filter_query: FilterQuery) -> Iterator[RegistryObject]:
+        for predicate in filter_query.predicates:
+            if predicate.selector.startswith("class:") and predicate.operator == "eq":
+                scheme = predicate.selector[len("class:"):]
+                return iter(self.by_classification(scheme, predicate.value))
+        if filter_query.object_type is not None:
+            return iter(self.by_type(filter_query.object_type))
+        return self.all_objects()
+
+    # -- associations --------------------------------------------------------------
+
+    def associate(self, association: Association) -> None:
+        """Record a typed link between two stored objects."""
+        self.get(association.source_id)
+        self.get(association.target_id)
+        self._associations.append(association)
+
+    def associations_from(self, source_id: str, association_type: str | None = None) -> list[Association]:
+        """Associations whose source is ``source_id`` (optionally typed)."""
+        return [
+            assoc
+            for assoc in self._associations
+            if assoc.source_id == source_id
+            and (association_type is None or assoc.association_type == association_type)
+        ]
+
+    def associations_to(self, target_id: str, association_type: str | None = None) -> list[Association]:
+        """Associations whose target is ``target_id`` (optionally typed)."""
+        return [
+            assoc
+            for assoc in self._associations
+            if assoc.target_id == target_id
+            and (association_type is None or assoc.association_type == association_type)
+        ]

@@ -1,0 +1,44 @@
+"""Simulation substrate: the synthetic Trentino deployment.
+
+The paper validated CSS "with sample data given by the data providers" from
+a real deployment (hospitals, municipalities, telecare companies in the
+Trentino region).  That data is unavailable, so this subpackage generates
+the closest synthetic equivalent (DESIGN.md §6): a seeded population of
+patients, a cast of socio-health organizations, realistic event-class
+templates (blood tests, home-care visits, autonomy assessments, telecare
+alarms, ...), and reproducible event workloads that exercise every code
+path of the platform.
+
+* :mod:`~repro.sim.domain` — patients and organization descriptors;
+* :mod:`~repro.sim.generators` — population, templates, workloads;
+* :mod:`~repro.sim.metrics` — disclosure/exposure accounting;
+* :mod:`~repro.sim.scenario` — the end-to-end CSS scenario runner used by
+  examples and benchmarks.
+"""
+
+from repro.sim.domain import ORGANIZATIONS, OrganizationSpec, Patient
+from repro.sim.generators import (
+    EventTemplate,
+    SyntheticPopulation,
+    WorkloadGenerator,
+    WorkloadItem,
+    standard_event_templates,
+)
+from repro.sim.metrics import DisclosureLedger, ExposureSummary
+from repro.sim.scenario import CssScenario, ScenarioConfig, ScenarioReport
+
+__all__ = [
+    "CssScenario",
+    "DisclosureLedger",
+    "EventTemplate",
+    "ExposureSummary",
+    "ORGANIZATIONS",
+    "OrganizationSpec",
+    "Patient",
+    "ScenarioConfig",
+    "ScenarioReport",
+    "SyntheticPopulation",
+    "WorkloadGenerator",
+    "WorkloadItem",
+    "standard_event_templates",
+]

@@ -1,0 +1,501 @@
+"""Synthetic population, event-class templates, and workload generation.
+
+Everything is driven by a caller-supplied seed so simulations, tests and
+benchmarks are exactly reproducible.  The event templates model the
+socio-health event classes the paper's scenario names (§2, §4): clinical
+exams, home-care services, autonomy assessments for the elderly, telecare
+alarms, and administrative discharges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.sim.domain import (
+    FAMILY_NAMES,
+    GIVEN_NAMES,
+    MUNICIPALITIES,
+    Patient,
+)
+from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
+from repro.xmlmsg.types import DecimalType, EnumerationType, IntegerType, StringType
+
+#: Builds the detail payload of one occurrence: (rng, patient) -> fields.
+DetailBuilder = Callable[[random.Random, Patient], dict[str, object]]
+
+
+@dataclass(frozen=True)
+class EventTemplate:
+    """A reusable event-class blueprint.
+
+    ``needed_fields`` maps a consumer *role* to the fields that role
+    actually needs (the minimal-usage yardstick, §2): the CSS scenario
+    grants exactly these, while the baselines disclose everything — the
+    difference is the overexposure the benchmarks measure.
+    """
+
+    name: str
+    category: str
+    summary_format: str
+    schema_factory: Callable[[], MessageSchema]
+    detail_builder: DetailBuilder
+    needed_fields: dict[str, tuple[str, ...]]
+
+    def build_schema(self) -> MessageSchema:
+        """A fresh schema instance (schemas hold mutable element lists)."""
+        return self.schema_factory()
+
+    def build_details(self, rng: random.Random, patient: Patient) -> dict[str, object]:
+        """Generate one occurrence's detail payload."""
+        return self.detail_builder(rng, patient)
+
+    def summary_for(self, patient: Patient) -> str:
+        """The notification's *what* line."""
+        return self.summary_format.format(name=patient.name)
+
+
+def _identity_fields() -> list[ElementDecl]:
+    return [
+        ElementDecl("PatientId", StringType(min_length=1), identifying=True),
+        ElementDecl("Name", StringType(min_length=1), identifying=True),
+        ElementDecl("Surname", StringType(min_length=1), identifying=True),
+    ]
+
+
+def _split_name(patient: Patient) -> tuple[str, str]:
+    given, _, family = patient.name.partition(" ")
+    return given, family or "Unknown"
+
+
+def _identity_values(patient: Patient) -> dict[str, object]:
+    given, family = _split_name(patient)
+    return {"PatientId": patient.patient_id, "Name": given, "Surname": family}
+
+
+# ---------------------------------------------------------------------------
+# Template definitions
+# ---------------------------------------------------------------------------
+
+
+def _blood_test_schema() -> MessageSchema:
+    return MessageSchema(
+        "BloodTest",
+        _identity_fields()
+        + [
+            ElementDecl("Hemoglobin", DecimalType(0, 30), sensitive=True),
+            ElementDecl("Glucose", DecimalType(0, 500), sensitive=True),
+            ElementDecl("Cholesterol", DecimalType(0, 500), sensitive=True),
+            ElementDecl(
+                "HivResult",
+                EnumerationType(["negative", "positive", "inconclusive"]),
+                occurs=Occurs.OPTIONAL,
+                sensitive=True,
+                documentation="Must be obfuscated for most consumers (paper §5).",
+            ),
+        ],
+        documentation="Completion of a blood test at a laboratory.",
+    )
+
+
+def _blood_test_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        Hemoglobin=round(rng.uniform(9.0, 18.0), 1),
+        Glucose=round(rng.uniform(60.0, 220.0), 1),
+        Cholesterol=round(rng.uniform(120.0, 320.0), 1),
+        HivResult=rng.choices(
+            ["negative", "positive", "inconclusive"], weights=[96, 2, 2]
+        )[0],
+    )
+    return values
+
+
+def _home_care_schema() -> MessageSchema:
+    return MessageSchema(
+        "HomeCareServiceEvent",
+        _identity_fields()
+        + [
+            ElementDecl("ServiceType", EnumerationType(
+                ["nursing", "cleaning", "meal-delivery", "physiotherapy"]
+            )),
+            ElementDecl("OperatorId", StringType(min_length=1)),
+            ElementDecl("DurationMinutes", IntegerType(5, 480)),
+            ElementDecl("CareNotes", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+            ElementDecl("CostEuro", DecimalType(0, 1000)),
+        ],
+        documentation="A home-care service delivered at the patient's home.",
+    )
+
+
+def _home_care_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        ServiceType=rng.choice(["nursing", "cleaning", "meal-delivery", "physiotherapy"]),
+        OperatorId=f"op-{rng.randint(1, 40):03d}",
+        DurationMinutes=rng.randint(15, 180),
+        CareNotes=rng.choice([
+            "patient stable", "reduced mobility observed",
+            "medication adherence issue", "family support present",
+        ]),
+        CostEuro=round(rng.uniform(15.0, 120.0), 2),
+    )
+    return values
+
+
+def _autonomy_schema() -> MessageSchema:
+    return MessageSchema(
+        "AutonomyAssessment",
+        _identity_fields()
+        + [
+            ElementDecl("Age", IntegerType(0, 120)),
+            ElementDecl("Sex", EnumerationType(["F", "M"])),
+            ElementDecl("AutonomyScore", IntegerType(0, 100), sensitive=True),
+            ElementDecl("CognitiveScore", IntegerType(0, 100), sensitive=True),
+            ElementDecl("AssessorNotes", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+        ],
+        documentation="Autonomy test for elderly-care planning (§5.1's example).",
+    )
+
+
+def _autonomy_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        Age=patient.age_at(),
+        Sex=rng.choice(["F", "M"]),
+        AutonomyScore=rng.randint(10, 100),
+        CognitiveScore=rng.randint(20, 100),
+        AssessorNotes=rng.choice([
+            "needs daily assistance", "partially autonomous",
+            "fully autonomous", "requires cognitive follow-up",
+        ]),
+    )
+    return values
+
+
+def _telecare_schema() -> MessageSchema:
+    return MessageSchema(
+        "TelecareAlarm",
+        _identity_fields()
+        + [
+            ElementDecl("AlarmType", EnumerationType(
+                ["fall", "panic-button", "inactivity", "device-failure"]
+            )),
+            ElementDecl("Severity", IntegerType(1, 5)),
+            ElementDecl("ResponseMinutes", IntegerType(0, 240)),
+            ElementDecl("HealthContext", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+        ],
+        documentation="An alarm raised by the telecare monitoring service.",
+    )
+
+
+def _telecare_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        AlarmType=rng.choice(["fall", "panic-button", "inactivity", "device-failure"]),
+        Severity=rng.randint(1, 5),
+        ResponseMinutes=rng.randint(2, 90),
+        HealthContext=rng.choice([
+            "known cardiac condition", "diabetic", "recent surgery", "none recorded",
+        ]),
+    )
+    return values
+
+
+def _discharge_schema() -> MessageSchema:
+    return MessageSchema(
+        "HospitalDischarge",
+        _identity_fields()
+        + [
+            ElementDecl("Ward", StringType(min_length=1)),
+            ElementDecl("LengthOfStayDays", IntegerType(0, 365)),
+            ElementDecl("DiagnosisCode", StringType(pattern=r"[A-Z][0-9]{2}\.[0-9]"),
+                        sensitive=True),
+            ElementDecl("FollowUpPlan", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+            ElementDecl("CostEuro", DecimalType(0, 100000)),
+        ],
+        documentation="Hospital discharge closing an inpatient episode.",
+    )
+
+
+def _discharge_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        Ward=rng.choice(["Medicine", "Surgery", "Geriatrics", "Orthopedics"]),
+        LengthOfStayDays=rng.randint(1, 30),
+        DiagnosisCode=f"{rng.choice('ABCDEFGHIJ')}{rng.randint(10, 99)}.{rng.randint(0, 9)}",
+        FollowUpPlan=rng.choice([
+            "home care activation", "ambulatory follow-up",
+            "rehabilitation program", "no follow-up needed",
+        ]),
+        CostEuro=round(rng.uniform(500.0, 15000.0), 2),
+    )
+    return values
+
+
+def _referral_schema() -> MessageSchema:
+    return MessageSchema(
+        "SpecialistReferral",
+        _identity_fields()
+        + [
+            ElementDecl("Specialty", EnumerationType(
+                ["cardiology", "neurology", "oncology", "orthopedics", "geriatrics"]
+            )),
+            ElementDecl("Priority", EnumerationType(["routine", "urgent", "emergency"])),
+            ElementDecl("ClinicalQuestion", StringType(), occurs=Occurs.OPTIONAL,
+                        sensitive=True),
+            ElementDecl("ReferringDoctor", StringType(min_length=1)),
+        ],
+        documentation="A referral from primary care to a specialist service.",
+    )
+
+
+def _referral_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        Specialty=rng.choice(["cardiology", "neurology", "oncology",
+                              "orthopedics", "geriatrics"]),
+        Priority=rng.choices(["routine", "urgent", "emergency"],
+                             weights=[70, 25, 5])[0],
+        ClinicalQuestion=rng.choice([
+            "suspected arrhythmia", "memory decline work-up",
+            "post-surgical follow-up", "chronic pain assessment",
+        ]),
+        ReferringDoctor=f"dr-{rng.randint(1, 20):03d}",
+    )
+    return values
+
+
+def _meal_schema() -> MessageSchema:
+    return MessageSchema(
+        "MealDelivery",
+        _identity_fields()
+        + [
+            ElementDecl("DietType", EnumerationType(
+                ["standard", "diabetic", "low-sodium", "pureed"]
+            ), sensitive=True),
+            ElementDecl("MealsDelivered", IntegerType(1, 10)),
+            ElementDecl("DeliveryNotes", StringType(), occurs=Occurs.OPTIONAL),
+            ElementDecl("CostEuro", DecimalType(0, 200)),
+        ],
+        documentation="A meal-delivery round of the home-assistance service (§1).",
+    )
+
+
+def _meal_details(rng: random.Random, patient: Patient) -> dict[str, object]:
+    values = _identity_values(patient)
+    values.update(
+        DietType=rng.choice(["standard", "diabetic", "low-sodium", "pureed"]),
+        MealsDelivered=rng.randint(1, 3),
+        DeliveryNotes=rng.choice([
+            "delivered in person", "left with family member",
+            "nobody home, retried", "delivered in person",
+        ]),
+        CostEuro=round(rng.uniform(5.0, 25.0), 2),
+    )
+    return values
+
+
+def standard_event_templates() -> dict[str, EventTemplate]:
+    """The seven standard event classes of the synthetic deployment."""
+    from repro.sim.domain import (
+        ROLE_ADMINISTRATOR,
+        ROLE_FAMILY_DOCTOR,
+        ROLE_SOCIAL_WORKER,
+        ROLE_STATISTICIAN,
+    )
+
+    return {
+        "BloodTest": EventTemplate(
+            name="BloodTest",
+            category="health",
+            summary_format="blood test completed for {name}",
+            schema_factory=_blood_test_schema,
+            detail_builder=_blood_test_details,
+            needed_fields={
+                ROLE_FAMILY_DOCTOR: (
+                    "PatientId", "Name", "Surname",
+                    "Hemoglobin", "Glucose", "Cholesterol",
+                ),
+                ROLE_STATISTICIAN: ("Hemoglobin", "Glucose", "Cholesterol"),
+            },
+        ),
+        "HomeCareServiceEvent": EventTemplate(
+            name="HomeCareServiceEvent",
+            category="social",
+            summary_format="home care service delivered to {name}",
+            schema_factory=_home_care_schema,
+            detail_builder=_home_care_details,
+            needed_fields={
+                ROLE_FAMILY_DOCTOR: ("PatientId", "Name", "Surname"),
+                ROLE_SOCIAL_WORKER: (
+                    "PatientId", "Name", "Surname", "ServiceType",
+                    "DurationMinutes", "CareNotes",
+                ),
+                ROLE_ADMINISTRATOR: ("PatientId", "ServiceType", "CostEuro"),
+            },
+        ),
+        "AutonomyAssessment": EventTemplate(
+            name="AutonomyAssessment",
+            category="social",
+            summary_format="autonomy assessment performed for {name}",
+            schema_factory=_autonomy_schema,
+            detail_builder=_autonomy_details,
+            needed_fields={
+                ROLE_SOCIAL_WORKER: (
+                    "PatientId", "Name", "Surname", "AutonomyScore",
+                    "CognitiveScore", "AssessorNotes",
+                ),
+                # §5.1's example: statistics get age, sex, autonomy score.
+                ROLE_STATISTICIAN: ("Age", "Sex", "AutonomyScore"),
+            },
+        ),
+        "TelecareAlarm": EventTemplate(
+            name="TelecareAlarm",
+            category="social",
+            summary_format="telecare alarm raised for {name}",
+            schema_factory=_telecare_schema,
+            detail_builder=_telecare_details,
+            needed_fields={
+                ROLE_FAMILY_DOCTOR: (
+                    "PatientId", "Name", "Surname", "AlarmType",
+                    "Severity", "HealthContext",
+                ),
+                ROLE_SOCIAL_WORKER: (
+                    "PatientId", "Name", "Surname", "AlarmType", "Severity",
+                ),
+                ROLE_ADMINISTRATOR: ("AlarmType", "Severity", "ResponseMinutes"),
+            },
+        ),
+        "SpecialistReferral": EventTemplate(
+            name="SpecialistReferral",
+            category="health",
+            summary_format="specialist referral issued for {name}",
+            schema_factory=_referral_schema,
+            detail_builder=_referral_details,
+            needed_fields={
+                ROLE_FAMILY_DOCTOR: (
+                    "PatientId", "Name", "Surname", "Specialty",
+                    "Priority", "ClinicalQuestion",
+                ),
+                ROLE_ADMINISTRATOR: ("Specialty", "Priority"),
+            },
+        ),
+        "MealDelivery": EventTemplate(
+            name="MealDelivery",
+            category="social",
+            summary_format="meals delivered to {name}",
+            schema_factory=_meal_schema,
+            detail_builder=_meal_details,
+            needed_fields={
+                ROLE_SOCIAL_WORKER: (
+                    "PatientId", "Name", "Surname", "MealsDelivered",
+                    "DeliveryNotes",
+                ),
+                ROLE_ADMINISTRATOR: ("MealsDelivered", "CostEuro"),
+            },
+        ),
+        "HospitalDischarge": EventTemplate(
+            name="HospitalDischarge",
+            category="health",
+            summary_format="hospital discharge of {name}",
+            schema_factory=_discharge_schema,
+            detail_builder=_discharge_details,
+            needed_fields={
+                ROLE_FAMILY_DOCTOR: (
+                    "PatientId", "Name", "Surname", "Ward",
+                    "DiagnosisCode", "FollowUpPlan",
+                ),
+                ROLE_SOCIAL_WORKER: ("PatientId", "Name", "Surname", "FollowUpPlan"),
+                ROLE_ADMINISTRATOR: ("PatientId", "Ward", "LengthOfStayDays", "CostEuro"),
+            },
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Population and workload
+# ---------------------------------------------------------------------------
+
+
+class SyntheticPopulation:
+    """A seeded population of patients."""
+
+    def __init__(self, size: int, seed: int = 2010) -> None:
+        if size <= 0:
+            raise ConfigurationError("population size must be positive")
+        rng = random.Random(seed)
+        self.patients: list[Patient] = []
+        for index in range(size):
+            name = f"{rng.choice(GIVEN_NAMES)} {rng.choice(FAMILY_NAMES)}"
+            self.patients.append(
+                Patient(
+                    patient_id=f"pat-{index + 1:05d}",
+                    name=name,
+                    birth_year=rng.randint(1915, 1995),
+                    municipality=rng.choice(MUNICIPALITIES),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.patients)
+
+    def __iter__(self):
+        return iter(self.patients)
+
+    def sample(self, rng: random.Random) -> Patient:
+        """One uniformly drawn patient."""
+        return rng.choice(self.patients)
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One event occurrence to feed into a scenario."""
+
+    template_name: str
+    patient: Patient
+    details: dict[str, object]
+    summary: str
+    offset_seconds: float
+
+
+class WorkloadGenerator:
+    """Generates reproducible event workloads over a population."""
+
+    def __init__(self, seed: int = 2010) -> None:
+        self._seed = seed
+
+    def generate(
+        self,
+        population: SyntheticPopulation,
+        templates: dict[str, EventTemplate],
+        n_events: int,
+        mean_interarrival: float = 60.0,
+        template_weights: dict[str, float] | None = None,
+    ) -> list[WorkloadItem]:
+        """Produce ``n_events`` items with exponential inter-arrival times."""
+        if n_events < 0:
+            raise ConfigurationError("n_events must be non-negative")
+        rng = random.Random(self._seed)
+        names = list(templates)
+        weights = [
+            (template_weights or {}).get(name, 1.0) for name in names
+        ]
+        items: list[WorkloadItem] = []
+        offset = 0.0
+        for _ in range(n_events):
+            offset += rng.expovariate(1.0 / mean_interarrival)
+            template = templates[rng.choices(names, weights=weights)[0]]
+            patient = population.sample(rng)
+            items.append(
+                WorkloadItem(
+                    template_name=template.name,
+                    patient=patient,
+                    details=template.build_details(rng, patient),
+                    summary=template.summary_for(patient),
+                    offset_seconds=offset,
+                )
+            )
+        return items

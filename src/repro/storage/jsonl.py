@@ -1,0 +1,59 @@
+"""Append-only JSON-lines files.
+
+One record per line, written atomically enough for the simulation's needs
+(a real deployment would add fsync and rotation).  Readers get plain
+dictionaries back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+
+
+class JsonlFile:
+    """An append-only JSON-lines file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """Whether the file exists on disk."""
+        return self.path.exists()
+
+    def append(self, record: dict) -> None:
+        """Append one record."""
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+
+    def append_many(self, records: list[dict]) -> None:
+        """Append several records in one write."""
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True, default=str))
+                handle.write("\n")
+
+    def read_all(self) -> list[dict]:
+        """Every record, oldest first (empty list if the file is absent)."""
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{self.path}:{line_number}: corrupt JSONL record"
+                    ) from exc
+        return records
+
+    def __len__(self) -> int:
+        return len(self.read_all())

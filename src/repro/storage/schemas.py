@@ -1,0 +1,126 @@
+"""(De)serialization of message schemas and simple types.
+
+Schemas are code-defined objects in this library; archiving a platform
+requires turning them into data and back.  Every
+:class:`~repro.xmlmsg.types.SimpleType` maps to a tagged dictionary; the
+mapping is closed over the types the platform ships (new types must add a
+codec here, which the tests enforce).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
+from repro.xmlmsg.types import (
+    BooleanType,
+    DateType,
+    DecimalType,
+    EnumerationType,
+    IntegerType,
+    SimpleType,
+    StringType,
+)
+
+
+def type_to_dict(type_: SimpleType) -> dict:
+    """Serialize a simple type to a tagged dictionary."""
+    if isinstance(type_, StringType):
+        return {"kind": "string", "min_length": type_.min_length,
+                "max_length": type_.max_length, "pattern": type_.pattern}
+    if isinstance(type_, IntegerType):
+        return {"kind": "integer", "minimum": type_.minimum,
+                "maximum": type_.maximum}
+    if isinstance(type_, DecimalType):
+        return {"kind": "decimal", "minimum": type_.minimum,
+                "maximum": type_.maximum}
+    if isinstance(type_, BooleanType):
+        return {"kind": "boolean"}
+    if isinstance(type_, DateType):
+        return {"kind": "date"}
+    if isinstance(type_, EnumerationType):
+        return {"kind": "enumeration", "values": list(type_.values)}
+    raise ConfigurationError(f"no codec for simple type {type(type_).__name__}")
+
+
+def type_from_dict(data: dict) -> SimpleType:
+    """Rebuild a simple type from its tagged dictionary."""
+    kind = data.get("kind")
+    if kind == "string":
+        return StringType(min_length=data.get("min_length", 0),
+                          max_length=data.get("max_length"),
+                          pattern=data.get("pattern"))
+    if kind == "integer":
+        return IntegerType(minimum=data.get("minimum"),
+                           maximum=data.get("maximum"))
+    if kind == "decimal":
+        return DecimalType(minimum=data.get("minimum"),
+                           maximum=data.get("maximum"))
+    if kind == "boolean":
+        return BooleanType()
+    if kind == "date":
+        return DateType()
+    if kind == "enumeration":
+        return EnumerationType(list(data.get("values", ())))
+    raise ConfigurationError(f"unknown simple-type kind {kind!r}")
+
+
+def schema_to_dict(schema: MessageSchema) -> dict:
+    """Serialize a message schema."""
+    return {
+        "name": schema.name,
+        "target_namespace": schema.target_namespace,
+        "documentation": schema.documentation,
+        "elements": [
+            {
+                "name": decl.name,
+                "type": type_to_dict(decl.type_),
+                "occurs": decl.occurs.value,
+                "sensitive": decl.sensitive,
+                "identifying": decl.identifying,
+                "documentation": decl.documentation,
+            }
+            for decl in schema.elements
+        ],
+    }
+
+
+def schema_from_dict(data: dict) -> MessageSchema:
+    """Rebuild a message schema."""
+    return MessageSchema(
+        data["name"],
+        [
+            ElementDecl(
+                name=element["name"],
+                type_=type_from_dict(element["type"]),
+                occurs=Occurs(element.get("occurs", "required")),
+                sensitive=element.get("sensitive", False),
+                identifying=element.get("identifying", False),
+                documentation=element.get("documentation", ""),
+            )
+            for element in data.get("elements", ())
+        ],
+        target_namespace=data.get("target_namespace", "urn:css:events"),
+        documentation=data.get("documentation", ""),
+    )
+
+
+def values_to_wire(fields: dict[str, object], schema: MessageSchema) -> dict:
+    """Render typed field values into JSON-safe strings (None stays None)."""
+    wire: dict[str, object] = {}
+    for name, value in fields.items():
+        if value is None or not schema.has_element(name):
+            wire[name] = None if value is None else str(value)
+        else:
+            wire[name] = schema.element(name).type_.render(value)
+    return wire
+
+
+def values_from_wire(fields: dict[str, object], schema: MessageSchema) -> dict:
+    """Parse wire strings back into typed values."""
+    typed: dict[str, object] = {}
+    for name, value in fields.items():
+        if value is None or not schema.has_element(name):
+            typed[name] = value
+        else:
+            typed[name] = schema.element(name).type_.parse(str(value))
+    return typed

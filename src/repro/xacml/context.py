@@ -1,0 +1,119 @@
+"""XACML request/response context.
+
+A :class:`RequestContext` carries attribute bags in the three standard
+categories — subject, resource, action — plus an environment bag.  The CSS
+mapping (paper §5.2 and Fig. 5) is:
+
+* subject  → the requesting actor (``subject:actor-id``, ``subject:role``,
+  ``subject:organization``);
+* resource → the event (``resource:event-type``, ``resource:event-id``,
+  ``resource:producer-id``);
+* action   → the declared purpose of use (``action:purpose``);
+* environment → request time (``env:current-time``), used by validity
+  windows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import PolicyError
+
+# Canonical attribute identifiers used by the CSS mapping.
+ATTR_SUBJECT_ID = "subject:actor-id"
+ATTR_SUBJECT_ROLE = "subject:role"
+ATTR_SUBJECT_ORGANIZATION = "subject:organization"
+ATTR_RESOURCE_EVENT_TYPE = "resource:event-type"
+ATTR_RESOURCE_EVENT_ID = "resource:event-id"
+ATTR_RESOURCE_PRODUCER = "resource:producer-id"
+ATTR_ACTION_PURPOSE = "action:purpose"
+ATTR_ENV_TIME = "env:current-time"
+
+
+class Decision(enum.Enum):
+    """The four XACML decisions."""
+
+    PERMIT = "Permit"
+    DENY = "Deny"
+    NOT_APPLICABLE = "NotApplicable"
+    INDETERMINATE = "Indeterminate"
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """An immutable attribute-bag request."""
+
+    attributes: Mapping[str, tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        for name, values in self.attributes.items():
+            if not name:
+                raise PolicyError("attribute names must be non-empty")
+            if not isinstance(values, tuple):
+                raise PolicyError(f"attribute {name!r} values must be a tuple")
+
+    @classmethod
+    def build(cls, **attributes: str | tuple[str, ...] | list[str]) -> "RequestContext":
+        """Build a context from keyword bags, normalising scalars to tuples.
+
+        Attribute names use ``__`` in place of ``:`` and ``_`` in place of
+        ``-`` so they can be Python keywords::
+
+            RequestContext.build(subject__actor_id="doc-1", action__purpose="care")
+        """
+        bags: dict[str, tuple[str, ...]] = {}
+        for name, values in attributes.items():
+            canonical = name.replace("__", ":").replace("_", "-")
+            if isinstance(values, str):
+                bags[canonical] = (values,)
+            else:
+                bags[canonical] = tuple(values)
+        return cls(bags)
+
+    def bag(self, attribute: str) -> tuple[str, ...]:
+        """Values of ``attribute`` (empty tuple if absent)."""
+        return self.attributes.get(attribute, ())
+
+    def single(self, attribute: str) -> str | None:
+        """The single value of ``attribute`` or None if absent/multi-valued."""
+        values = self.bag(attribute)
+        return values[0] if len(values) == 1 else None
+
+    def with_attribute(self, attribute: str, *values: str) -> "RequestContext":
+        """Copy of the context with an attribute bag added/replaced (PIP use)."""
+        merged = dict(self.attributes)
+        merged[attribute] = tuple(values)
+        return RequestContext(merged)
+
+
+@dataclass
+class ResponseContext:
+    """A decision plus the obligations the PEP must discharge."""
+
+    decision: Decision
+    obligations: list["ObligationOutcome"] = field(default_factory=list)
+    status_message: str = ""
+
+    @property
+    def permitted(self) -> bool:
+        """True iff the decision is Permit."""
+        return self.decision is Decision.PERMIT
+
+
+@dataclass(frozen=True)
+class ObligationOutcome:
+    """An obligation attached to the decision, ready for the PEP.
+
+    ``obligation_id`` names the operation (CSS uses
+    ``css:release-fields``), ``assignments`` its parameters (the allowed
+    field list).
+    """
+
+    obligation_id: str
+    assignments: Mapping[str, tuple[str, ...]]
+
+    def assignment(self, name: str) -> tuple[str, ...]:
+        """Values assigned to parameter ``name`` (empty if absent)."""
+        return self.assignments.get(name, ())

@@ -1,0 +1,163 @@
+"""XACML policy model.
+
+Mirrors the XACML 2.0 structure the paper's Fig. 8 shows: a ``Policy`` has a
+``Target`` (who/what it applies to), ``Rule``s with effects, and
+``Obligation``s (CSS uses one obligation, ``css:release-fields``, whose
+assignments list the releasable fields).  ``PolicySet`` groups policies
+under a policy-combining algorithm — the policy repository of the data
+controller is one big deny-overrides policy set per producer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import PolicyError
+from repro.xacml.context import RequestContext
+from repro.xacml.functions import resolve
+
+#: Obligation id used by CSS field-release obligations.
+OBLIGATION_RELEASE_FIELDS = "css:release-fields"
+#: Obligation id used to demand an audit record on permit.
+OBLIGATION_AUDIT = "css:audit-access"
+
+
+class Effect(enum.Enum):
+    """Rule effects."""
+
+    PERMIT = "Permit"
+    DENY = "Deny"
+
+
+class CombiningAlgorithm(enum.Enum):
+    """Rule/policy combining algorithms (the three the platform uses)."""
+
+    DENY_OVERRIDES = "deny-overrides"
+    PERMIT_OVERRIDES = "permit-overrides"
+    FIRST_APPLICABLE = "first-applicable"
+
+
+@dataclass(frozen=True)
+class Match:
+    """One attribute test inside a target."""
+
+    attribute: str
+    function_id: str
+    literal: str
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise PolicyError("match needs an attribute designator")
+        resolve(self.function_id)  # validates the function id eagerly
+
+    def evaluate(self, request: RequestContext) -> bool:
+        """True iff *any* value in the request's bag satisfies the function.
+
+        An empty bag never matches (XACML's "no attribute value" case).
+        """
+        function = resolve(self.function_id)
+        return any(function(value, self.literal) for value in request.bag(self.attribute))
+
+
+@dataclass(frozen=True)
+class Target:
+    """A conjunction of match groups.
+
+    ``all_of`` is a tuple of :class:`Match` — every match must hold
+    (logical AND).  ``any_of`` is a tuple of alternative match tuples —
+    at least one alternative must fully hold (OR of ANDs), mirroring
+    XACML's AnyOf/AllOf nesting.  An empty target matches everything.
+    """
+
+    all_of: tuple[Match, ...] = ()
+    any_of: tuple[tuple[Match, ...], ...] = ()
+
+    def applies_to(self, request: RequestContext) -> bool:
+        """Whether the target matches ``request``."""
+        if not all(match.evaluate(request) for match in self.all_of):
+            return False
+        if self.any_of:
+            return any(
+                all(match.evaluate(request) for match in alternative)
+                for alternative in self.any_of
+            )
+        return True
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """An operation the PEP must perform when the decision fires."""
+
+    obligation_id: str
+    fulfill_on: Effect
+    assignments: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.obligation_id:
+            raise PolicyError("obligation needs an id")
+
+    def assignment_values(self, name: str) -> tuple[str, ...]:
+        """All values assigned to parameter ``name``."""
+        return tuple(value for key, value in self.assignments if key == name)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule: a target plus an effect."""
+
+    rule_id: str
+    effect: Effect
+    target: Target = field(default_factory=Target)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rule_id:
+            raise PolicyError("rule needs an id")
+
+    def evaluate(self, request: RequestContext) -> Effect | None:
+        """The rule's effect if its target applies, else None."""
+        return self.effect if self.target.applies_to(request) else None
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A policy: target, rules, combining algorithm, obligations."""
+
+    policy_id: str
+    target: Target
+    rules: tuple[Rule, ...]
+    combining: CombiningAlgorithm = CombiningAlgorithm.DENY_OVERRIDES
+    obligations: tuple[Obligation, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.policy_id:
+            raise PolicyError("policy needs an id")
+        if not self.rules:
+            raise PolicyError(f"policy {self.policy_id!r} needs at least one rule")
+        rule_ids = [rule.rule_id for rule in self.rules]
+        if len(set(rule_ids)) != len(rule_ids):
+            raise PolicyError(f"policy {self.policy_id!r} has duplicate rule ids")
+
+    def obligations_for(self, effect: Effect) -> tuple[Obligation, ...]:
+        """Obligations to discharge when the policy decides ``effect``."""
+        return tuple(ob for ob in self.obligations if ob.fulfill_on is effect)
+
+
+@dataclass(frozen=True)
+class PolicySet:
+    """A set of policies under a policy-combining algorithm."""
+
+    policy_set_id: str
+    policies: tuple[Policy, ...]
+    combining: CombiningAlgorithm = CombiningAlgorithm.DENY_OVERRIDES
+    target: Target = field(default_factory=Target)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.policy_set_id:
+            raise PolicyError("policy set needs an id")
+        policy_ids = [policy.policy_id for policy in self.policies]
+        if len(set(policy_ids)) != len(policy_ids):
+            raise PolicyError(f"policy set {self.policy_set_id!r} has duplicate policy ids")

@@ -1,0 +1,58 @@
+"""Policy Information Point.
+
+The PIP enriches a request context with attributes the requester did not
+(or could not) supply.  In CSS the canonical enrichment is step 1 of
+Algorithm 1: resolving the *global* event id carried in the notification
+into the *producer-local* ``src_eID`` plus the producer id and event type
+recorded in the events index.  The PIP is pluggable: resolvers are
+registered per attribute and consulted lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import PolicyError
+from repro.xacml.context import RequestContext
+
+#: A resolver computes values of one attribute from the request context.
+AttributeResolver = Callable[[RequestContext], tuple[str, ...]]
+
+
+class PolicyInformationPoint:
+    """A registry of attribute resolvers."""
+
+    def __init__(self) -> None:
+        self._resolvers: dict[str, AttributeResolver] = {}
+
+    def register(self, attribute: str, resolver: AttributeResolver) -> None:
+        """Register the resolver for ``attribute`` (one per attribute)."""
+        if not attribute:
+            raise PolicyError("attribute name must be non-empty")
+        if attribute in self._resolvers:
+            raise PolicyError(f"resolver already registered for {attribute!r}")
+        self._resolvers[attribute] = resolver
+
+    def can_resolve(self, attribute: str) -> bool:
+        """Whether a resolver exists for ``attribute``."""
+        return attribute in self._resolvers
+
+    def enrich(self, request: RequestContext, attributes: list[str]) -> RequestContext:
+        """Return ``request`` extended with every resolvable ``attributes``.
+
+        Attributes already present in the request are left untouched
+        (requester-supplied values win — they were validated upstream).
+        Unresolvable attributes are skipped; the PDP treats empty bags as
+        non-matching, which preserves deny-by-default.
+        """
+        enriched = request
+        for attribute in attributes:
+            if enriched.bag(attribute):
+                continue
+            resolver = self._resolvers.get(attribute)
+            if resolver is None:
+                continue
+            values = resolver(enriched)
+            if values:
+                enriched = enriched.with_attribute(attribute, *values)
+        return enriched

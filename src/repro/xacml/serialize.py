@@ -1,0 +1,195 @@
+"""XACML XML serialization and parsing.
+
+Round-trips :class:`~repro.xacml.model.Policy` objects to an XML form
+shaped like the paper's Fig. 8: a ``Policy`` element with a ``Target``
+(subject / resource / action matches), ``Rule`` elements, and
+``Obligations`` whose ``AttributeAssignment`` children carry the releasable
+field names.  The serializer is the output stage of the elicitation tool —
+"it automatically generates and stores in a policy repository the privacy
+policy in XACML format" (paper §6).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.exceptions import PolicyError
+from repro.xacml.model import (
+    CombiningAlgorithm,
+    Effect,
+    Match,
+    Obligation,
+    Policy,
+    Rule,
+    Target,
+)
+
+_NS = "urn:oasis:names:tc:xacml:2.0:policy"
+
+
+def serialize_policy(policy: Policy) -> str:
+    """Render ``policy`` as an XACML-style XML string."""
+    root = ET.Element("Policy")
+    root.set("xmlns", _NS)
+    root.set("PolicyId", policy.policy_id)
+    root.set("RuleCombiningAlgId", policy.combining.value)
+    if policy.description:
+        ET.SubElement(root, "Description").text = policy.description
+    root.append(_target_element(policy.target))
+    for rule in policy.rules:
+        root.append(_rule_element(rule))
+    if policy.obligations:
+        obligations = ET.SubElement(root, "Obligations")
+        for obligation in policy.obligations:
+            obligations.append(_obligation_element(obligation))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _target_element(target: Target) -> ET.Element:
+    element = ET.Element("Target")
+    if target.all_of:
+        all_of = ET.SubElement(element, "AllOf")
+        for match in target.all_of:
+            all_of.append(_match_element(match))
+    for alternative in target.any_of:
+        any_of = ET.SubElement(element, "AnyOf")
+        all_of = ET.SubElement(any_of, "AllOf")
+        for match in alternative:
+            all_of.append(_match_element(match))
+    return element
+
+
+def _match_element(match: Match) -> ET.Element:
+    element = ET.Element("Match")
+    element.set("MatchId", match.function_id)
+    value = ET.SubElement(element, "AttributeValue")
+    value.text = match.literal
+    designator = ET.SubElement(element, "AttributeDesignator")
+    designator.set("AttributeId", match.attribute)
+    return element
+
+
+def _rule_element(rule: Rule) -> ET.Element:
+    element = ET.Element("Rule")
+    element.set("RuleId", rule.rule_id)
+    element.set("Effect", rule.effect.value)
+    if rule.description:
+        ET.SubElement(element, "Description").text = rule.description
+    element.append(_target_element(rule.target))
+    return element
+
+
+def _obligation_element(obligation: Obligation) -> ET.Element:
+    element = ET.Element("Obligation")
+    element.set("ObligationId", obligation.obligation_id)
+    element.set("FulfillOn", obligation.fulfill_on.value)
+    for name, value in obligation.assignments:
+        assignment = ET.SubElement(element, "AttributeAssignment")
+        assignment.set("AttributeId", name)
+        assignment.text = value
+    return element
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_policy(text: str) -> Policy:
+    """Parse an XML string produced by :func:`serialize_policy`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PolicyError(f"malformed policy XML: {exc}") from exc
+    tag = _local(root.tag)
+    if tag != "Policy":
+        raise PolicyError(f"expected <Policy> root, got <{tag}>")
+    policy_id = root.get("PolicyId", "")
+    combining = CombiningAlgorithm(root.get("RuleCombiningAlgId", "deny-overrides"))
+    description = _child_text(root, "Description")
+    target = _parse_target(_require_child(root, "Target"))
+    rules = tuple(_parse_rule(el) for el in root if _local(el.tag) == "Rule")
+    obligations_el = _find_child(root, "Obligations")
+    obligations: tuple[Obligation, ...] = ()
+    if obligations_el is not None:
+        obligations = tuple(
+            _parse_obligation(el) for el in obligations_el if _local(el.tag) == "Obligation"
+        )
+    return Policy(
+        policy_id=policy_id,
+        target=target,
+        rules=rules,
+        combining=combining,
+        obligations=obligations,
+        description=description,
+    )
+
+
+def _local(tag: str) -> str:
+    return tag.split("}", 1)[-1]
+
+
+def _find_child(parent: ET.Element, name: str) -> ET.Element | None:
+    for child in parent:
+        if _local(child.tag) == name:
+            return child
+    return None
+
+
+def _require_child(parent: ET.Element, name: str) -> ET.Element:
+    child = _find_child(parent, name)
+    if child is None:
+        raise PolicyError(f"<{_local(parent.tag)}> is missing a <{name}> child")
+    return child
+
+
+def _child_text(parent: ET.Element, name: str) -> str:
+    child = _find_child(parent, name)
+    return (child.text or "") if child is not None else ""
+
+
+def _parse_target(element: ET.Element) -> Target:
+    all_of: tuple[Match, ...] = ()
+    any_of: list[tuple[Match, ...]] = []
+    for child in element:
+        tag = _local(child.tag)
+        if tag == "AllOf":
+            all_of = tuple(_parse_match(m) for m in child if _local(m.tag) == "Match")
+        elif tag == "AnyOf":
+            inner = _require_child(child, "AllOf")
+            any_of.append(tuple(_parse_match(m) for m in inner if _local(m.tag) == "Match"))
+    return Target(all_of=all_of, any_of=tuple(any_of))
+
+
+def _parse_match(element: ET.Element) -> Match:
+    function_id = element.get("MatchId", "")
+    value_el = _require_child(element, "AttributeValue")
+    designator = _require_child(element, "AttributeDesignator")
+    return Match(
+        attribute=designator.get("AttributeId", ""),
+        function_id=function_id,
+        literal=value_el.text or "",
+    )
+
+
+def _parse_rule(element: ET.Element) -> Rule:
+    return Rule(
+        rule_id=element.get("RuleId", ""),
+        effect=Effect(element.get("Effect", "Deny")),
+        target=_parse_target(_require_child(element, "Target")),
+        description=_child_text(element, "Description"),
+    )
+
+
+def _parse_obligation(element: ET.Element) -> Obligation:
+    assignments = tuple(
+        (el.get("AttributeId", ""), el.text or "")
+        for el in element
+        if _local(el.tag) == "AttributeAssignment"
+    )
+    return Obligation(
+        obligation_id=element.get("ObligationId", ""),
+        fulfill_on=Effect(element.get("FulfillOn", "Permit")),
+        assignments=assignments,
+    )

@@ -1,0 +1,51 @@
+"""XSD-style typed XML messaging substrate.
+
+The CSS platform exchanges notification and detail messages as XML documents
+whose structure is declared by an XML Schema "installed" in the event catalog
+(paper §5).  This subpackage provides the slice of that stack the platform
+needs, implemented from scratch on :mod:`xml.etree`:
+
+* :mod:`~repro.xmlmsg.types` — simple types (string, int, decimal, boolean,
+  date, enumerations, restrictions) with validation and coercion;
+* :mod:`~repro.xmlmsg.schema` — element declarations, complex types, occurs
+  bounds, and :class:`~repro.xmlmsg.schema.MessageSchema` (an XSD stand-in);
+* :mod:`~repro.xmlmsg.document` — building, serializing and parsing XML
+  documents to/from plain dictionaries;
+* :mod:`~repro.xmlmsg.validation` — validating documents against schemas.
+
+DESIGN.md §6 records why this substitution (schema objects instead of parsing
+arbitrary W3C XSD files) preserves the behaviour the paper relies on: schemas
+exist to publish event structure in the catalog and to drive field-level
+policy obligations, both of which only need field names, types and
+optionality.
+"""
+
+from repro.xmlmsg.document import XmlDocument, from_xml, to_xml
+from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
+from repro.xmlmsg.types import (
+    BooleanType,
+    DateType,
+    DecimalType,
+    EnumerationType,
+    IntegerType,
+    SimpleType,
+    StringType,
+)
+from repro.xmlmsg.validation import validate_document
+
+__all__ = [
+    "BooleanType",
+    "DateType",
+    "DecimalType",
+    "ElementDecl",
+    "EnumerationType",
+    "IntegerType",
+    "MessageSchema",
+    "Occurs",
+    "SimpleType",
+    "StringType",
+    "XmlDocument",
+    "from_xml",
+    "to_xml",
+    "validate_document",
+]

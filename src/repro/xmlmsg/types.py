@@ -1,0 +1,229 @@
+"""Simple types for the XSD-style schema model.
+
+Each type knows how to *validate* a Python value and how to *coerce* the
+string form found in an XML text node back into a Python value.  The set of
+types mirrors what socio-health event payloads in the paper's domain need:
+strings (with length/pattern restrictions), integers and decimals (with
+ranges), booleans, ISO dates, and enumerations (e.g. an autonomy-score
+scale).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+from repro.exceptions import SchemaError, ValidationError
+
+
+class SimpleType:
+    """Base class for simple types.
+
+    Subclasses implement :meth:`check` (validate a Python value, raising
+    :class:`~repro.exceptions.ValidationError`) and :meth:`parse` (coerce an
+    XML string).  ``name`` is the XSD-ish type name used in diagnostics and
+    the catalog listing.
+    """
+
+    name = "anySimpleType"
+
+    def check(self, value: object) -> None:
+        """Validate a Python value; raise ``ValidationError`` if invalid."""
+        raise NotImplementedError
+
+    def parse(self, text: str) -> object:
+        """Coerce the XML text form into a Python value (and validate it)."""
+        raise NotImplementedError
+
+    def render(self, value: object) -> str:
+        """Render a Python value into its XML text form."""
+        self.check(value)
+        return str(value)
+
+    def describe(self) -> str:
+        """Human-readable description for catalog listings."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class StringType(SimpleType):
+    """``xs:string`` with optional length bounds and regex pattern."""
+
+    name = "string"
+
+    def __init__(
+        self,
+        min_length: int = 0,
+        max_length: int | None = None,
+        pattern: str | None = None,
+    ) -> None:
+        if min_length < 0:
+            raise SchemaError("min_length must be non-negative")
+        if max_length is not None and max_length < min_length:
+            raise SchemaError("max_length must be >= min_length")
+        self.min_length = min_length
+        self.max_length = max_length
+        self.pattern = pattern
+        self._regex = re.compile(pattern) if pattern else None
+
+    def check(self, value: object) -> None:
+        if not isinstance(value, str):
+            raise ValidationError(f"expected string, got {type(value).__name__}")
+        if len(value) < self.min_length:
+            raise ValidationError(f"string shorter than {self.min_length} characters")
+        if self.max_length is not None and len(value) > self.max_length:
+            raise ValidationError(f"string longer than {self.max_length} characters")
+        if self._regex is not None and not self._regex.fullmatch(value):
+            raise ValidationError(f"string does not match pattern {self.pattern!r}")
+
+    def parse(self, text: str) -> str:
+        self.check(text)
+        return text
+
+    def describe(self) -> str:
+        parts = [self.name]
+        if self.min_length:
+            parts.append(f"minLen={self.min_length}")
+        if self.max_length is not None:
+            parts.append(f"maxLen={self.max_length}")
+        if self.pattern:
+            parts.append(f"pattern={self.pattern}")
+        return " ".join(parts)
+
+
+class IntegerType(SimpleType):
+    """``xs:integer`` with optional inclusive range."""
+
+    name = "integer"
+
+    def __init__(self, minimum: int | None = None, maximum: int | None = None) -> None:
+        if minimum is not None and maximum is not None and maximum < minimum:
+            raise SchemaError("maximum must be >= minimum")
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def check(self, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(f"expected integer, got {type(value).__name__}")
+        if self.minimum is not None and value < self.minimum:
+            raise ValidationError(f"integer below minimum {self.minimum}")
+        if self.maximum is not None and value > self.maximum:
+            raise ValidationError(f"integer above maximum {self.maximum}")
+
+    def parse(self, text: str) -> int:
+        try:
+            value = int(text.strip())
+        except ValueError as exc:
+            raise ValidationError(f"not an integer: {text!r}") from exc
+        self.check(value)
+        return value
+
+    def describe(self) -> str:
+        bounds = []
+        if self.minimum is not None:
+            bounds.append(f"min={self.minimum}")
+        if self.maximum is not None:
+            bounds.append(f"max={self.maximum}")
+        return " ".join([self.name] + bounds)
+
+
+class DecimalType(SimpleType):
+    """``xs:decimal`` (Python float) with optional inclusive range."""
+
+    name = "decimal"
+
+    def __init__(self, minimum: float | None = None, maximum: float | None = None) -> None:
+        if minimum is not None and maximum is not None and maximum < minimum:
+            raise SchemaError("maximum must be >= minimum")
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def check(self, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(f"expected decimal, got {type(value).__name__}")
+        if self.minimum is not None and value < self.minimum:
+            raise ValidationError(f"decimal below minimum {self.minimum}")
+        if self.maximum is not None and value > self.maximum:
+            raise ValidationError(f"decimal above maximum {self.maximum}")
+
+    def parse(self, text: str) -> float:
+        try:
+            value = float(text.strip())
+        except ValueError as exc:
+            raise ValidationError(f"not a decimal: {text!r}") from exc
+        self.check(value)
+        return value
+
+
+class BooleanType(SimpleType):
+    """``xs:boolean`` accepting the XML forms ``true/false/1/0``."""
+
+    name = "boolean"
+
+    _TRUE = {"true", "1"}
+    _FALSE = {"false", "0"}
+
+    def check(self, value: object) -> None:
+        if not isinstance(value, bool):
+            raise ValidationError(f"expected boolean, got {type(value).__name__}")
+
+    def parse(self, text: str) -> bool:
+        lowered = text.strip().lower()
+        if lowered in self._TRUE:
+            return True
+        if lowered in self._FALSE:
+            return False
+        raise ValidationError(f"not a boolean: {text!r}")
+
+    def render(self, value: object) -> str:
+        self.check(value)
+        return "true" if value else "false"
+
+
+class DateType(SimpleType):
+    """``xs:date`` — ISO-8601 calendar dates."""
+
+    name = "date"
+
+    def check(self, value: object) -> None:
+        if not isinstance(value, _dt.date) or isinstance(value, _dt.datetime):
+            raise ValidationError(f"expected date, got {type(value).__name__}")
+
+    def parse(self, text: str) -> _dt.date:
+        try:
+            return _dt.date.fromisoformat(text.strip())
+        except ValueError as exc:
+            raise ValidationError(f"not an ISO date: {text!r}") from exc
+
+    def render(self, value: object) -> str:
+        self.check(value)
+        return value.isoformat()  # type: ignore[union-attr]
+
+
+class EnumerationType(SimpleType):
+    """A string restricted to an explicit value set (``xs:enumeration``)."""
+
+    name = "enumeration"
+
+    def __init__(self, values: list[str] | tuple[str, ...]) -> None:
+        if not values:
+            raise SchemaError("enumeration needs at least one value")
+        self.values = tuple(values)
+        self._value_set = frozenset(values)
+        if len(self._value_set) != len(self.values):
+            raise SchemaError("enumeration values must be distinct")
+
+    def check(self, value: object) -> None:
+        if not isinstance(value, str):
+            raise ValidationError(f"expected string, got {type(value).__name__}")
+        if value not in self._value_set:
+            raise ValidationError(f"{value!r} not in enumeration {sorted(self._value_set)}")
+
+    def parse(self, text: str) -> str:
+        self.check(text)
+        return text
+
+    def describe(self) -> str:
+        return f"{self.name}{{{', '.join(self.values)}}}"

@@ -1,0 +1,1 @@
+"""Test suite for the CSS reproduction (importable as the ``tests`` package)."""

@@ -1,0 +1,106 @@
+"""Shared fixtures: a small but complete CSS deployment.
+
+``platform_small`` wires one hospital producer (BloodTest class), one
+family doctor and one statistics office, with minimal-usage policies — the
+micro-deployment most integration tests start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import (
+    DataConsumer,
+    DataController,
+    DataProducer,
+    ElementDecl,
+    EventClass,
+    MessageSchema,
+    Occurs,
+    StringType,
+)
+from repro.xmlmsg.types import DecimalType, EnumerationType
+
+
+def blood_test_schema() -> MessageSchema:
+    """The BloodTest schema used across the test suite."""
+    return MessageSchema(
+        "BloodTest",
+        [
+            ElementDecl("PatientId", StringType(min_length=1), identifying=True),
+            ElementDecl("Name", StringType(min_length=1), identifying=True),
+            ElementDecl("Hemoglobin", DecimalType(0, 30), sensitive=True),
+            ElementDecl("Glucose", DecimalType(0, 500), sensitive=True),
+            ElementDecl(
+                "HivResult",
+                EnumerationType(["negative", "positive", "inconclusive"]),
+                occurs=Occurs.OPTIONAL,
+                sensitive=True,
+            ),
+        ],
+    )
+
+
+@dataclass
+class SmallPlatform:
+    """The fixture bundle handed to tests."""
+
+    controller: DataController
+    hospital: DataProducer
+    blood_class: EventClass
+    doctor: DataConsumer
+    statistics: DataConsumer
+
+    def publish_blood_test(self, subject_id: str = "pat-1",
+                           name: str = "Mario Bianchi", hemoglobin: float = 14.0):
+        """Publish one well-formed blood test and return the notification."""
+        return self.hospital.publish(
+            self.blood_class,
+            subject_id=subject_id,
+            subject_name=name,
+            summary=f"blood test completed for {name}",
+            details={
+                "PatientId": subject_id,
+                "Name": name,
+                "Hemoglobin": hemoglobin,
+                "Glucose": 92.0,
+                "HivResult": "negative",
+            },
+        )
+
+
+@pytest.fixture()
+def platform_small() -> SmallPlatform:
+    """One hospital, one doctor, one statistics office, minimal policies."""
+    controller = DataController(seed="test")
+    hospital = DataProducer(controller, "Hospital-S-Maria", "Hospital S. Maria")
+    blood_class = hospital.declare_event_class(blood_test_schema())
+    doctor = DataConsumer(controller, "FamilyDoctors/Dr-Rossi", "Dr. Rossi",
+                          role="family-doctor")
+    statistics = DataConsumer(controller, "Province/Statistics", "Statistics office",
+                              role="statistician")
+    hospital.define_policy(
+        event_type="BloodTest",
+        fields=["PatientId", "Name", "Hemoglobin", "Glucose"],
+        consumers=[("FamilyDoctors/Dr-Rossi", "unit")],
+        purposes=["healthcare-treatment"],
+        label="family doctor access",
+    )
+    hospital.define_policy(
+        event_type="BloodTest",
+        fields=["Hemoglobin", "Glucose"],
+        consumers=[("statistician", "role")],
+        purposes=["statistical-analysis"],
+        label="statistics access",
+    )
+    doctor.subscribe("BloodTest")
+    statistics.subscribe("BloodTest")
+    return SmallPlatform(
+        controller=controller,
+        hospital=hospital,
+        blood_class=blood_class,
+        doctor=doctor,
+        statistics=statistics,
+    )

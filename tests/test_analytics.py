@@ -1,0 +1,132 @@
+"""Unit and integration tests for the process-monitoring analytics."""
+
+import pytest
+
+from repro.analytics import ProcessMonitor, suppress_small_cells
+from repro.analytics.suppression import suppress
+from repro.clock import DAY
+from repro.exceptions import ConfigurationError
+from repro.sim.scenario import CssScenario, ScenarioConfig
+
+
+class TestSuppression:
+    def test_counts_at_or_above_threshold_pass(self):
+        assert suppress(5, 5).value == 5
+        assert suppress(100, 5).display == "100"
+
+    def test_small_positive_counts_suppressed(self):
+        cell = suppress(3, 5)
+        assert cell.suppressed
+        assert cell.value is None
+        assert cell.display == "<5"
+        assert cell.lower_bound() == 0
+
+    def test_zero_is_not_suppressed(self):
+        assert suppress(0, 5).value == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            suppress(1, 0)
+
+    def test_breakdown_suppression(self):
+        cells = suppress_small_cells({"a": 10, "b": 2, "c": 0}, 5)
+        assert cells["a"].value == 10
+        assert cells["b"].suppressed
+        assert cells["c"].value == 0
+
+
+@pytest.fixture(scope="module")
+def monitored_scenario():
+    config = ScenarioConfig(n_patients=15, n_events=120,
+                            detail_request_rate=0.5, seed=21)
+    scenario = CssScenario(config)
+    scenario.run()
+    return scenario
+
+
+class TestProcessMonitor:
+    def test_class_breakdown_totals_match_index(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=1)
+        breakdown = monitor.class_breakdown()
+        total = sum(cell.value or 0 for cell in breakdown.values())
+        assert total == len(monitored_scenario.controller.index)
+
+    def test_producer_breakdown_covers_all_producers(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=1)
+        breakdown = monitor.producer_breakdown()
+        assert set(breakdown) <= set(monitored_scenario.producers)
+
+    def test_volume_report_buckets_sum_to_total(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=1)
+        report = monitor.volume_report(bucket_seconds=DAY)
+        assert report.total_lower_bound() == len(monitored_scenario.controller.index)
+
+    def test_volume_report_renders(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller)
+        text = monitor.volume_report(bucket_seconds=DAY).to_text()
+        assert "SERVICE VOLUME" in text
+
+    def test_small_cells_are_suppressed_in_reports(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=10**6)  # suppress everything >0
+        breakdown = monitor.class_breakdown()
+        assert all(cell.suppressed for cell in breakdown.values() if cell.value != 0)
+
+    def test_distinct_citizens_served(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=1)
+        distinct = monitor.distinct_citizens_served()
+        assert distinct.value is not None
+        assert 1 <= distinct.value <= 15
+
+    def test_distinct_citizens_per_class_suppression(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=10**6)
+        assert monitor.distinct_citizens_served("BloodTest").suppressed
+
+    def test_events_per_citizen(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=1)
+        intensity = monitor.events_per_citizen()
+        assert intensity >= 1.0
+
+    def test_events_per_citizen_guarded_by_suppression(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller,
+                                 suppression_threshold=10**6)
+        assert monitor.events_per_citizen() == 0.0
+
+    def test_access_latency_report(self, monitored_scenario):
+        monitor = ProcessMonitor(monitored_scenario.controller)
+        latencies = monitor.access_latency_report()
+        # The scenario requests details immediately after publication.
+        assert latencies
+        assert all(delay >= 0.0 for delay in latencies.values())
+
+    def test_bad_configuration_rejected(self, monitored_scenario):
+        with pytest.raises(ConfigurationError):
+            ProcessMonitor(monitored_scenario.controller, suppression_threshold=0)
+        monitor = ProcessMonitor(monitored_scenario.controller)
+        with pytest.raises(ConfigurationError):
+            monitor.volume_report(bucket_seconds=0)
+
+    def test_monitor_never_touches_detail_payloads(self, monitored_scenario):
+        """The monitor runs entirely on metadata: no gateway calls happen."""
+        controller = monitored_scenario.controller
+        before = {
+            name: controller.endpoints.get(name).stats.calls
+            for name in controller.endpoints.names() if name.startswith("gateway.")
+        }
+        monitor = ProcessMonitor(controller)
+        monitor.class_breakdown()
+        monitor.producer_breakdown()
+        monitor.volume_report(bucket_seconds=DAY)
+        monitor.distinct_citizens_served()
+        monitor.access_latency_report()
+        after = {
+            name: controller.endpoints.get(name).stats.calls
+            for name in controller.endpoints.names() if name.startswith("gateway.")
+        }
+        assert before == after

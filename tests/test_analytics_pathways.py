@@ -1,0 +1,135 @@
+"""Tests for care-pathway mining."""
+
+import pytest
+
+from repro import DataController, DataProducer
+from repro.analytics.pathways import END, START, PathwayMiner
+from repro.clock import DAY
+from repro.exceptions import ConfigurationError
+from repro.sim.generators import standard_event_templates
+
+
+@pytest.fixture()
+def pathway_world():
+    """Three citizens with known pathways:
+
+    * p1, p2: Discharge -> HomeCare -> HomeCare
+    * p3:     Alarm -> Discharge
+    """
+    controller = DataController(seed="paths")
+    templates = standard_event_templates()
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    coop = DataProducer(controller, "Coop", "Coop")
+    telecare = DataProducer(controller, "Telecare", "Telecare")
+    discharge = hospital.declare_event_class(templates["HospitalDischarge"].build_schema())
+    home_care = coop.declare_event_class(
+        templates["HomeCareServiceEvent"].build_schema(), category="social")
+    alarm = telecare.declare_event_class(
+        templates["TelecareAlarm"].build_schema(), category="social")
+
+    import random
+
+    rng = random.Random(0)
+
+    def publish(producer, event_class, template_name, subject):
+        template = templates[template_name]
+        patient_stub = type("P", (), {
+            "patient_id": subject, "name": f"Pat {subject}",
+            "age_at": lambda self, year=2010: 80,
+        })()
+        producer.publish(
+            event_class, subject_id=subject, subject_name=f"Pat {subject}",
+            summary="event",
+            details=template.build_details(rng, patient_stub))
+        controller.clock.advance(DAY)
+
+    for subject in ("p1", "p2"):
+        publish(hospital, discharge, "HospitalDischarge", subject)
+        publish(coop, home_care, "HomeCareServiceEvent", subject)
+        publish(coop, home_care, "HomeCareServiceEvent", subject)
+    publish(telecare, alarm, "TelecareAlarm", "p3")
+    publish(hospital, discharge, "HospitalDischarge", "p3")
+    return controller
+
+
+class TestSequences:
+    def test_sequences_grouped_and_ordered(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=1)
+        sequences = miner.sequences()
+        assert [t for t, _ in sequences["p1"]] == [
+            "HospitalDischarge", "HomeCareServiceEvent", "HomeCareServiceEvent"]
+        assert [t for t, _ in sequences["p3"]] == [
+            "TelecareAlarm", "HospitalDischarge"]
+
+
+class TestTransitionGraph:
+    def test_edge_counts(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=1)
+        graph = miner.transition_graph()
+        assert graph["HospitalDischarge"]["HomeCareServiceEvent"]["count"] == 2
+        assert graph["HomeCareServiceEvent"]["HomeCareServiceEvent"]["count"] == 2
+        assert graph["TelecareAlarm"]["HospitalDischarge"]["count"] == 1
+        assert graph[START]["HospitalDischarge"]["count"] == 2
+        assert graph[START]["TelecareAlarm"]["count"] == 1
+        assert graph["HomeCareServiceEvent"][END]["count"] == 2
+
+    def test_transition_gaps_recorded(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=1)
+        transitions = {(t.source, t.target): t for t in miner.transitions()}
+        edge = transitions[("HospitalDischarge", "HomeCareServiceEvent")]
+        assert edge.median_gap_seconds == DAY
+
+    def test_suppression_hides_rare_transitions(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=2)
+        transitions = {(t.source, t.target): t for t in miner.transitions()}
+        rare = transitions[("TelecareAlarm", "HospitalDischarge")]
+        assert rare.count.suppressed
+        assert rare.median_gap_seconds is None  # timing hidden too
+        common = transitions[("HospitalDischarge", "HomeCareServiceEvent")]
+        assert not common.count.suppressed
+
+
+class TestDerivedViews:
+    def test_common_pathways(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=2)
+        pathways = miner.common_pathways(length=3)
+        assert (("HospitalDischarge", "HomeCareServiceEvent",
+                 "HomeCareServiceEvent"), 2) in pathways
+
+    def test_common_pathways_respect_threshold(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=3)
+        assert miner.common_pathways(length=3) == []
+
+    def test_bad_length_rejected(self, pathway_world):
+        with pytest.raises(ConfigurationError):
+            PathwayMiner(pathway_world).common_pathways(length=1)
+
+    def test_entry_points(self, pathway_world):
+        miner = PathwayMiner(pathway_world, suppression_threshold=1)
+        entries = miner.entry_points()
+        assert entries["HospitalDischarge"].value == 2
+        assert entries["TelecareAlarm"].value == 1
+
+    def test_hub_classes(self, pathway_world):
+        # HomeCare's self-transition gives it the highest degree centrality.
+        miner = PathwayMiner(pathway_world, suppression_threshold=1)
+        assert miner.hub_classes(top=1) == ["HomeCareServiceEvent"]
+        assert miner.hub_classes(top=2)[1] == "HospitalDischarge"
+
+    def test_render(self, pathway_world):
+        text = PathwayMiner(pathway_world, suppression_threshold=1).render()
+        assert "CARE-PATHWAY REPORT" in text
+        assert "HospitalDischarge" in text
+        assert "entry points:" in text
+
+    def test_threshold_validation(self, pathway_world):
+        with pytest.raises(ConfigurationError):
+            PathwayMiner(pathway_world, suppression_threshold=0)
+
+    def test_empty_platform(self):
+        controller = DataController(seed="empty")
+        miner = PathwayMiner(controller)
+        assert miner.sequences() == {}
+        assert miner.transitions() == []
+        assert miner.entry_points() == {}
+        assert miner.hub_classes() == []

@@ -1,0 +1,104 @@
+"""Tests for late-joiner catch-up via the events index."""
+
+import pytest
+
+from repro import DataConsumer, DataController, DataProducer
+from repro.clock import DAY
+from tests.conftest import blood_test_schema
+
+
+@pytest.fixture()
+def world():
+    controller = DataController(seed="catchup")
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    blood = hospital.declare_event_class(blood_test_schema())
+
+    def publish(subject):
+        return hospital.publish(
+            blood, subject_id=subject, subject_name=f"Patient {subject}",
+            summary=f"blood test for {subject}",
+            details={"PatientId": subject, "Name": f"Patient {subject}",
+                     "Hemoglobin": 14.0, "Glucose": 90.0, "HivResult": "negative"})
+
+    return controller, hospital, publish
+
+
+class TestCatchUp:
+    def test_late_joiner_sees_history(self, world):
+        controller, hospital, publish = world
+        publish("p1")
+        controller.clock.advance(DAY)
+        publish("p2")
+        # The doctor joins only now.
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        hospital.define_policy(
+            "BloodTest", fields=["PatientId", "Hemoglobin"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"])
+        doctor.subscribe("BloodTest")
+        added = doctor.catch_up("BloodTest")
+        assert added == 2
+        assert {n.subject_ref for n in doctor.inbox} == {"p1", "p2"}
+
+    def test_catch_up_is_idempotent(self, world):
+        controller, hospital, publish = world
+        publish("p1")
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        hospital.define_policy(
+            "BloodTest", fields=["PatientId"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"])
+        doctor.subscribe("BloodTest")
+        assert doctor.catch_up("BloodTest") == 1
+        assert doctor.catch_up("BloodTest") == 0
+        assert len(doctor.inbox) == 1
+
+    def test_catch_up_does_not_duplicate_live_deliveries(self, world):
+        controller, hospital, publish = world
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        hospital.define_policy(
+            "BloodTest", fields=["PatientId"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"])
+        doctor.subscribe("BloodTest")
+        publish("p1")  # delivered live
+        assert doctor.catch_up("BloodTest") == 0
+        assert len(doctor.inbox) == 1
+
+    def test_catch_up_respects_since(self, world):
+        controller, hospital, publish = world
+        publish("p1")
+        controller.clock.advance(10 * DAY)
+        publish("p2")
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        hospital.define_policy(
+            "BloodTest", fields=["PatientId"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"])
+        doctor.subscribe("BloodTest")
+        assert doctor.catch_up("BloodTest", since=5 * DAY) == 1
+        assert doctor.inbox[0].subject_ref == "p2"
+
+    def test_unauthorized_catch_up_returns_nothing(self, world):
+        controller, hospital, publish = world
+        publish("p1")
+        stranger = DataConsumer(controller, "Stranger", "Stranger")
+        assert stranger.catch_up("BloodTest") == 0
+
+    def test_caught_up_notification_supports_detail_request(self, world):
+        controller, hospital, publish = world
+        publish("p1")
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        hospital.define_policy(
+            "BloodTest", fields=["PatientId", "Hemoglobin"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"])
+        doctor.subscribe("BloodTest")
+        doctor.catch_up("BloodTest")
+        detail = doctor.request_details(doctor.inbox[0], "healthcare-treatment")
+        assert detail.exposed_values() == {"PatientId": "p1", "Hemoglobin": 14.0}

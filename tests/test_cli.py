@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestScenarioCommand:
+    def test_runs_and_prints_report(self):
+        code, output = run_cli("scenario", "--events", "30", "--patients", "10",
+                               "--seed", "3")
+        assert code == 0
+        assert "CSS SCENARIO REPORT" in output
+        assert "events published:        30" in output
+
+    def test_archive_option(self, tmp_path):
+        snap = tmp_path / "snap"
+        code, output = run_cli("scenario", "--events", "20", "--archive", str(snap))
+        assert code == 0
+        assert (snap / "manifest.json").exists()
+        assert "archived" in output
+
+
+class TestCompareCommand:
+    def test_prints_five_rows(self):
+        code, output = run_cli("compare", "--events", "30")
+        assert code == 0
+        assert "CSS (two-phase)" in output
+        assert "manual (Fig. 1)" in output
+        assert "point-to-point SOA" in output
+        assert "central warehouse" in output
+        assert "full-push pub/sub" in output
+
+
+class TestMonitorCommand:
+    def test_prints_aggregates(self):
+        code, output = run_cli("monitor", "--events", "40", "--threshold", "1")
+        assert code == 0
+        assert "SERVICE VOLUME" in output
+        assert "distinct citizens served:" in output
+
+    def test_suppression_threshold_respected(self):
+        code, output = run_cli("monitor", "--events", "30",
+                               "--threshold", "1000000")
+        assert code == 0
+        assert "<1000000" in output
+
+
+class TestInspectCommand:
+    def test_round_trip_through_archive(self, tmp_path):
+        snap = tmp_path / "snap"
+        run_cli("scenario", "--events", "25", "--archive", str(snap))
+        code, output = run_cli("inspect", str(snap))
+        assert code == 0
+        assert "chain verified" in output
+        assert "Guarantor access report" in output
+
+    def test_missing_archive_fails(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_cli("inspect", str(tmp_path / "nothing"))
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("frobnicate")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            run_cli()

@@ -1,0 +1,70 @@
+"""Unit tests for repro.clock."""
+
+import pytest
+
+from repro.clock import DAY, MONTH, Clock, WallClock
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance_moves_time(self):
+        clock = Clock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+
+    def test_advance_returns_new_instant(self):
+        clock = Clock(10.0)
+        assert clock.advance(2.5) == 12.5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)
+
+    def test_set_jumps_forward(self):
+        clock = Clock()
+        clock.set(1000.0)
+        assert clock.now() == 1000.0
+
+    def test_set_backwards_rejected(self):
+        clock = Clock(50.0)
+        with pytest.raises(ValueError):
+            clock.set(49.0)
+
+    def test_months_later_requests_are_cheap(self):
+        clock = Clock()
+        clock.advance(3 * MONTH)
+        assert clock.now() == 3 * MONTH
+
+    def test_isoformat_of_epoch(self):
+        assert Clock().isoformat(0.0).startswith("2010-01-01T00:00:00")
+
+    def test_isoformat_one_day_later(self):
+        assert Clock().isoformat(DAY).startswith("2010-01-02")
+
+    def test_isoformat_defaults_to_now(self):
+        clock = Clock()
+        clock.advance(DAY)
+        assert clock.isoformat() == clock.isoformat(DAY)
+
+
+class TestWallClock:
+    def test_advances_on_its_own(self):
+        clock = WallClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+    def test_manual_steering_rejected(self):
+        clock = WallClock()
+        with pytest.raises(NotImplementedError):
+            clock.advance(1.0)
+        with pytest.raises(NotImplementedError):
+            clock.set(1.0)

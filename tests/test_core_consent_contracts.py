@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.consent and repro.core.contracts."""
+
+import pytest
+
+from repro.core.actors import ActorKind
+from repro.core.consent import ConsentDecision, ConsentRegistry, ConsentScope
+from repro.core.contracts import Contract, ContractRegistry, ContractStatus
+from repro.exceptions import (
+    AlreadyRegisteredError,
+    ConsentError,
+    ContractInactiveError,
+    NotRegisteredError,
+)
+
+
+class TestConsentRegistry:
+    def test_default_opt_out_regime_grants(self):
+        registry = ConsentRegistry("Hospital", default_granted=True)
+        assert registry.allows_notification("p1", "BloodTest")
+        assert registry.allows_details("p1", "BloodTest")
+
+    def test_default_opt_in_regime_denies(self):
+        registry = ConsentRegistry("Hospital", default_granted=False)
+        assert not registry.allows_notification("p1", "BloodTest")
+
+    def test_opt_out_of_all_classes(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.NOTIFICATIONS)
+        assert not registry.allows_notification("p1", "BloodTest")
+        assert not registry.allows_notification("p1", "Anything")
+        assert registry.allows_notification("p2", "BloodTest")
+
+    def test_class_specific_opt_out(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.NOTIFICATIONS, "BloodTest")
+        assert not registry.allows_notification("p1", "BloodTest")
+        assert registry.allows_notification("p1", "HomeCare")
+
+    def test_specific_decision_overrides_general(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.NOTIFICATIONS)           # general out
+        registry.opt_in("p1", ConsentScope.NOTIFICATIONS, "BloodTest")  # specific in
+        assert registry.allows_notification("p1", "BloodTest")
+        assert not registry.allows_notification("p1", "HomeCare")
+
+    def test_later_decision_wins_at_same_specificity(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.DETAILS, "BloodTest", at=1.0)
+        registry.opt_in("p1", ConsentScope.DETAILS, "BloodTest", at=2.0)
+        assert registry.allows_details("p1", "BloodTest")
+
+    def test_details_opt_out_keeps_notifications(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.DETAILS, "BloodTest")
+        assert registry.allows_notification("p1", "BloodTest")
+        assert not registry.allows_details("p1", "BloodTest")
+
+    def test_notification_opt_out_implies_details_opt_out(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.NOTIFICATIONS, "BloodTest")
+        assert not registry.allows_details("p1", "BloodTest")
+
+    def test_decision_history_kept(self):
+        registry = ConsentRegistry("Hospital")
+        registry.opt_out("p1", ConsentScope.DETAILS)
+        registry.opt_in("p1", ConsentScope.DETAILS)
+        assert len(registry.decisions_of("p1")) == 2
+        assert len(registry) == 2
+
+    def test_empty_subject_rejected(self):
+        registry = ConsentRegistry("Hospital")
+        with pytest.raises(ConsentError):
+            registry.record(ConsentDecision("", ConsentScope.DETAILS, True))
+
+
+class TestContracts:
+    def contract(self, kind: ActorKind = ActorKind.PRODUCER,
+                 valid_until: float | None = None) -> Contract:
+        return Contract(party_id="Hospital", kind=kind, signed_at=0.0,
+                        valid_until=valid_until)
+
+    def test_sign_and_get(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract())
+        assert "Hospital" in registry
+        assert registry.get("Hospital").kind is ActorKind.PRODUCER
+
+    def test_double_sign_rejected(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract())
+        with pytest.raises(AlreadyRegisteredError):
+            registry.sign(self.contract())
+
+    def test_unknown_party_rejected(self):
+        with pytest.raises(NotRegisteredError):
+            ContractRegistry().get("nobody")
+
+    def test_active_window(self):
+        contract = self.contract(valid_until=100.0)
+        assert contract.is_active_at(50.0)
+        assert contract.is_active_at(100.0)
+        assert not contract.is_active_at(101.0)
+
+    def test_suspend_and_reinstate(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract())
+        registry.suspend("Hospital")
+        assert not registry.get("Hospital").is_active_at(0.0)
+        registry.reinstate("Hospital")
+        assert registry.get("Hospital").is_active_at(0.0)
+
+    def test_terminate_is_permanent(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract())
+        registry.terminate("Hospital")
+        with pytest.raises(ContractInactiveError):
+            registry.reinstate("Hospital")
+
+    def test_require_active_checks_expiry(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract(valid_until=10.0))
+        registry.require_active("Hospital", 5.0)
+        with pytest.raises(ContractInactiveError):
+            registry.require_active("Hospital", 20.0)
+
+    def test_require_active_checks_kind(self):
+        registry = ContractRegistry()
+        registry.sign(self.contract(kind=ActorKind.PRODUCER))
+        registry.require_active("Hospital", 0.0, must_produce=True)
+        with pytest.raises(ContractInactiveError):
+            registry.require_active("Hospital", 0.0, must_consume=True)
+
+    def test_both_kind_satisfies_either(self):
+        registry = ContractRegistry()
+        registry.sign(Contract(party_id="B", kind=ActorKind.BOTH, signed_at=0.0))
+        registry.require_active("B", 0.0, must_produce=True, must_consume=True)
+
+    def test_status_enum(self):
+        assert ContractStatus.ACTIVE.value == "active"

@@ -1,0 +1,136 @@
+"""Unit and property tests for repro.crypto.cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import SealedBox, StreamCipher, derive_key
+from repro.exceptions import CryptoError, TokenError
+
+
+class TestDeriveKey:
+    def test_is_deterministic(self):
+        assert derive_key("secret", "ctx") == derive_key("secret", "ctx")
+
+    def test_contexts_are_independent(self):
+        assert derive_key("secret", "a") != derive_key("secret", "b")
+
+    def test_secrets_are_independent(self):
+        assert derive_key("one", "ctx") != derive_key("two", "ctx")
+
+    def test_accepts_bytes_secret(self):
+        assert derive_key(b"secret", "ctx") == derive_key("secret", "ctx")
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(CryptoError):
+            derive_key("", "ctx")
+
+    def test_output_is_32_bytes(self):
+        assert len(derive_key("s", "c")) == 32
+
+
+class TestStreamCipher:
+    def test_apply_twice_round_trips(self):
+        cipher = StreamCipher(b"k" * 16)
+        nonce = b"n" * 8
+        data = b"sensitive payload"
+        assert cipher.apply(cipher.apply(data, nonce), nonce) == data
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError):
+            StreamCipher(b"short")
+
+    def test_short_nonce_rejected(self):
+        cipher = StreamCipher(b"k" * 16)
+        with pytest.raises(CryptoError):
+            cipher.apply(b"data", b"abc")
+
+    def test_different_nonces_give_different_ciphertexts(self):
+        cipher = StreamCipher(b"k" * 16)
+        data = b"same plaintext"
+        assert cipher.apply(data, b"nonce--1") != cipher.apply(data, b"nonce--2")
+
+    def test_handles_data_longer_than_one_block(self):
+        cipher = StreamCipher(b"k" * 16)
+        data = b"x" * 1000
+        nonce = b"n" * 16
+        assert cipher.apply(cipher.apply(data, nonce), nonce) == data
+
+    def test_empty_data(self):
+        cipher = StreamCipher(b"k" * 16)
+        assert cipher.apply(b"", b"n" * 8) == b""
+
+
+class TestSealedBox:
+    def test_round_trip(self):
+        box = SealedBox("secret")
+        token = box.seal("Mario Bianchi", sequence=1)
+        assert box.open(token) == "Mario Bianchi"
+
+    def test_token_is_opaque(self):
+        box = SealedBox("secret")
+        assert "Mario" not in box.seal("Mario Bianchi", sequence=1)
+
+    def test_sequences_give_distinct_tokens(self):
+        box = SealedBox("secret")
+        assert box.seal("same", 1) != box.seal("same", 2)
+
+    def test_same_sequence_is_deterministic(self):
+        box = SealedBox("secret")
+        assert box.seal("same", 7) == box.seal("same", 7)
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(CryptoError):
+            SealedBox("secret").seal("x", -1)
+
+    def test_tampered_token_detected(self):
+        box = SealedBox("secret")
+        token = box.seal("Mario Bianchi", 1)
+        flipped = ("0" if token[10] != "0" else "1")
+        tampered = token[:10] + flipped + token[11:]
+        with pytest.raises(TokenError):
+            box.open(tampered)
+
+    def test_wrong_key_detected(self):
+        token = SealedBox("secret-one").seal("data", 1)
+        with pytest.raises(TokenError):
+            SealedBox("secret-two").open(token)
+
+    def test_non_hex_token_rejected(self):
+        with pytest.raises(TokenError):
+            SealedBox("secret").open("zz-not-hex")
+
+    def test_truncated_token_rejected(self):
+        with pytest.raises(TokenError):
+            SealedBox("secret").open("ab" * 10)
+
+    def test_is_valid_true_and_false(self):
+        box = SealedBox("secret")
+        token = box.seal("x", 1)
+        assert box.is_valid(token)
+        assert not box.is_valid(token[:-2] + "00")
+        assert not box.is_valid("nothex!")
+
+    def test_unicode_round_trip(self):
+        box = SealedBox("secret")
+        text = "àèìòù — Trentino ♥"
+        assert box.open(box.seal(text, 3)) == text
+
+
+class TestSealedBoxProperties:
+    @given(text=st.text(max_size=200), sequence=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_seal_open_round_trip(self, text, sequence):
+        box = SealedBox("property-secret")
+        assert box.open(box.seal(text, sequence)) == text
+
+    @given(
+        first=st.text(max_size=60),
+        second=st.text(max_size=60),
+        sequence=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_plaintexts_distinct_tokens(self, first, second, sequence):
+        box = SealedBox("property-secret")
+        if first != second:
+            assert box.seal(first, sequence) != box.seal(second, sequence)

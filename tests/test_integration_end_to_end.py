@@ -1,0 +1,220 @@
+"""End-to-end integration tests: the full multi-organization care pathway.
+
+Reproduces the paper's scenario narrative: a hospital discharge triggers
+home-care activation; the family doctor and social services follow the
+citizen across organizations through notifications, and pull details under
+their respective purposes; the governing body monitors in aggregate; the
+privacy guarantor audits everything afterwards.
+"""
+
+import pytest
+
+from repro import (
+    AccessDeniedError,
+    DataConsumer,
+    DataController,
+    DataProducer,
+    ElementDecl,
+    MessageSchema,
+    Occurs,
+    StringType,
+)
+from repro.audit.log import AuditAction, AuditOutcome
+from repro.audit.query import AuditQuery
+from repro.audit.reports import data_subject_report, guarantor_report
+from repro.clock import DAY, MONTH
+from repro.xmlmsg.types import DecimalType, IntegerType
+
+
+def discharge_schema() -> MessageSchema:
+    return MessageSchema("HospitalDischarge", [
+        ElementDecl("PatientId", StringType(min_length=1), identifying=True),
+        ElementDecl("Name", StringType(min_length=1), identifying=True),
+        ElementDecl("Ward", StringType(min_length=1)),
+        ElementDecl("DiagnosisCode", StringType(), sensitive=True),
+        ElementDecl("FollowUpPlan", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+        ElementDecl("CostEuro", DecimalType(0, 100000)),
+    ])
+
+
+def home_care_schema() -> MessageSchema:
+    return MessageSchema("HomeCareServiceEvent", [
+        ElementDecl("PatientId", StringType(min_length=1), identifying=True),
+        ElementDecl("Name", StringType(min_length=1), identifying=True),
+        ElementDecl("ServiceType", StringType(min_length=1)),
+        ElementDecl("DurationMinutes", IntegerType(0, 600)),
+        ElementDecl("CareNotes", StringType(), occurs=Occurs.OPTIONAL, sensitive=True),
+    ])
+
+
+@pytest.fixture()
+def pathway():
+    controller = DataController(seed="pathway")
+    hospital = DataProducer(controller, "Hospital-S-Maria", "Hospital S. Maria")
+    coop = DataProducer(controller, "HomeAssist-Coop", "HomeAssist Cooperative")
+    discharge = hospital.declare_event_class(discharge_schema())
+    home_care = coop.declare_event_class(home_care_schema(), category="social")
+
+    doctor = DataConsumer(controller, "FamilyDoctors/Dr-Rossi", "Dr. Rossi",
+                          role="family-doctor")
+    social = DataConsumer(controller, "Municipality-Trento/SocialServices",
+                          "Social Services", role="social-worker")
+    welfare = DataConsumer(controller, "Province/SocialWelfare",
+                           "Social Welfare Dept", role="administrator")
+
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["PatientId", "Name", "Ward", "DiagnosisCode", "FollowUpPlan"],
+        consumers=[("family-doctor", "role")],
+        purposes=["healthcare-treatment"],
+    )
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["PatientId", "Name", "FollowUpPlan"],
+        consumers=[("Municipality-Trento/SocialServices", "unit")],
+        purposes=["healthcare-treatment", "administration"],
+    )
+    hospital.define_policy(
+        "HospitalDischarge",
+        fields=["Ward", "CostEuro"],
+        consumers=[("Province/SocialWelfare", "unit")],
+        purposes=["reimbursement"],
+    )
+    coop.define_policy(
+        "HomeCareServiceEvent",
+        fields=["PatientId", "Name", "ServiceType", "DurationMinutes", "CareNotes"],
+        consumers=[("family-doctor", "role"),
+                   ("Municipality-Trento/SocialServices", "unit")],
+        purposes=["healthcare-treatment"],
+    )
+    for consumer in (doctor, social):
+        consumer.subscribe("HospitalDischarge")
+        consumer.subscribe("HomeCareServiceEvent")
+    welfare.subscribe("HospitalDischarge")
+
+    return controller, hospital, coop, discharge, home_care, doctor, social, welfare
+
+
+class TestCarePathway:
+    def test_full_pathway(self, pathway):
+        (controller, hospital, coop, discharge, home_care,
+         doctor, social, welfare) = pathway
+        clock = controller.clock
+
+        # Day 0: the hospital discharges the patient with a home-care plan.
+        discharge_note = hospital.publish(
+            discharge, subject_id="pat-77", subject_name="Anna Conti",
+            summary="hospital discharge of Anna Conti",
+            details={"PatientId": "pat-77", "Name": "Anna Conti",
+                     "Ward": "Geriatrics", "DiagnosisCode": "I50.1",
+                     "FollowUpPlan": "home care activation", "CostEuro": 4200.0},
+        )
+        assert len(doctor.inbox) == 1
+        assert len(social.inbox) == 1
+        assert len(welfare.inbox) == 1
+
+        # The social worker reads the follow-up plan to arrange home care.
+        plan = social.request_details(discharge_note, "healthcare-treatment")
+        assert plan.exposed_values()["FollowUpPlan"] == "home care activation"
+        assert "DiagnosisCode" not in plan.exposed_values()
+
+        # The family doctor sees the diagnosis too.
+        clinical = doctor.request_details(discharge_note, "healthcare-treatment")
+        assert clinical.exposed_values()["DiagnosisCode"] == "I50.1"
+
+        # Welfare gets cost data for reimbursement, nothing clinical.
+        money = welfare.request_details(discharge_note, "reimbursement")
+        assert set(money.exposed_values()) == {"Ward", "CostEuro"}
+
+        # Days later: the cooperative starts delivering services.
+        clock.advance(3 * DAY)
+        visit = coop.publish(
+            home_care, subject_id="pat-77", subject_name="Anna Conti",
+            summary="home care service delivered to Anna Conti",
+            details={"PatientId": "pat-77", "Name": "Anna Conti",
+                     "ServiceType": "nursing", "DurationMinutes": 60,
+                     "CareNotes": "medication adherence issue"},
+        )
+        followup = doctor.request_details(visit, "healthcare-treatment")
+        assert followup.exposed_values()["CareNotes"] == "medication adherence issue"
+
+        # Months later the doctor re-reads the discharge details — the
+        # gateway still serves them (temporal decoupling, §4).
+        clock.advance(4 * MONTH)
+        late = doctor.request_details(discharge_note, "healthcare-treatment")
+        assert late.exposed_values()["DiagnosisCode"] == "I50.1"
+
+        # The citizen asks: who accessed my data and why?
+        report = data_subject_report(controller.audit_log, "pat-77")
+        actors = set(report.by_actor)
+        assert "FamilyDoctors/Dr-Rossi" in actors
+        assert "Municipality-Trento/SocialServices" in actors
+        assert report.chain_verified
+
+        # The guarantor audits discharge accesses.
+        audit = guarantor_report(controller.audit_log, event_type="HospitalDischarge")
+        assert audit.total >= 3
+        assert audit.by_purpose["reimbursement"] == 1
+
+    def test_cross_purpose_probing_is_denied_and_logged(self, pathway):
+        (controller, hospital, coop, discharge, home_care,
+         doctor, social, welfare) = pathway
+        note = hospital.publish(
+            discharge, subject_id="pat-1", subject_name="Carlo Greco",
+            summary="discharge", details={
+                "PatientId": "pat-1", "Name": "Carlo Greco", "Ward": "Surgery",
+                "DiagnosisCode": "K35.2", "FollowUpPlan": None, "CostEuro": 900.0,
+            },
+        )
+        # Welfare tries to read the discharge clinically — wrong purpose.
+        with pytest.raises(AccessDeniedError):
+            welfare.request_details(note, "healthcare-treatment")
+        # The doctor tries reimbursement — not granted either.
+        with pytest.raises(AccessDeniedError):
+            doctor.request_details(note, "reimbursement")
+        denies = (AuditQuery().by_action(AuditAction.DETAIL_REQUEST)
+                  .by_outcome(AuditOutcome.DENY).count(controller.audit_log))
+        assert denies == 2
+
+    def test_source_downtime_does_not_break_detail_requests(self, pathway):
+        (controller, hospital, coop, discharge, home_care,
+         doctor, social, welfare) = pathway
+        note = hospital.publish(
+            discharge, subject_id="pat-2", subject_name="Elena Bruno",
+            summary="discharge", details={
+                "PatientId": "pat-2", "Name": "Elena Bruno", "Ward": "Medicine",
+                "DiagnosisCode": "J18.9", "FollowUpPlan": None, "CostEuro": 700.0,
+            },
+        )
+        # The hospital's information system goes down for maintenance.
+        hospital.gateway.take_source_offline()
+        detail = doctor.request_details(note, "healthcare-treatment")
+        assert detail.exposed_values()["DiagnosisCode"] == "J18.9"
+        assert hospital.gateway.stats.served_from_cache == 1
+
+    def test_progressive_onboarding_of_new_institution(self, pathway):
+        """Institutions 'progressively join the CSS ecosystem' (§1)."""
+        (controller, hospital, coop, discharge, home_care,
+         doctor, social, welfare) = pathway
+        telecare = DataProducer(controller, "TelecareSpA", "Telecare S.p.A.")
+        alarm_schema = MessageSchema("TelecareAlarm", [
+            ElementDecl("PatientId", StringType(min_length=1), identifying=True),
+            ElementDecl("AlarmType", StringType(min_length=1)),
+        ])
+        alarm = telecare.declare_event_class(alarm_schema, category="social")
+        telecare.define_policy(
+            "TelecareAlarm",
+            fields=["PatientId", "AlarmType"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"],
+        )
+        doctor.subscribe("TelecareAlarm")
+        telecare.publish(alarm, subject_id="pat-77", subject_name="Anna Conti",
+                         summary="fall alarm",
+                         details={"PatientId": "pat-77", "AlarmType": "fall"})
+        alarms = doctor.notifications_of_type("TelecareAlarm")
+        assert len(alarms) == 1
+        detail = doctor.request_details(alarms[0], "healthcare-treatment")
+        assert detail.exposed_values()["AlarmType"] == "fall"
+        # Existing parties were untouched: no reconfiguration happened.
+        assert social.notifications_of_type("TelecareAlarm") == []

@@ -1,0 +1,177 @@
+"""Tests for the policy test-bench (§1's testability/auditability challenge)."""
+
+import pytest
+
+from repro import DataConsumer, DataController, DataProducer
+from repro.core.policy_testing import PolicyTester
+from repro.exceptions import UnknownEventClassError
+from tests.conftest import blood_test_schema
+
+
+@pytest.fixture()
+def bench():
+    controller = DataController(seed="bench-pol")
+    lab = DataProducer(controller, "Lab", "Laboratory")
+    blood = lab.declare_event_class(blood_test_schema())
+    lab.define_policy(
+        "BloodTest", fields=["PatientId", "Name", "Hemoglobin"],
+        consumers=[("family-doctor", "role")],
+        purposes=["healthcare-treatment"],
+    )
+    lab.define_policy(
+        "BloodTest", fields=["Hemoglobin", "Glucose"],
+        consumers=[("Province/Statistics", "unit")],
+        purposes=["statistical-analysis"],
+    )
+    lab.define_restriction(
+        "BloodTest", consumer=("Hospital/Psychiatry", "unit"),
+        purposes=["healthcare-treatment"],
+    )
+    tester = PolicyTester(controller.catalog, controller.policies)
+    return controller, lab, blood, tester
+
+
+class TestSimulate:
+    def test_permit_with_fields_and_grant_ids(self, bench):
+        controller, lab, blood, tester = bench
+        outcome = tester.simulate("Lab", "BloodTest", "healthcare-treatment",
+                                  actor_role="family-doctor")
+        assert outcome.permitted
+        assert outcome.released_fields == {"PatientId", "Name", "Hemoglobin"}
+        assert len(outcome.matched_grants) == 1
+        assert "PERMIT" in outcome.describe()
+
+    def test_deny_by_default(self, bench):
+        controller, lab, blood, tester = bench
+        outcome = tester.simulate("Lab", "BloodTest", "administration",
+                                  actor_role="family-doctor")
+        assert not outcome.permitted
+        assert "deny-by-default" in outcome.reason
+        assert "DENY" in outcome.describe()
+
+    def test_restriction_veto_is_explained(self, bench):
+        controller, lab, blood, tester = bench
+        outcome = tester.simulate("Lab", "BloodTest", "healthcare-treatment",
+                                  actor_id="Hospital/Psychiatry")
+        assert not outcome.permitted
+        assert outcome.vetoing_restrictions
+        assert "vetoed by restriction" in outcome.reason
+
+    def test_union_of_grants(self, bench):
+        controller, lab, blood, tester = bench
+        lab.define_policy(
+            "BloodTest", fields=["Glucose"],
+            consumers=[("family-doctor", "role")],
+            purposes=["healthcare-treatment"],
+        )
+        outcome = tester.simulate("Lab", "BloodTest", "healthcare-treatment",
+                                  actor_role="family-doctor")
+        assert outcome.released_fields == {"PatientId", "Name", "Hemoglobin", "Glucose"}
+        assert len(outcome.matched_grants) == 2
+
+    def test_dry_run_has_no_side_effects(self, bench):
+        controller, lab, blood, tester = bench
+        audit_before = len(controller.audit_log)
+        gateway_before = lab.gateway.stats.served_from_source
+        tester.simulate("Lab", "BloodTest", "healthcare-treatment",
+                        actor_role="family-doctor")
+        assert len(controller.audit_log) == audit_before
+        assert lab.gateway.stats.served_from_source == gateway_before
+
+    def test_simulation_agrees_with_real_enforcement(self, bench):
+        controller, lab, blood, tester = bench
+        doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi",
+                              role="family-doctor")
+        notification = lab.publish(
+            blood, subject_id="p1", subject_name="M B", summary="s",
+            details={"PatientId": "p1", "Name": "M", "Hemoglobin": 14.0,
+                     "Glucose": 90.0, "HivResult": "negative"})
+        outcome = tester.simulate("Lab", "BloodTest", "healthcare-treatment",
+                                  actor_id="Dr-Rossi", actor_role="family-doctor")
+        detail = doctor.request_details(notification, "healthcare-treatment")
+        assert set(detail.exposed_values()) == set(outcome.released_fields)
+
+    def test_validity_window_respected(self, bench):
+        controller, lab, blood, tester = bench
+        lab.define_policy(
+            "BloodTest", fields=["Glucose"],
+            consumers=[("Contractor", "unit")],
+            purposes=["administration"], valid_until=100.0,
+        )
+        assert tester.simulate("Lab", "BloodTest", "administration",
+                               actor_id="Contractor", at=50.0).permitted
+        assert not tester.simulate("Lab", "BloodTest", "administration",
+                                   actor_id="Contractor", at=200.0).permitted
+
+    def test_unknown_class_rejected(self, bench):
+        controller, lab, blood, tester = bench
+        with pytest.raises(UnknownEventClassError):
+            tester.simulate("Lab", "Bogus", "administration", actor_id="X")
+
+
+class TestProbeMatrix:
+    def test_full_matrix(self, bench):
+        controller, lab, blood, tester = bench
+        outcomes = tester.probe_matrix(
+            "Lab", "BloodTest",
+            actors=[("family-doctor", "role"), ("Province/Statistics", "unit"),
+                    ("Hospital/Psychiatry", "unit")],
+            purposes=["healthcare-treatment", "statistical-analysis"],
+        )
+        assert len(outcomes) == 6
+        permits = [o for o in outcomes if o.permitted]
+        assert len(permits) == 2  # doctor/care + statistics/stats
+        text = tester.render_matrix(outcomes)
+        assert text.count("PERMIT") == 2
+        assert text.count("DENY") == 4
+
+
+class TestExposureReport:
+    def test_sensitive_exposure_listing(self, bench):
+        controller, lab, blood, tester = bench
+        report = tester.exposure_report("Lab")
+        exposure = report.sensitive_exposure["BloodTest"]
+        assert exposure["Hemoglobin"] == ["role:family-doctor",
+                                          "unit:Province/Statistics"]
+        assert exposure["Glucose"] == ["unit:Province/Statistics"]
+        assert "HivResult" not in exposure  # never released
+        assert "SENSITIVE-EXPOSURE" in report.to_text()
+
+    def test_locked_classes_flagged(self, bench):
+        controller, lab, blood, tester = bench
+        from repro.xmlmsg.schema import ElementDecl, MessageSchema
+        from repro.xmlmsg.types import StringType
+
+        lab.declare_event_class(MessageSchema("Untouched", [
+            ElementDecl("a", StringType(), sensitive=True)]))
+        report = tester.exposure_report("Lab")
+        assert report.locked_classes == ["Untouched"]
+
+
+class TestRegressionChecks:
+    def test_never_released_passes_for_hidden_field(self, bench):
+        controller, lab, blood, tester = bench
+        assert tester.assert_never_released("Lab", "BloodTest", "HivResult") == []
+
+    def test_never_released_flags_violation(self, bench):
+        controller, lab, blood, tester = bench
+        result = lab.define_policy(
+            "BloodTest", fields=["HivResult"],
+            consumers=[("SomeUnit", "unit")],
+            purposes=["healthcare-treatment"],
+        )
+        violations = tester.assert_never_released("Lab", "BloodTest", "HivResult")
+        assert violations == [result.policies[0].policy_id]
+
+    def test_allow_list_exempts_selectors(self, bench):
+        controller, lab, blood, tester = bench
+        lab.define_policy(
+            "BloodTest", fields=["HivResult"],
+            consumers=[("InfectiousDiseases", "unit")],
+            purposes=["healthcare-treatment"],
+        )
+        violations = tester.assert_never_released(
+            "Lab", "BloodTest", "HivResult",
+            except_selectors=frozenset({"unit:InfectiousDiseases"}),
+        )
+        assert violations == []

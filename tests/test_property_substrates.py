@@ -1,0 +1,147 @@
+"""Property-based tests of the substrate invariants.
+
+* Bus: per-subscription FIFO order, at-least-once accounting
+  (delivered + dead-lettered + pending == fanned out), wildcard-matching
+  consistency.
+* Registry: the indexed query engine agrees with a brute-force filter.
+* Keystore: rotation never breaks previously sealed tokens.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.broker import ServiceBus
+from repro.bus.delivery import DeliveryPolicy
+from repro.bus.topics import topic_matches
+from repro.crypto.keystore import KeyStore
+from repro.registry.objects import RegistryObject
+from repro.registry.query import FilterQuery
+from repro.registry.registry import Registry
+
+TOPICS = ("events.health.BloodTest", "events.health.Discharge",
+          "events.social.HomeCare", "events.social.Alarm")
+PATTERNS = ("events.#", "events.health.*", "events.social.*",
+            "events.health.BloodTest", "events.*.Alarm")
+
+
+class TestBusProperties:
+    @given(publishes=st.lists(st.sampled_from(TOPICS), max_size=40),
+           pattern=st.sampled_from(PATTERNS))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_order_per_subscription(self, publishes, pattern):
+        bus = ServiceBus(strict_topics=False)
+        received: list[str] = []
+        bus.subscribe("c", pattern, lambda env: received.append(env.body))
+        for index, topic in enumerate(publishes):
+            bus.publish(topic, "p", f"{index}:{topic}")
+        expected = [
+            f"{index}:{topic}" for index, topic in enumerate(publishes)
+            if topic_matches(pattern, topic)
+        ]
+        assert received == expected
+
+    @given(
+        publishes=st.lists(st.sampled_from(TOPICS), max_size=30),
+        fail_first_n=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_message_lost_or_duplicated(self, publishes, fail_first_n):
+        """delivered + dead-lettered + pending == enqueued, exactly."""
+        bus = ServiceBus(strict_topics=False, auto_dispatch=False,
+                         delivery_policy=DeliveryPolicy(max_attempts=2))
+        seen: list[str] = []
+        state = {"failures_left": fail_first_n}
+
+        def flaky(envelope):
+            if state["failures_left"] > 0:
+                state["failures_left"] -= 1
+                raise RuntimeError("transient")
+            seen.append(envelope.message_id)
+
+        subscription = bus.subscribe("c", "events.#", flaky)
+        for topic in publishes:
+            bus.publish(topic, "p", "x")
+        for _ in range(len(publishes) * 3 + 5):
+            bus.dispatch()
+        stats = subscription.queue.stats
+        accounted = stats.delivered + stats.dead_lettered + subscription.queue.depth
+        assert accounted == stats.enqueued == len(publishes)
+        # Delivered messages were delivered exactly once.
+        assert len(seen) == len(set(seen)) == stats.delivered
+
+    @given(topic=st.sampled_from(TOPICS))
+    @settings(max_examples=20, deadline=None)
+    def test_fanout_reaches_exactly_matching_subscriptions(self, topic):
+        bus = ServiceBus(strict_topics=False)
+        boxes = {pattern: [] for pattern in PATTERNS}
+        for pattern in PATTERNS:
+            bus.subscribe(pattern, pattern, boxes[pattern].append)
+        bus.publish(topic, "p", "x")
+        for pattern in PATTERNS:
+            expected = 1 if topic_matches(pattern, topic) else 0
+            assert len(boxes[pattern]) == expected
+
+
+CLASSES = ("BloodTest", "HomeCare", "Alarm")
+
+
+def registry_objects(data: list[tuple[str, str]]) -> list[RegistryObject]:
+    objects = []
+    for index, (event_class, stamp) in enumerate(data):
+        obj = RegistryObject(object_id=f"n{index}", object_type="Notification",
+                             name=f"event {index}")
+        obj.classify("EventClass", event_class)
+        obj.set_slot("occurredAt", stamp)
+        objects.append(obj)
+    return objects
+
+
+class TestRegistryProperties:
+    @given(
+        data=st.lists(
+            st.tuples(st.sampled_from(CLASSES),
+                      st.from_regex(r"2010-(0[1-9]|1[0-2])-(0[1-9]|2[0-8])",
+                                    fullmatch=True)),
+            max_size=30,
+        ),
+        wanted_class=st.sampled_from(CLASSES),
+        since=st.from_regex(r"2010-(0[1-9]|1[0-2])-01", fullmatch=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_indexed_query_equals_brute_force(self, data, wanted_class, since):
+        registry = Registry()
+        objects = registry_objects(data)
+        for obj in objects:
+            registry.submit(obj)
+        query = (FilterQuery(object_type="Notification")
+                 .where("class:EventClass", "eq", wanted_class)
+                 .where("slot:occurredAt", "ge", since))
+        indexed = {obj.object_id for obj in registry.query(query)}
+        brute_force = {
+            obj.object_id for obj in objects
+            if obj.classification_node("EventClass") == wanted_class
+            and (obj.slot_value("occurredAt") or "") >= since
+        }
+        assert indexed == brute_force
+
+
+class TestKeystoreRotationProperty:
+    @given(
+        values=st.lists(st.text(min_size=1, max_size=30), min_size=1, max_size=10),
+        rotations=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_preserves_old_tokens(self, values, rotations):
+        store = KeyStore("rotation-secret")
+        store.create("k")
+        tokens = []
+        sequence = 0
+        for value in values:
+            sequence += 1
+            tokens.append((value, store.seal("k", value, sequence)))
+            if rotations and sequence % max(1, len(values) // (rotations + 1)) == 0:
+                store.rotate("k")
+        for value, token in tokens:
+            assert store.open_("k", token) == value

@@ -1,0 +1,204 @@
+"""Unit tests for repro.registry (objects, query, registry service)."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateObjectError,
+    ObjectNotFoundError,
+    QueryError,
+    RegistryError,
+)
+from repro.registry.objects import (
+    Association,
+    Classification,
+    LifecycleStatus,
+    RegistryObject,
+    Slot,
+)
+from repro.registry.query import FilterQuery, Predicate
+from repro.registry.registry import Registry
+
+
+def notification(object_id: str, event_class: str = "BloodTest",
+                 occurred_at: str = "2010-03-01") -> RegistryObject:
+    obj = RegistryObject(object_id=object_id, object_type="Notification",
+                         name=f"event {object_id}")
+    obj.classify("EventClass", event_class)
+    obj.set_slot("occurredAt", occurred_at)
+    return obj
+
+
+class TestSlot:
+    def test_single_value(self):
+        assert Slot("s", ("v",)).value == "v"
+
+    def test_multi_value_has_no_single_value(self):
+        with pytest.raises(RegistryError):
+            Slot("s", ("a", "b")).value
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RegistryError):
+            Slot("", ("v",))
+
+
+class TestClassification:
+    def test_requires_scheme_and_node(self):
+        with pytest.raises(RegistryError):
+            Classification("", "node")
+        with pytest.raises(RegistryError):
+            Classification("scheme", "")
+
+
+class TestRegistryObject:
+    def test_requires_id_and_type(self):
+        with pytest.raises(RegistryError):
+            RegistryObject(object_id="", object_type="T")
+        with pytest.raises(RegistryError):
+            RegistryObject(object_id="x", object_type="")
+
+    def test_slots_set_and_get(self):
+        obj = notification("n1")
+        obj.set_slot("producerId", "Hospital")
+        assert obj.slot_value("producerId") == "Hospital"
+        assert obj.slot_values("missing") == ()
+        assert obj.slot_value("missing", "dflt") == "dflt"
+
+    def test_set_slot_replaces(self):
+        obj = notification("n1")
+        obj.set_slot("k", "v1")
+        obj.set_slot("k", "v2")
+        assert obj.slot_value("k") == "v2"
+
+    def test_classify_idempotent(self):
+        obj = notification("n1")
+        obj.classify("EventClass", "BloodTest")
+        assert len(obj.classifications) == 1
+
+    def test_classification_node_lookup(self):
+        obj = notification("n1")
+        assert obj.classification_node("EventClass") == "BloodTest"
+        assert obj.classification_node("Missing") is None
+
+    def test_is_classified_as(self):
+        obj = notification("n1")
+        assert obj.is_classified_as("EventClass", "BloodTest")
+        assert not obj.is_classified_as("EventClass", "Other")
+
+
+class TestPredicate:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate("name", "like", "x")
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate("bogus", "eq", "x")
+
+    def test_field_match(self):
+        obj = notification("n1")
+        assert Predicate("name", "prefix", "event").matches(obj)
+        assert Predicate("object_type", "eq", "Notification").matches(obj)
+
+    def test_status_match(self):
+        obj = notification("n1")
+        assert Predicate("status", "eq", "submitted").matches(obj)
+
+    def test_classification_match(self):
+        obj = notification("n1")
+        assert Predicate("class:EventClass", "eq", "BloodTest").matches(obj)
+        assert not Predicate("class:EventClass", "eq", "Other").matches(obj)
+        assert not Predicate("class:Missing", "eq", "x").matches(obj)
+
+    def test_slot_range_match(self):
+        obj = notification("n1", occurred_at="2010-03-15")
+        assert Predicate("slot:occurredAt", "ge", "2010-03-01").matches(obj)
+        assert Predicate("slot:occurredAt", "le", "2010-03-31").matches(obj)
+        assert not Predicate("slot:occurredAt", "gt", "2010-03-15").matches(obj)
+
+    def test_slot_any_value_matches(self):
+        obj = notification("n1")
+        obj.set_slot("tags", "a", "b")
+        assert Predicate("slot:tags", "eq", "b").matches(obj)
+
+
+class TestRegistryService:
+    def test_submit_and_get(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        assert registry.get("n1").object_id == "n1"
+        assert "n1" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_submit_rejected(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        with pytest.raises(DuplicateObjectError):
+            registry.submit(notification("n1"))
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(ObjectNotFoundError):
+            Registry().get("nope")
+
+    def test_lifecycle_transitions(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        registry.approve("n1")
+        assert registry.get("n1").status is LifecycleStatus.APPROVED
+        registry.deprecate("n1")
+        assert registry.get("n1").status is LifecycleStatus.DEPRECATED
+        registry.withdraw("n1")
+        assert registry.get("n1").status is LifecycleStatus.WITHDRAWN
+
+    def test_by_type_and_classification_indexes(self):
+        registry = Registry()
+        registry.submit(notification("n1", "BloodTest"))
+        registry.submit(notification("n2", "HomeCare"))
+        registry.submit(notification("n3", "BloodTest"))
+        assert [o.object_id for o in registry.by_type("Notification")] == ["n1", "n2", "n3"]
+        assert [o.object_id for o in registry.by_classification("EventClass", "BloodTest")] == ["n1", "n3"]
+
+    def test_query_conjunction(self):
+        registry = Registry()
+        registry.submit(notification("n1", "BloodTest", "2010-01-01"))
+        registry.submit(notification("n2", "BloodTest", "2010-06-01"))
+        registry.submit(notification("n3", "HomeCare", "2010-06-01"))
+        query = (FilterQuery(object_type="Notification")
+                 .where("class:EventClass", "eq", "BloodTest")
+                 .where("slot:occurredAt", "ge", "2010-03-01"))
+        assert [o.object_id for o in registry.query(query)] == ["n2"]
+
+    def test_query_excludes_withdrawn_by_default(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        registry.withdraw("n1")
+        query = FilterQuery(object_type="Notification")
+        assert registry.query(query) == []
+        assert len(registry.query(query, include_withdrawn=True)) == 1
+
+    def test_query_type_restriction(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        other = RegistryObject(object_id="x1", object_type="Other")
+        registry.submit(other)
+        assert len(registry.query(FilterQuery(object_type="Other"))) == 1
+
+    def test_associations(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        registry.submit(notification("n2"))
+        registry.associate(Association("relatesTo", "n1", "n2"))
+        assert len(registry.associations_from("n1")) == 1
+        assert len(registry.associations_to("n2", "relatesTo")) == 1
+        assert registry.associations_from("n2") == []
+
+    def test_associate_requires_stored_objects(self):
+        registry = Registry()
+        registry.submit(notification("n1"))
+        with pytest.raises(ObjectNotFoundError):
+            registry.associate(Association("t", "n1", "missing"))
+
+    def test_association_validation(self):
+        with pytest.raises(RegistryError):
+            Association("", "a", "b")
+        with pytest.raises(RegistryError):
+            Association("t", "", "b")

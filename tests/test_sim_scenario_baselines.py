@@ -1,0 +1,150 @@
+"""Integration tests: the CSS scenario runner versus the four baselines.
+
+These tests pin the *shape* claims of the paper (DESIGN.md §5): the CSS
+two-phase architecture discloses no unneeded field, traces every access,
+never duplicates sensitive data centrally, while every baseline breaks at
+least one of those properties.
+"""
+
+import pytest
+
+from repro.baselines import (
+    FullPushBaseline,
+    ManualExchangeBaseline,
+    PointToPointSoaBaseline,
+    WarehouseBaseline,
+)
+from repro.sim.scenario import (
+    DEFAULT_CONSUMERS,
+    DEFAULT_PRODUCER_ASSIGNMENT,
+    CssScenario,
+    ScenarioConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_run():
+    config = ScenarioConfig(n_patients=15, n_events=80, detail_request_rate=0.4, seed=11)
+    scenario = CssScenario(config)
+    workload = scenario.generate_workload()
+    report = scenario.run(workload)
+    return scenario, workload, report
+
+
+@pytest.fixture(scope="module")
+def baseline_reports(scenario_run):
+    scenario, workload, _ = scenario_run
+    consumers = list(DEFAULT_CONSUMERS)
+    return {
+        "manual": ManualExchangeBaseline(scenario.templates, consumers).run(workload),
+        "p2p": PointToPointSoaBaseline(
+            scenario.templates, consumers, DEFAULT_PRODUCER_ASSIGNMENT
+        ).run(workload),
+        "warehouse": WarehouseBaseline(scenario.templates, consumers).run(workload),
+        "full_push": FullPushBaseline(
+            scenario.templates, consumers, DEFAULT_PRODUCER_ASSIGNMENT
+        ).run(workload),
+    }
+
+
+class TestCssScenario:
+    def test_all_events_published(self, scenario_run):
+        _, workload, report = scenario_run
+        assert report.events_published == len(workload)
+
+    def test_zero_overexposure(self, scenario_run):
+        """CSS grants exactly the needed fields: nothing unneeded leaks."""
+        _, _, report = scenario_run
+        assert report.exposure.overexposed == 0
+        assert report.exposure.sensitive_overexposed == 0
+
+    def test_full_traceability(self, scenario_run):
+        _, _, report = scenario_run
+        assert report.exposure.traced_fraction == 1.0
+        assert report.audit_chain_verified
+
+    def test_no_denies_in_well_configured_deployment(self, scenario_run):
+        _, _, report = scenario_run
+        assert report.detail_denies == 0
+        assert report.detail_permits == report.detail_requests
+
+    def test_notifications_fan_out(self, scenario_run):
+        _, _, report = scenario_run
+        assert report.notifications_delivered >= report.events_published
+
+    def test_deterministic_under_seed(self):
+        config = ScenarioConfig(n_patients=10, n_events=30, seed=5)
+        first = CssScenario(config).run()
+        second = CssScenario(ScenarioConfig(n_patients=10, n_events=30, seed=5)).run()
+        assert first.exposure.disclosures == second.exposure.disclosures
+        assert first.detail_requests == second.detail_requests
+
+    def test_zero_request_rate_discloses_nothing(self):
+        config = ScenarioConfig(n_patients=10, n_events=30,
+                                detail_request_rate=0.0, seed=5)
+        report = CssScenario(config).run()
+        assert report.detail_requests == 0
+        assert report.exposure.disclosures == 0
+
+    def test_report_renders(self, scenario_run):
+        _, _, report = scenario_run
+        text = report.to_text()
+        assert "CSS SCENARIO REPORT" in text
+
+
+class TestBaselineShapes:
+    def test_baselines_disclose_more_than_css(self, scenario_run, baseline_reports):
+        _, _, css = scenario_run
+        for name, report in baseline_reports.items():
+            assert report.exposure.disclosures > css.exposure.disclosures, name
+
+    def test_baselines_overexpose(self, baseline_reports):
+        for name, report in baseline_reports.items():
+            assert report.exposure.overexposed > 0, name
+            assert report.exposure.sensitive_overexposed > 0, name
+
+    def test_manual_and_p2p_are_untraced(self, baseline_reports):
+        assert baseline_reports["manual"].exposure.traced_fraction == 0.0
+        assert baseline_reports["p2p"].exposure.traced_fraction == 0.0
+
+    def test_warehouse_duplicates_sensitive_data(self, baseline_reports):
+        assert baseline_reports["warehouse"].duplicated_sensitive_values > 0
+
+    def test_css_duplicates_nothing(self, scenario_run):
+        """Sensitive details stay at the producer; the index holds only
+        encrypted who/what/when/where."""
+        scenario, _, _ = scenario_run
+        for event_id in list(scenario.controller.id_map._by_global):  # noqa: SLF001
+            obj = scenario.controller.index.registry.get(event_id)
+            slot_names = set(obj.slots)
+            assert slot_names <= {"occurredAt", "producerId", "subjectRef", "subjectDisplay"}
+
+    def test_full_push_transfers_more_sensitive_values(self, scenario_run, baseline_reports):
+        _, _, css = scenario_run
+        full_push = baseline_reports["full_push"]
+        assert full_push.exposure.sensitive_disclosures > css.exposure.sensitive_disclosures
+
+    def test_p2p_connector_count_exceeds_bus_subscriptions_at_scale(self):
+        """O(N*M) connectors vs O(N+M) bus links, on a synthetic all-to-all
+        interest matrix."""
+        n_producers, n_consumers = 10, 12
+        p2p_connectors = n_producers * n_consumers
+        bus_links = n_producers + n_consumers
+        assert p2p_connectors > 4 * bus_links
+
+
+class TestConsentInScenario:
+    def test_opt_out_blocks_publication_in_scenario(self):
+        config = ScenarioConfig(n_patients=5, n_events=40, seed=3)
+        scenario = CssScenario(config)
+        workload = scenario.generate_workload()
+        # Every patient opts out of everything at every producer.
+        from repro.core.consent import ConsentScope
+
+        for producer in scenario.producers.values():
+            for patient in scenario.population:
+                producer.consent.opt_out(patient.patient_id, ConsentScope.NOTIFICATIONS)
+        report = scenario.run(workload)
+        assert report.events_published == 0
+        assert report.events_blocked_by_consent == len(workload)
+        assert report.exposure.disclosures == 0

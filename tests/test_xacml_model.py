@@ -1,0 +1,162 @@
+"""Unit tests for repro.xacml.model and repro.xacml.functions."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.xacml.context import RequestContext
+from repro.xacml.functions import (
+    hierarchy_descendant,
+    resolve,
+    string_equal,
+    string_equal_ignore_case,
+    string_regexp_match,
+    time_greater_or_equal,
+    time_less_or_equal,
+)
+from repro.xacml.model import (
+    CombiningAlgorithm,
+    Effect,
+    Match,
+    Obligation,
+    Policy,
+    PolicySet,
+    Rule,
+    Target,
+)
+
+
+class TestFunctions:
+    def test_string_equal(self):
+        assert string_equal("a", "a")
+        assert not string_equal("a", "A")
+
+    def test_string_equal_ignore_case(self):
+        assert string_equal_ignore_case("a", "A")
+
+    def test_regexp_full_match(self):
+        assert string_regexp_match("Hospital/Lab", r"Hospital/.*")
+        assert not string_regexp_match("XHospital/Lab", r"Hospital/.*")
+
+    def test_regexp_bad_pattern_rejected(self):
+        with pytest.raises(PolicyError):
+            string_regexp_match("x", "(unclosed")
+
+    def test_hierarchy_descendant(self):
+        assert hierarchy_descendant("Hospital", "Hospital")
+        assert hierarchy_descendant("Hospital/Lab", "Hospital")
+        assert hierarchy_descendant("Hospital/Lab/Unit", "Hospital/Lab")
+        assert not hierarchy_descendant("Hospital2", "Hospital")
+        assert not hierarchy_descendant("Hospital", "Hospital/Lab")
+
+    def test_time_comparisons(self):
+        assert time_less_or_equal("2010-01-01", "2010-06-01")
+        assert time_greater_or_equal("2010-06-01", "2010-01-01")
+        assert time_less_or_equal("2010-06-01", "2010-06-01")
+
+    def test_resolve_known_and_unknown(self):
+        assert resolve("string-equal") is string_equal
+        with pytest.raises(PolicyError):
+            resolve("no-such-function")
+
+
+def request(**attrs) -> RequestContext:
+    return RequestContext.build(**attrs)
+
+
+class TestMatch:
+    def test_match_on_any_bag_value(self):
+        match = Match("subject:role", "string-equal", "doctor")
+        ctx = RequestContext({"subject:role": ("nurse", "doctor")})
+        assert match.evaluate(ctx)
+
+    def test_empty_bag_never_matches(self):
+        match = Match("subject:role", "string-equal", "doctor")
+        assert not match.evaluate(RequestContext({}))
+
+    def test_unknown_function_rejected_eagerly(self):
+        with pytest.raises(PolicyError):
+            Match("subject:role", "bogus", "x")
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(PolicyError):
+            Match("", "string-equal", "x")
+
+
+class TestTarget:
+    def test_empty_target_matches_everything(self):
+        assert Target().applies_to(RequestContext({}))
+
+    def test_all_of_conjunction(self):
+        target = Target(all_of=(
+            Match("subject:role", "string-equal", "doctor"),
+            Match("resource:event-type", "string-equal", "BloodTest"),
+        ))
+        assert target.applies_to(request(subject__role="doctor",
+                                         resource__event_type="BloodTest"))
+        assert not target.applies_to(request(subject__role="doctor",
+                                             resource__event_type="Other"))
+
+    def test_any_of_alternatives(self):
+        target = Target(any_of=(
+            (Match("action:purpose", "string-equal", "care"),),
+            (Match("action:purpose", "string-equal", "stats"),),
+        ))
+        assert target.applies_to(request(action__purpose="care"))
+        assert target.applies_to(request(action__purpose="stats"))
+        assert not target.applies_to(request(action__purpose="marketing"))
+
+    def test_all_of_and_any_of_combine(self):
+        target = Target(
+            all_of=(Match("subject:role", "string-equal", "doctor"),),
+            any_of=((Match("action:purpose", "string-equal", "care"),),),
+        )
+        assert target.applies_to(request(subject__role="doctor", action__purpose="care"))
+        assert not target.applies_to(request(subject__role="nurse", action__purpose="care"))
+        assert not target.applies_to(request(subject__role="doctor", action__purpose="x"))
+
+
+class TestModelValidation:
+    def test_rule_requires_id(self):
+        with pytest.raises(PolicyError):
+            Rule(rule_id="", effect=Effect.PERMIT)
+
+    def test_policy_requires_rules(self):
+        with pytest.raises(PolicyError):
+            Policy(policy_id="p", target=Target(), rules=())
+
+    def test_policy_rejects_duplicate_rule_ids(self):
+        rule = Rule(rule_id="r", effect=Effect.PERMIT)
+        with pytest.raises(PolicyError):
+            Policy(policy_id="p", target=Target(), rules=(rule, rule))
+
+    def test_policy_set_rejects_duplicate_policy_ids(self):
+        policy = Policy(policy_id="p", target=Target(),
+                        rules=(Rule(rule_id="r", effect=Effect.PERMIT),))
+        with pytest.raises(PolicyError):
+            PolicySet(policy_set_id="ps", policies=(policy, policy))
+
+    def test_obligation_requires_id(self):
+        with pytest.raises(PolicyError):
+            Obligation("", Effect.PERMIT)
+
+    def test_obligations_for_effect(self):
+        permit_ob = Obligation("on-permit", Effect.PERMIT)
+        deny_ob = Obligation("on-deny", Effect.DENY)
+        policy = Policy(
+            policy_id="p", target=Target(),
+            rules=(Rule(rule_id="r", effect=Effect.PERMIT),),
+            obligations=(permit_ob, deny_ob),
+        )
+        assert policy.obligations_for(Effect.PERMIT) == (permit_ob,)
+        assert policy.obligations_for(Effect.DENY) == (deny_ob,)
+
+    def test_obligation_assignment_values(self):
+        obligation = Obligation(
+            "css:release-fields", Effect.PERMIT,
+            assignments=(("field", "a"), ("field", "b"), ("other", "c")),
+        )
+        assert obligation.assignment_values("field") == ("a", "b")
+        assert obligation.assignment_values("missing") == ()
+
+    def test_combining_algorithm_values(self):
+        assert CombiningAlgorithm("deny-overrides") is CombiningAlgorithm.DENY_OVERRIDES

@@ -1,0 +1,172 @@
+"""Unit tests for the Policy Decision Point (combining algorithms, obligations)."""
+
+import pytest
+
+from repro.xacml.context import Decision, RequestContext
+from repro.xacml.model import (
+    OBLIGATION_RELEASE_FIELDS,
+    CombiningAlgorithm,
+    Effect,
+    Match,
+    Obligation,
+    Policy,
+    PolicySet,
+    Rule,
+    Target,
+)
+from repro.xacml.pdp import PolicyDecisionPoint
+
+
+def role_match(role: str) -> Match:
+    return Match("subject:role", "string-equal", role)
+
+
+def permit_rule(rule_id: str = "permit", role: str | None = None) -> Rule:
+    target = Target(all_of=(role_match(role),)) if role else Target()
+    return Rule(rule_id=rule_id, effect=Effect.PERMIT, target=target)
+
+
+def deny_rule(rule_id: str = "deny", role: str | None = None) -> Rule:
+    target = Target(all_of=(role_match(role),)) if role else Target()
+    return Rule(rule_id=rule_id, effect=Effect.DENY, target=target)
+
+
+def ctx(role: str = "doctor") -> RequestContext:
+    return RequestContext.build(subject__role=role)
+
+
+@pytest.fixture()
+def pdp() -> PolicyDecisionPoint:
+    return PolicyDecisionPoint()
+
+
+class TestPolicyEvaluation:
+    def test_not_applicable_when_target_misses(self, pdp):
+        policy = Policy("p", Target(all_of=(role_match("nurse"),)), (permit_rule(),))
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.NOT_APPLICABLE
+
+    def test_not_applicable_when_no_rule_applies(self, pdp):
+        policy = Policy("p", Target(), (permit_rule(role="nurse"),))
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.NOT_APPLICABLE
+
+    def test_permit_when_rule_applies(self, pdp):
+        policy = Policy("p", Target(), (permit_rule(role="doctor"),))
+        response = pdp.evaluate_policy(policy, ctx("doctor"))
+        assert response.decision is Decision.PERMIT
+        assert response.permitted
+
+    def test_deny_overrides_beats_permit(self, pdp):
+        policy = Policy(
+            "p", Target(),
+            (permit_rule("r1", "doctor"), deny_rule("r2", "doctor")),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.DENY
+
+    def test_permit_overrides_beats_deny(self, pdp):
+        policy = Policy(
+            "p", Target(),
+            (deny_rule("r1", "doctor"), permit_rule("r2", "doctor")),
+            combining=CombiningAlgorithm.PERMIT_OVERRIDES,
+        )
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.PERMIT
+
+    def test_first_applicable_takes_first(self, pdp):
+        policy = Policy(
+            "p", Target(),
+            (deny_rule("r1", "doctor"), permit_rule("r2", "doctor")),
+            combining=CombiningAlgorithm.FIRST_APPLICABLE,
+        )
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.DENY
+
+    def test_first_applicable_skips_inapplicable(self, pdp):
+        policy = Policy(
+            "p", Target(),
+            (deny_rule("r1", "nurse"), permit_rule("r2", "doctor")),
+            combining=CombiningAlgorithm.FIRST_APPLICABLE,
+        )
+        assert pdp.evaluate_policy(policy, ctx("doctor")).decision is Decision.PERMIT
+
+    def test_permit_obligations_attached_on_permit(self, pdp):
+        obligation = Obligation(
+            OBLIGATION_RELEASE_FIELDS, Effect.PERMIT,
+            assignments=(("field", "a"), ("field", "b")),
+        )
+        policy = Policy("p", Target(), (permit_rule(role="doctor"),),
+                        obligations=(obligation,))
+        response = pdp.evaluate_policy(policy, ctx("doctor"))
+        assert len(response.obligations) == 1
+        outcome = response.obligations[0]
+        assert outcome.obligation_id == OBLIGATION_RELEASE_FIELDS
+        assert outcome.assignment("field") == ("a", "b")
+
+    def test_permit_obligations_not_attached_on_deny(self, pdp):
+        obligation = Obligation(OBLIGATION_RELEASE_FIELDS, Effect.PERMIT)
+        policy = Policy("p", Target(), (deny_rule(role="doctor"),),
+                        obligations=(obligation,))
+        response = pdp.evaluate_policy(policy, ctx("doctor"))
+        assert response.decision is Decision.DENY
+        assert response.obligations == []
+
+    def test_stats_count_evaluations(self, pdp):
+        policy = Policy("p", Target(), (permit_rule(role="doctor"),))
+        pdp.evaluate_policy(policy, ctx())
+        assert pdp.stats.requests == 1
+        assert pdp.stats.policies_evaluated == 1
+        assert pdp.stats.rules_evaluated == 1
+
+
+class TestPolicySetEvaluation:
+    def test_empty_set_not_applicable(self, pdp):
+        policy_set = PolicySet("ps", ())
+        assert pdp.evaluate_policy_set(policy_set, ctx()).decision is Decision.NOT_APPLICABLE
+
+    def test_set_target_gates_everything(self, pdp):
+        policy = Policy("p", Target(), (permit_rule(),))
+        policy_set = PolicySet("ps", (policy,), target=Target(all_of=(role_match("nurse"),)))
+        assert pdp.evaluate_policy_set(policy_set, ctx("doctor")).decision is Decision.NOT_APPLICABLE
+
+    def test_permit_overrides_across_policies(self, pdp):
+        denying = Policy("p1", Target(), (deny_rule(role="doctor"),))
+        permitting = Policy("p2", Target(), (permit_rule(role="doctor"),))
+        policy_set = PolicySet("ps", (denying, permitting),
+                               combining=CombiningAlgorithm.PERMIT_OVERRIDES)
+        assert pdp.evaluate_policy_set(policy_set, ctx()).decision is Decision.PERMIT
+
+    def test_deny_overrides_across_policies(self, pdp):
+        denying = Policy("p1", Target(), (deny_rule(role="doctor"),))
+        permitting = Policy("p2", Target(), (permit_rule(role="doctor"),))
+        policy_set = PolicySet("ps", (permitting, denying),
+                               combining=CombiningAlgorithm.DENY_OVERRIDES)
+        assert pdp.evaluate_policy_set(policy_set, ctx()).decision is Decision.DENY
+
+    def test_obligations_come_from_deciding_policies_only(self, pdp):
+        ob_a = Obligation("ob-a", Effect.PERMIT)
+        ob_b = Obligation("ob-b", Effect.PERMIT)
+        permitting_a = Policy("p1", Target(), (permit_rule(role="doctor"),),
+                              obligations=(ob_a,))
+        inapplicable = Policy("p2", Target(all_of=(role_match("nurse"),)),
+                              (permit_rule("r2"),), obligations=(ob_b,))
+        policy_set = PolicySet("ps", (permitting_a, inapplicable),
+                               combining=CombiningAlgorithm.PERMIT_OVERRIDES)
+        response = pdp.evaluate_policy_set(policy_set, ctx())
+        assert [o.obligation_id for o in response.obligations] == ["ob-a"]
+
+    def test_multiple_permitting_policies_merge_obligations(self, pdp):
+        ob_a = Obligation("ob-a", Effect.PERMIT)
+        ob_b = Obligation("ob-b", Effect.PERMIT)
+        pol_a = Policy("p1", Target(), (permit_rule("ra", "doctor"),), obligations=(ob_a,))
+        pol_b = Policy("p2", Target(), (permit_rule("rb", "doctor"),), obligations=(ob_b,))
+        # deny-overrides does not short-circuit on permit, so both policies run.
+        policy_set = PolicySet("ps", (pol_a, pol_b),
+                               combining=CombiningAlgorithm.DENY_OVERRIDES)
+        response = pdp.evaluate_policy_set(policy_set, ctx())
+        assert response.decision is Decision.PERMIT
+        assert {o.obligation_id for o in response.obligations} == {"ob-a", "ob-b"}
+
+    def test_first_applicable_set(self, pdp):
+        denying = Policy("p1", Target(), (deny_rule(role="doctor"),))
+        permitting = Policy("p2", Target(), (permit_rule(role="doctor"),))
+        policy_set = PolicySet("ps", (denying, permitting),
+                               combining=CombiningAlgorithm.FIRST_APPLICABLE)
+        assert pdp.evaluate_policy_set(policy_set, ctx()).decision is Decision.DENY

@@ -1,0 +1,162 @@
+"""Unit tests for the PEP skeleton and the PIP."""
+
+import pytest
+
+from repro.exceptions import ObligationError, PolicyError
+from repro.xacml.context import Decision, RequestContext
+from repro.xacml.model import (
+    CombiningAlgorithm,
+    Effect,
+    Match,
+    Obligation,
+    Policy,
+    PolicySet,
+    Rule,
+    Target,
+)
+from repro.xacml.pep import PolicyEnforcementPoint
+from repro.xacml.pip import PolicyInformationPoint
+
+
+def permit_policy(with_obligation: str | None = None) -> Policy:
+    obligations = ()
+    if with_obligation:
+        obligations = (Obligation(with_obligation, Effect.PERMIT),)
+    return Policy(
+        "p",
+        Target(all_of=(Match("subject:role", "string-equal", "doctor"),)),
+        (Rule(rule_id="r", effect=Effect.PERMIT),),
+        obligations=obligations,
+    )
+
+
+def policy_set(policy: Policy) -> PolicySet:
+    return PolicySet("ps", (policy,), combining=CombiningAlgorithm.PERMIT_OVERRIDES)
+
+
+class TestPip:
+    def test_enrich_adds_resolved_attribute(self):
+        pip = PolicyInformationPoint()
+        pip.register("resource:producer-id", lambda req: ("Hospital",))
+        enriched = pip.enrich(RequestContext({}), ["resource:producer-id"])
+        assert enriched.bag("resource:producer-id") == ("Hospital",)
+
+    def test_existing_attributes_win(self):
+        pip = PolicyInformationPoint()
+        pip.register("a", lambda req: ("resolved",))
+        request = RequestContext({"a": ("supplied",)})
+        assert pip.enrich(request, ["a"]).bag("a") == ("supplied",)
+
+    def test_unresolvable_attributes_are_skipped(self):
+        pip = PolicyInformationPoint()
+        enriched = pip.enrich(RequestContext({}), ["nothing:registered"])
+        assert enriched.bag("nothing:registered") == ()
+
+    def test_resolver_returning_empty_adds_nothing(self):
+        pip = PolicyInformationPoint()
+        pip.register("a", lambda req: ())
+        assert pip.enrich(RequestContext({}), ["a"]).bag("a") == ()
+
+    def test_duplicate_resolver_rejected(self):
+        pip = PolicyInformationPoint()
+        pip.register("a", lambda req: ())
+        with pytest.raises(PolicyError):
+            pip.register("a", lambda req: ())
+
+    def test_resolver_sees_earlier_enrichment(self):
+        pip = PolicyInformationPoint()
+        pip.register("first", lambda req: ("1",))
+        pip.register("second", lambda req: (req.single("first") or "") and ("2",))
+        enriched = pip.enrich(RequestContext({}), ["first", "second"])
+        assert enriched.bag("second") == ("2",)
+
+    def test_can_resolve(self):
+        pip = PolicyInformationPoint()
+        pip.register("a", lambda req: ())
+        assert pip.can_resolve("a")
+        assert not pip.can_resolve("b")
+
+
+class TestPep:
+    def test_permit_flows_through(self):
+        pep = PolicyEnforcementPoint()
+        response = pep.authorize(
+            policy_set(permit_policy()), RequestContext.build(subject__role="doctor")
+        )
+        assert response.decision is Decision.PERMIT
+
+    def test_not_applicable_maps_to_deny(self):
+        pep = PolicyEnforcementPoint()
+        response = pep.authorize(
+            policy_set(permit_policy()), RequestContext.build(subject__role="nurse")
+        )
+        assert response.decision is Decision.DENY
+        assert "Deny" in response.status_message or "deny" in response.status_message.lower()
+
+    def test_missing_obligation_handler_downgrades_to_deny(self):
+        pep = PolicyEnforcementPoint()
+        response = pep.authorize(
+            policy_set(permit_policy(with_obligation="css:audit-access")),
+            RequestContext.build(subject__role="doctor"),
+        )
+        assert response.decision is Decision.DENY
+        assert "no handler" in response.status_message
+
+    def test_obligation_handler_runs_on_permit(self):
+        pep = PolicyEnforcementPoint()
+        fired = []
+        pep.on_obligation("css:audit-access", lambda req, ob: fired.append(ob.obligation_id))
+        response = pep.authorize(
+            policy_set(permit_policy(with_obligation="css:audit-access")),
+            RequestContext.build(subject__role="doctor"),
+        )
+        assert response.decision is Decision.PERMIT
+        assert fired == ["css:audit-access"]
+
+    def test_failing_obligation_downgrades_to_deny(self):
+        pep = PolicyEnforcementPoint()
+
+        def failing(request, outcome):
+            raise ObligationError("cannot discharge")
+
+        pep.on_obligation("css:audit-access", failing)
+        response = pep.authorize(
+            policy_set(permit_policy(with_obligation="css:audit-access")),
+            RequestContext.build(subject__role="doctor"),
+        )
+        assert response.decision is Decision.DENY
+
+    def test_pip_enrichment_feeds_pdp(self):
+        pip = PolicyInformationPoint()
+        pip.register("subject:role", lambda req: ("doctor",))
+        pep = PolicyEnforcementPoint(pip=pip, enrich_attributes=["subject:role"])
+        response = pep.authorize(policy_set(permit_policy()), RequestContext({}))
+        assert response.decision is Decision.PERMIT
+
+
+class TestRequestContext:
+    def test_build_translates_names(self):
+        ctx = RequestContext.build(subject__actor_id="a", action__purpose="p")
+        assert ctx.bag("subject:actor-id") == ("a",)
+        assert ctx.bag("action:purpose") == ("p",)
+
+    def test_build_accepts_sequences(self):
+        ctx = RequestContext.build(subject__role=["a", "b"])
+        assert ctx.bag("subject:role") == ("a", "b")
+
+    def test_single_returns_none_for_multivalued(self):
+        ctx = RequestContext.build(subject__role=("a", "b"))
+        assert ctx.single("subject:role") is None
+        assert ctx.single("missing") is None
+
+    def test_with_attribute_is_immutable_copy(self):
+        ctx = RequestContext({})
+        extended = ctx.with_attribute("a", "1")
+        assert ctx.bag("a") == ()
+        assert extended.bag("a") == ("1",)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(PolicyError):
+            RequestContext({"a": ["not-a-tuple"]})  # type: ignore[dict-item]
+        with pytest.raises(PolicyError):
+            RequestContext({"": ("v",)})

@@ -1,0 +1,111 @@
+"""Unit and property tests for XACML XML serialization (Fig. 8 shape)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PolicyError
+from repro.xacml.model import (
+    OBLIGATION_RELEASE_FIELDS,
+    CombiningAlgorithm,
+    Effect,
+    Match,
+    Obligation,
+    Policy,
+    Rule,
+    Target,
+)
+from repro.xacml.serialize import parse_policy, serialize_policy
+
+
+def fig8_policy() -> Policy:
+    """A policy shaped like the paper's Fig. 8 example."""
+    target = Target(
+        all_of=(
+            Match("subject:role", "string-equal", "family-doctor"),
+            Match("resource:event-type", "string-equal", "HomeCareServiceEvent"),
+        ),
+        any_of=((Match("action:purpose", "string-equal", "healthcare-treatment"),),),
+    )
+    release = Obligation(
+        OBLIGATION_RELEASE_FIELDS, Effect.PERMIT,
+        assignments=(("field", "PatientId"), ("field", "Name"), ("field", "Surname")),
+    )
+    return Policy(
+        policy_id="fig8-example",
+        target=target,
+        rules=(Rule(rule_id="permit-family-doctor", effect=Effect.PERMIT,
+                    description="Fig. 8 of the paper"),),
+        combining=CombiningAlgorithm.DENY_OVERRIDES,
+        obligations=(release,),
+        description="family doctor access to home care events",
+    )
+
+
+class TestSerialize:
+    def test_document_contains_fig8_elements(self):
+        text = serialize_policy(fig8_policy())
+        for fragment in (
+            "<Policy", 'PolicyId="fig8-example"', "family-doctor",
+            "HomeCareServiceEvent", "healthcare-treatment",
+            "PatientId", "Name", "Surname", "<Obligation", "<Rule",
+        ):
+            assert fragment in text
+
+    def test_document_is_namespaced(self):
+        assert "urn:oasis:names:tc:xacml:2.0:policy" in serialize_policy(fig8_policy())
+
+    def test_round_trip_is_lossless(self):
+        policy = fig8_policy()
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    def test_round_trip_without_obligations(self):
+        policy = Policy("p", Target(), (Rule(rule_id="r", effect=Effect.DENY),))
+        assert parse_policy(serialize_policy(policy)) == policy
+
+    def test_round_trip_preserves_combining_algorithm(self):
+        policy = Policy("p", Target(), (Rule(rule_id="r", effect=Effect.PERMIT),),
+                        combining=CombiningAlgorithm.FIRST_APPLICABLE)
+        assert parse_policy(serialize_policy(policy)).combining is CombiningAlgorithm.FIRST_APPLICABLE
+
+    def test_parse_rejects_malformed_xml(self):
+        with pytest.raises(PolicyError):
+            parse_policy("<Policy")
+
+    def test_parse_rejects_wrong_root(self):
+        with pytest.raises(PolicyError):
+            parse_policy("<NotAPolicy/>")
+
+    def test_parse_rejects_missing_target(self):
+        with pytest.raises(PolicyError):
+            parse_policy('<Policy PolicyId="p"><Rule RuleId="r" Effect="Permit"><Target/></Rule></Policy>')
+
+    @given(
+        n_matches=st.integers(min_value=0, max_value=4),
+        n_purposes=st.integers(min_value=1, max_value=4),
+        n_fields=st.integers(min_value=1, max_value=6),
+        description=st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+        ).map(lambda s: s.strip()),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, n_matches, n_purposes, n_fields, description):
+        all_of = tuple(
+            Match(f"subject:attr-{i}", "string-equal", f"value-{i}") for i in range(n_matches)
+        )
+        any_of = tuple(
+            (Match("action:purpose", "string-equal", f"purpose-{i}"),)
+            for i in range(n_purposes)
+        )
+        release = Obligation(
+            OBLIGATION_RELEASE_FIELDS, Effect.PERMIT,
+            assignments=tuple(("field", f"f{i}") for i in range(n_fields)),
+        )
+        policy = Policy(
+            policy_id="prop-policy",
+            target=Target(all_of=all_of, any_of=any_of),
+            rules=(Rule(rule_id="r", effect=Effect.PERMIT),),
+            obligations=(release,),
+            description=description,
+        )
+        assert parse_policy(serialize_policy(policy)) == policy

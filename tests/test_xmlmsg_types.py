@@ -1,0 +1,176 @@
+"""Unit tests for repro.xmlmsg.types."""
+
+import datetime as dt
+
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.xmlmsg.types import (
+    BooleanType,
+    DateType,
+    DecimalType,
+    EnumerationType,
+    IntegerType,
+    StringType,
+)
+
+
+class TestStringType:
+    def test_accepts_plain_string(self):
+        StringType().check("hello")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            StringType().check(42)
+
+    def test_min_length_enforced(self):
+        with pytest.raises(ValidationError):
+            StringType(min_length=3).check("ab")
+
+    def test_max_length_enforced(self):
+        with pytest.raises(ValidationError):
+            StringType(max_length=2).check("abc")
+
+    def test_pattern_enforced(self):
+        diagnosis = StringType(pattern=r"[A-Z][0-9]{2}\.[0-9]")
+        diagnosis.check("A12.3")
+        with pytest.raises(ValidationError):
+            diagnosis.check("12A.3")
+
+    def test_pattern_is_anchored(self):
+        with pytest.raises(ValidationError):
+            StringType(pattern=r"[0-9]+").check("12x")
+
+    def test_bad_bounds_rejected_at_definition(self):
+        with pytest.raises(SchemaError):
+            StringType(min_length=-1)
+        with pytest.raises(SchemaError):
+            StringType(min_length=5, max_length=2)
+
+    def test_parse_validates(self):
+        with pytest.raises(ValidationError):
+            StringType(min_length=5).parse("ab")
+
+    def test_describe_mentions_restrictions(self):
+        described = StringType(min_length=1, max_length=9, pattern="x+").describe()
+        assert "minLen=1" in described and "maxLen=9" in described and "x+" in described
+
+
+class TestIntegerType:
+    def test_accepts_int(self):
+        IntegerType().check(5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            IntegerType().check(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            IntegerType().check(5.0)
+
+    def test_range_enforced(self):
+        bounded = IntegerType(0, 100)
+        bounded.check(0)
+        bounded.check(100)
+        with pytest.raises(ValidationError):
+            bounded.check(-1)
+        with pytest.raises(ValidationError):
+            bounded.check(101)
+
+    def test_parse_coerces_and_strips(self):
+        assert IntegerType().parse(" 42 ") == 42
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            IntegerType().parse("4.2")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            IntegerType(10, 5)
+
+
+class TestDecimalType:
+    def test_accepts_float_and_int(self):
+        DecimalType().check(1.5)
+        DecimalType().check(3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            DecimalType().check(False)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValidationError):
+            DecimalType(0.0, 1.0).check(1.01)
+
+    def test_parse(self):
+        assert DecimalType().parse("14.5") == 14.5
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            DecimalType().parse("abc")
+
+
+class TestBooleanType:
+    def test_accepts_bool(self):
+        BooleanType().check(True)
+
+    def test_rejects_int(self):
+        with pytest.raises(ValidationError):
+            BooleanType().check(1)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True), ("1", True), ("FALSE", False), ("0", False),
+    ])
+    def test_parse_xml_forms(self, text, expected):
+        assert BooleanType().parse(text) is expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            BooleanType().parse("yes")
+
+    def test_render_xml_form(self):
+        assert BooleanType().render(True) == "true"
+        assert BooleanType().render(False) == "false"
+
+
+class TestDateType:
+    def test_accepts_date(self):
+        DateType().check(dt.date(2010, 3, 26))
+
+    def test_rejects_datetime(self):
+        with pytest.raises(ValidationError):
+            DateType().check(dt.datetime(2010, 3, 26))
+
+    def test_parse_iso(self):
+        assert DateType().parse("2010-03-26") == dt.date(2010, 3, 26)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            DateType().parse("26/03/2010")
+
+    def test_render_iso(self):
+        assert DateType().render(dt.date(2010, 3, 26)) == "2010-03-26"
+
+
+class TestEnumerationType:
+    def test_accepts_member(self):
+        EnumerationType(["a", "b"]).check("a")
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError):
+            EnumerationType(["a", "b"]).check("c")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValidationError):
+            EnumerationType(["1"]).check(1)
+
+    def test_empty_enumeration_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumerationType([])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumerationType(["a", "a"])
+
+    def test_describe_lists_values(self):
+        assert "a, b" in EnumerationType(["a", "b"]).describe()
