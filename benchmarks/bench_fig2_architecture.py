@@ -63,6 +63,13 @@ def test_publish_fanout_cost(benchmark, n_subscribers):
 
     benchmark(bus.publish, "events.health.BloodTest", "hospital", "<Notification/>")
     assert len(sink) >= n_subscribers  # every subscriber got every round's message
+    stats = bus.stats
+    assert stats.bytes_fanned_out == stats.bytes_published * n_subscribers
+    print(
+        f"\n[F2] subscribers={n_subscribers}: published={stats.bytes_published}B, "
+        f"fanned out={stats.bytes_fanned_out}B "
+        f"(amplification x{stats.bytes_fanned_out / max(1, stats.bytes_published):.0f})"
+    )
 
 
 def test_end_to_end_pipeline(benchmark):

@@ -36,14 +36,17 @@ def build_micro_platform(
     n_policies: int = 1,
     seed: str = "bench",
     granted_fields: list[str] | None = None,
+    runtime=None,
 ) -> MicroPlatform:
     """A minimal enforcement stack with ``n_policies`` candidate policies.
 
     Policy #0 grants the benchmark consumer; the remaining ``n_policies-1``
     grant unrelated actors, so they are candidates the matcher must walk —
-    the Fig. 4 scaling axis.
+    the Fig. 4 scaling axis.  ``runtime`` (a
+    :class:`repro.RuntimeConfig`) selects kernel backends, e.g. the JSONL
+    index/audit pair for durable-backend benchmarks.
     """
-    controller = DataController(seed=seed)
+    controller = DataController(seed=seed, runtime=runtime)
     producer = DataProducer(controller, "Hospital", "Hospital")
     template = standard_event_templates()["BloodTest"]
     event_class = producer.declare_event_class(template.build_schema())

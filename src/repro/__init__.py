@@ -47,6 +47,7 @@ from repro.core.purposes import (
     PurposeRegistry,
 )
 from repro.exceptions import AccessDeniedError, CssError
+from repro.runtime.kernel import RuntimeConfig, ServiceKernel, default_kernel
 from repro.xmlmsg.document import XmlDocument
 from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
 from repro.xmlmsg.types import (
@@ -97,10 +98,13 @@ __all__ = [
     "Purpose",
     "PurposeRegistry",
     "REIMBURSEMENT",
+    "RuntimeConfig",
     "SERVICE_MONITORING",
     "STATISTICAL_ANALYSIS",
+    "ServiceKernel",
     "StringType",
     "WallClock",
     "XmlDocument",
+    "default_kernel",
     "is_privacy_safe",
 ]

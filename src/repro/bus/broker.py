@@ -29,6 +29,7 @@ class BusStats:
     fanned_out: int = 0
     dispatch_rounds: int = 0
     bytes_published: int = 0
+    bytes_fanned_out: int = 0
 
 
 class ServiceBus:
@@ -117,12 +118,14 @@ class ServiceBus:
             headers=headers or {},
         )
         self.stats.published += 1
-        self.stats.bytes_published += envelope.size_estimate()
+        size = envelope.size_estimate()
+        self.stats.bytes_published += size
         now = self._clock.now()
         matching = self._subscriptions.matching_topic(topic)
         for subscription in matching:
             subscription.queue.enqueue(envelope, now=now)
             self.stats.fanned_out += 1
+            self.stats.bytes_fanned_out += size
         if self.auto_dispatch and matching:
             self.dispatch()
         return envelope

@@ -91,6 +91,13 @@ class EndpointRegistry:
         self.register(endpoint)
         return endpoint
 
+    def withdraw(self, name: str) -> None:
+        """Remove an endpoint so the name can be re-exposed (e.g. a gateway
+        restart re-attaching under the same producer id)."""
+        if name not in self._endpoints:
+            raise EndpointError(f"no endpoint named {name!r}")
+        del self._endpoints[name]
+
     def get(self, name: str) -> ServiceEndpoint:
         """Look up an endpoint by name."""
         try:

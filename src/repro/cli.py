@@ -1,24 +1,28 @@
 """Command-line interface.
 
-Four subcommands, all built on the public API::
+Five subcommands, all built on the public API::
 
     python -m repro scenario  [--events N] [--patients N] [--rate R]
-                              [--seed S] [--archive DIR]
+                              [--seed S] [--archive DIR] [--durable DIR]
     python -m repro compare   [--events N] [--seed S]
     python -m repro monitor   [--events N] [--seed S] [--threshold K]
     python -m repro inspect   DIR [--secret SECRET]
+    python -m repro kernel
 
 ``scenario`` runs a full synthetic deployment and prints its report
-(optionally archiving the resulting platform); ``compare`` prints the
-CSS-vs-baselines table; ``monitor`` prints the governing body's
-aggregated view; ``inspect`` restores an archive and prints its audit
-summary (verifying the hash chain in the process).
+(optionally archiving the resulting platform; ``--durable DIR`` runs it
+on the JSONL-backed index/audit kernel backends writing into DIR);
+``compare`` prints the CSS-vs-baselines table; ``monitor`` prints the
+governing body's aggregated view; ``inspect`` restores an archive and
+prints its audit summary (verifying the hash chain in the process);
+``kernel`` prints the service-kernel wiring table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analytics import ProcessMonitor
 from repro.audit.reports import guarantor_report
@@ -29,6 +33,7 @@ from repro.baselines import (
     WarehouseBaseline,
 )
 from repro.clock import DAY
+from repro.runtime.kernel import RuntimeConfig, default_kernel
 from repro.sim.scenario import (
     DEFAULT_CONSUMERS,
     DEFAULT_PRODUCER_ASSIGNMENT,
@@ -50,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _scenario_options(scenario)
     scenario.add_argument("--archive", metavar="DIR",
                           help="snapshot the platform into DIR afterwards")
+    scenario.add_argument("--durable", metavar="DIR",
+                          help="run on the JSONL index/audit backends, "
+                               "writing into DIR")
 
     compare = sub.add_parser("compare", help="CSS vs the four baselines")
     _scenario_options(compare)
@@ -63,6 +71,8 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("directory", help="archive directory to restore")
     inspect.add_argument("--secret", default="css-platform-secret",
                          help="master secret the platform was created with")
+
+    sub.add_parser("kernel", help="print the service-kernel wiring table")
     return parser
 
 
@@ -75,9 +85,26 @@ def _scenario_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
+    runtime = None
+    if getattr(args, "durable", None):
+        target = Path(args.durable)
+        if target.exists() and not target.is_dir():
+            raise SystemExit(f"repro scenario: --durable {args.durable}: "
+                             f"not a directory")
+        leftovers = [name for name in ("index.jsonl", "audit.jsonl")
+                     if (target / name).exists()]
+        if leftovers:
+            raise SystemExit(
+                f"repro scenario: --durable {args.durable}: already contains "
+                f"{', '.join(leftovers)} from a previous run; a scenario "
+                f"starts from an empty deployment, so pick a new or empty "
+                f"directory (old runs stay readable through JsonlIndexStore/"
+                f"JsonlAuditSink, see examples/durable_backends.py)")
+        runtime = RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
+                                data_dir=args.durable)
     config = ScenarioConfig(
         n_patients=args.patients, n_events=args.events,
-        detail_request_rate=args.rate, seed=args.seed,
+        detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
     )
     scenario = CssScenario(config)
     return scenario, scenario.generate_workload()
@@ -87,9 +114,29 @@ def _cmd_scenario(args: argparse.Namespace, out) -> int:
     scenario, workload = _make_scenario(args)
     report = scenario.run(workload)
     print(report.to_text(), file=out)
+    if args.durable:
+        print(f"durable backends wrote index.jsonl and audit.jsonl "
+              f"to {args.durable}", file=out)
     if args.archive:
         PlatformArchive(args.archive).save(scenario.controller)
         print(f"platform archived to {args.archive}", file=out)
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace, out) -> int:
+    kernel = default_kernel()
+    defaults = RuntimeConfig()
+    print("service kernel wiring (kind: implementations, * = default):", file=out)
+    chosen = {
+        "cipher": defaults.cipher, "transport": defaults.transport,
+        "index": defaults.index_store, "audit": defaults.audit_sink,
+        "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
+    }
+    for kind, names in kernel.wiring().items():
+        rendered = ", ".join(
+            f"{name}*" if name == chosen.get(kind) else name for name in names
+        )
+        print(f"  {kind:<10} {rendered}", file=out)
     return 0
 
 
@@ -146,6 +193,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "compare": _cmd_compare,
         "monitor": _cmd_monitor,
         "inspect": _cmd_inspect,
+        "kernel": _cmd_kernel,
     }
     return handlers[args.command](args, out)
 

@@ -16,14 +16,20 @@ policy" (§4).  Its responsibilities, each a method below:
   (Algorithm 2);
 * **resolve events-index inquiries**, also policy-gated;
 * **maintain audit logs** of every access for the privacy guarantor.
+
+Since the service-kernel refactor the controller no longer constructs its
+collaborators directly: the cipher, transport, events index, audit sink,
+detail fetcher and policy decision point are resolved by name through the
+:mod:`~repro.runtime.kernel` (see :class:`~repro.runtime.kernel.RuntimeConfig`),
+and both hot paths — notification publish and request-for-details — run
+through the interceptor pipelines of :mod:`repro.runtime.interceptors`.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
-from repro.bus.broker import ServiceBus
+from repro.audit.log import AuditAction, AuditOutcome, AuditRecord
 from repro.bus.endpoints import EndpointRegistry
 from repro.bus.envelope import Envelope
 from repro.clock import Clock
@@ -37,52 +43,52 @@ from repro.core.elicitation import (
     PendingRequestQueue,
     PolicyDashboard,
 )
-from repro.core.enforcement import DetailRequest, PolicyEnforcer
+from repro.core.enforcement import DetailRequest
 from repro.core.events import EventClass, EventOccurrence
-from repro.core.gateway import LocalCooperationGateway
-from repro.core.idmap import EventIdEntry, EventIdMap
-from repro.core.index import EventsIndex
+from repro.core.idmap import EventIdMap
 from repro.core.messages import NotificationMessage
 from repro.core.policy import PolicyRepository
 from repro.core.purposes import PurposeRegistry
 from repro.core.roster import PatientRoster
-from repro.crypto.keystore import KeyStore
 from repro.exceptions import (
     AccessDeniedError,
-    EndpointError,
-    SourceUnavailableError,
     UnknownEventClassError,
     UnknownProducerError,
 )
 from repro.ids import IdFactory
+from repro.runtime.interceptors import (
+    PUBLISH,
+    REQUEST_DETAILS,
+    Invocation,
+    PublishStats,
+    build_details_edge_pipeline,
+    build_publish_pipeline,
+)
+from repro.runtime.interfaces import CooperationGateway
+from repro.runtime.kernel import (
+    KIND_AUDIT,
+    KIND_CIPHER,
+    KIND_FETCHER,
+    KIND_INDEX,
+    KIND_PDP,
+    KIND_TRANSPORT,
+    RuntimeConfig,
+    ServiceKernel,
+    default_kernel,
+)
+from repro.runtime.services import gateway_endpoint_name
 
 #: Callback receiving decrypted notifications at an authorized subscriber.
 NotificationHandler = Callable[[NotificationMessage], None]
 
 
-class _GatewayEndpointProxy:
-    """Routes enforcement's gateway calls through the SOA endpoint layer.
-
-    Keeps the endpoint call accounting honest (every detail retrieval is a
-    web-service invocation in the paper's architecture) and converts
-    endpoint-level unavailability into the gateway's failure type.
-    """
-
-    def __init__(self, endpoints: EndpointRegistry, endpoint_name: str) -> None:
-        self._endpoints = endpoints
-        self._endpoint_name = endpoint_name
-
-    def get_response(self, src_event_id: str, allowed_fields, event_id: str):
-        try:
-            return self._endpoints.call(
-                self._endpoint_name, (src_event_id, frozenset(allowed_fields), event_id)
-            )
-        except EndpointError as exc:
-            raise SourceUnavailableError(str(exc)) from exc
-
-
 class DataController:
-    """The CSS platform's central node."""
+    """The CSS platform's central node.
+
+    ``runtime`` selects the named implementation of every collaborator
+    (defaults reproduce the historical all-in-memory wiring); ``kernel``
+    overrides the registry those names are resolved against.
+    """
 
     def __init__(
         self,
@@ -91,35 +97,74 @@ class DataController:
         seed: str = "css",
         encrypt_identity: bool = True,
         auto_dispatch: bool = True,
+        runtime: RuntimeConfig | None = None,
+        kernel: ServiceKernel | None = None,
     ) -> None:
         self.clock = clock or Clock()
         self.ids = IdFactory(seed=seed)
-        self.keystore = KeyStore(master_secret)
-        self.bus = ServiceBus(clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch)
+        self.runtime = runtime or RuntimeConfig()
+        self.kernel = kernel or default_kernel()
+        self.keystore = self.kernel.create(
+            KIND_CIPHER, self.runtime.cipher, master_secret=master_secret
+        )
+        self.bus = self.kernel.create(
+            KIND_TRANSPORT, self.runtime.transport,
+            clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
+        )
         self.endpoints = EndpointRegistry()
         self.actors = ActorDirectory()
         self.contracts = ContractRegistry()
         self.catalog = EventCatalog()
         self.purposes = PurposeRegistry()
-        self.index = EventsIndex(self.keystore, encrypt_identity=encrypt_identity)
+        self.index = self.kernel.create(
+            KIND_INDEX, self.runtime.index_store,
+            keystore=self.keystore, encrypt_identity=encrypt_identity,
+            data_dir=self.runtime.data_dir,
+        )
         self.id_map = EventIdMap()
         self.policies = PolicyRepository()
-        self.audit_log = AuditLog()
+        self.audit_log = self.kernel.create(
+            KIND_AUDIT, self.runtime.audit_sink, data_dir=self.runtime.data_dir
+        )
         self.pending_requests = PendingRequestQueue()
         self.roster = PatientRoster()
         self.dashboard = PolicyDashboard(self.catalog, self.policies)
-        self._gateways: dict[str, LocalCooperationGateway] = {}
+        self._gateways: dict[str, CooperationGateway] = {}
         self._consent: dict[str, ConsentRegistry] = {}
         self._identity = None  # optional LocalIdentityProvider (future-work extension)
-        self.enforcer = PolicyEnforcer(
-            repository=self.policies,
-            id_map=self.id_map,
-            purposes=self.purposes,
-            gateway_resolver=self._gateway_proxy,
-            audit_log=self.audit_log,
-            clock=self.clock,
+        self._fetcher = self.kernel.create(
+            KIND_FETCHER, self.runtime.detail_fetcher,
+            endpoints=self.endpoints, require_producer=self.gateway_of,
+            gateway_resolver=self.gateway_of,
+        )
+        self.enforcer = self.kernel.create(
+            KIND_PDP, self.runtime.pdp,
+            repository=self.policies, id_map=self.id_map,
+            purposes=self.purposes, audit_log=self.audit_log,
+            clock=self.clock, ids=self.ids,
+            consent_resolver=self._consent.get, fetcher=self._fetcher,
+        )
+        self.publish_stats = PublishStats()
+        self._publish_pipeline = build_publish_pipeline(
+            stats=self.publish_stats,
+            contracts=self.contracts,
+            catalog=self.catalog,
+            audit=self.audit_log,
             ids=self.ids,
+            clock=self.clock,
             consent_resolver=self._consent.get,
+            gateway_resolver=self.gateway_of,
+            id_map=self.id_map,
+            index_store=self.index,
+            transport=self.bus,
+        )
+        self._details_pipeline = build_details_edge_pipeline(
+            contracts=self.contracts,
+            clock=self.clock,
+            identity_lookup=lambda: self._identity,
+            endpoint_call=lambda request: self.endpoints.call(
+                "controller.getEventDetails", request
+            ),
         )
         self.endpoints.expose(
             "controller.getEventDetails",
@@ -131,6 +176,23 @@ class DataController:
             lambda request: self._inquire_endpoint(request),
             "Events-index inquiry",
         )
+
+    # -- pipelines (inspectable wiring) ----------------------------------------
+
+    @property
+    def publish_pipeline(self):
+        """The notification-publish interceptor chain."""
+        return self._publish_pipeline
+
+    @property
+    def details_pipeline(self):
+        """The controller-edge chain of the request-for-details path."""
+        return self._details_pipeline
+
+    @property
+    def detail_fetcher(self):
+        """The kernel-resolved gateway client used by the enforcer."""
+        return self._fetcher
 
     # -- identity management (the paper's future-work extension) --------------
 
@@ -213,7 +275,7 @@ class DataController:
         )
         return upgraded
 
-    def attach_gateway(self, producer_id: str, gateway: LocalCooperationGateway,
+    def attach_gateway(self, producer_id: str, gateway: CooperationGateway,
                        check_contract: bool = True) -> None:
         """Register a producer's local cooperation gateway and its endpoint.
 
@@ -223,9 +285,12 @@ class DataController:
         """
         if check_contract:
             self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
+        replacing = producer_id in self._gateways
         self._gateways[producer_id] = gateway
+        if replacing:  # gateway restart: rebind the endpoint
+            self.endpoints.withdraw(gateway_endpoint_name(producer_id))
         self.endpoints.expose(
-            f"gateway.{producer_id}.getResponse",
+            gateway_endpoint_name(producer_id),
             lambda request, gw=gateway: gw.get_response(*request),
             f"Local cooperation gateway of {producer_id} (Algorithm 2)",
         )
@@ -241,7 +306,7 @@ class DataController:
         """The consent registry a producer attached (None if absent)."""
         return self._consent.get(producer_id)
 
-    def gateway_of(self, producer_id: str) -> LocalCooperationGateway:
+    def gateway_of(self, producer_id: str) -> CooperationGateway:
         """The gateway a producer attached (raises if missing)."""
         try:
             return self._gateways[producer_id]
@@ -250,73 +315,18 @@ class DataController:
                 f"producer {producer_id!r} attached no gateway"
             ) from exc
 
-    def _gateway_proxy(self, producer_id: str) -> _GatewayEndpointProxy:
-        self.gateway_of(producer_id)  # fail fast on unknown producers
-        return _GatewayEndpointProxy(self.endpoints, f"gateway.{producer_id}.getResponse")
-
     def publish(self, producer_id: str, occurrence: EventOccurrence) -> NotificationMessage | None:
         """Receive an event from a producer: persist, index, route (§4).
 
-        Returns the distributed notification, or ``None`` when the data
-        subject's consent blocks publication (the event then stays entirely
-        inside the source).
+        Runs the publish pipeline (contract → admission → consent →
+        persist → crypto → index → route, audited throughout).  Returns
+        the distributed notification, or ``None`` when the data subject's
+        consent blocks publication (the event then stays entirely inside
+        the source).
         """
-        self.contracts.require_active(producer_id, self.clock.now(), must_produce=True)
-        event_class = self.catalog.get(occurrence.event_class.name)
-        if event_class.producer_id != producer_id:
-            raise UnknownProducerError(
-                f"{producer_id!r} cannot publish events of class "
-                f"{event_class.name!r} owned by {event_class.producer_id!r}"
-            )
-        occurrence.validate()
-
-        consent = self._consent.get(producer_id)
-        if consent is not None and not consent.allows_notification(
-            occurrence.subject_id, event_class.name
-        ):
-            self._record(
-                producer_id, AuditAction.PUBLISH, AuditOutcome.DENY,
-                event_type=event_class.name, subject_ref=occurrence.subject_id,
-                detail="data subject opted out of event sharing",
-            )
-            return None
-
-        gateway = self.gateway_of(producer_id)
-        gateway.persist(occurrence)
-
-        event_id = self.ids.next("evt")
-        self.id_map.record(
-            EventIdEntry(
-                event_id=event_id,
-                producer_id=producer_id,
-                src_event_id=occurrence.src_event_id,
-                event_type=event_class.name,
-                subject_ref=occurrence.subject_id,
-                published_at=self.clock.now(),
-            )
-        )
-        notification = NotificationMessage(
-            event_id=event_id,
-            event_type=event_class.name,
-            producer_id=producer_id,
-            occurred_at=occurrence.occurred_at,
-            summary=occurrence.summary,
-            subject_ref=occurrence.subject_id,
-            subject_display=occurrence.subject_name,
-        )
-        self.index.store(notification)
-        self.bus.publish(
-            topic=event_class.topic,
-            sender=producer_id,
-            body=notification.to_xml(),
-            headers={"eventId": event_id, "eventType": event_class.name},
-        )
-        self._record(
-            producer_id, AuditAction.PUBLISH, AuditOutcome.PERMIT,
-            event_id=event_id, event_type=event_class.name,
-            subject_ref=occurrence.subject_id, detail=occurrence.summary,
-        )
-        return notification
+        return self._publish_pipeline.execute(Invocation(
+            PUBLISH, {"producer_id": producer_id, "occurrence": occurrence}
+        ))
 
     # -- consumer-side operations --------------------------------------------------
 
@@ -383,15 +393,17 @@ class DataController:
 
     def request_details(self, consumer_id: str, request: DetailRequest,
                         credential=None):
-        """Resolve a request for details through the SOA endpoint + enforcer."""
-        self.contracts.require_active(consumer_id, self.clock.now(), must_consume=True)
-        self._authenticate(consumer_id, credential, request.actor.role)
-        if request.actor.actor_id != consumer_id:
-            raise AccessDeniedError(
-                f"request actor {request.actor.actor_id!r} does not match "
-                f"caller {consumer_id!r}"
-            )
-        return self.endpoints.call("controller.getEventDetails", request)
+        """Resolve a request for details through the SOA endpoint + enforcer.
+
+        Runs the controller-edge pipeline (contract → authenticate) whose
+        terminal stage invokes the ``controller.getEventDetails`` endpoint,
+        i.e. the enforcer's Algorithm 1 chain.
+        """
+        return self._details_pipeline.execute(Invocation(
+            REQUEST_DETAILS,
+            {"consumer_id": consumer_id, "request": request,
+             "credential": credential},
+        ))
 
     def inquire_index(
         self,

@@ -16,6 +16,11 @@ Fig. 4's pipeline, component by component:
 The enforcer also honours source-level **consent**: a data subject's detail
 opt-out denies the request before any policy is consulted (consent is the
 stronger constraint — policies grant, consent vetoes).
+
+Since the service-kernel refactor the stages live in
+:mod:`repro.runtime.interceptors` — the enforcer builds the chain
+``stats → audit → resolve → consent → decide → fetch → filter`` once at
+construction and :meth:`get_event_details` is a single pipeline execution.
 """
 
 from __future__ import annotations
@@ -23,31 +28,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
+from repro.audit.log import AuditLog
 from repro.clock import Clock
 from repro.core.actors import Actor
 from repro.core.consent import ConsentRegistry
-from repro.core.gateway import LocalCooperationGateway
 from repro.core.idmap import EventIdMap
 from repro.core.messages import DetailMessage
 from repro.core.policy import DetailRequestSpec, PolicyRepository
 from repro.core.purposes import PurposeRegistry
-from repro.exceptions import (
-    AccessDeniedError,
-    GatewayError,
-    SourceUnavailableError,
-    UnknownEventError,
-)
+from repro.exceptions import AccessDeniedError, ConfigurationError
 from repro.ids import IdFactory
+from repro.runtime.interceptors import (
+    REQUEST_DETAILS,
+    Invocation,
+    build_enforcement_pipeline,
+    build_request_context,
+    resolve_request_entry,
+)
+from repro.runtime.interfaces import DetailFetcher
+from repro.runtime.services import DirectDetailFetcher
 from repro.xacml.context import (
-    ATTR_ACTION_PURPOSE,
     ATTR_ENV_TIME,
     ATTR_RESOURCE_EVENT_ID,
     ATTR_RESOURCE_EVENT_TYPE,
     ATTR_RESOURCE_PRODUCER,
-    ATTR_SUBJECT_ID,
-    ATTR_SUBJECT_ORGANIZATION,
-    ATTR_SUBJECT_ROLE,
     RequestContext,
 )
 from repro.xacml.model import OBLIGATION_AUDIT, OBLIGATION_RELEASE_FIELDS
@@ -56,7 +60,7 @@ from repro.xacml.pep import PolicyEnforcementPoint
 from repro.xacml.pip import PolicyInformationPoint
 
 #: Resolves a producer id to its local cooperation gateway (or a remote proxy).
-GatewayResolver = Callable[[str], LocalCooperationGateway]
+GatewayResolver = Callable[[str], object]
 #: Resolves a producer id to its consent registry (may return None).
 ConsentResolver = Callable[[str], "ConsentRegistry | None"]
 
@@ -93,23 +97,40 @@ class EnforcerStats:
 
 
 class PolicyEnforcer:
-    """Implements Algorithm 1 over the XACML PEP/PIP/PDP stack."""
+    """Implements Algorithm 1 over the XACML PEP/PIP/PDP stack.
+
+    Gateway access goes through a
+    :class:`~repro.runtime.interfaces.DetailFetcher`.  Pass one as
+    ``fetcher``; the legacy ``gateway_resolver`` callable is still accepted
+    and wrapped in a :class:`~repro.runtime.services.DirectDetailFetcher`.
+    """
 
     def __init__(
         self,
         repository: PolicyRepository,
         id_map: EventIdMap,
         purposes: PurposeRegistry,
-        gateway_resolver: GatewayResolver,
-        audit_log: AuditLog,
-        clock: Clock,
-        ids: IdFactory,
+        gateway_resolver: GatewayResolver | None = None,
+        audit_log: AuditLog | None = None,
+        clock: Clock | None = None,
+        ids: IdFactory | None = None,
         consent_resolver: ConsentResolver | None = None,
+        fetcher: DetailFetcher | None = None,
     ) -> None:
+        if audit_log is None or clock is None or ids is None:
+            raise ConfigurationError(
+                "PolicyEnforcer needs audit_log, clock and ids"
+            )
+        if fetcher is None:
+            if gateway_resolver is None:
+                raise ConfigurationError(
+                    "PolicyEnforcer needs a fetcher or a gateway_resolver"
+                )
+            fetcher = DirectDetailFetcher(gateway_resolver)
         self._repository = repository
         self._id_map = id_map
         self._purposes = purposes
-        self._resolve_gateway = gateway_resolver
+        self._fetcher = fetcher
         self._audit = audit_log
         self._clock = clock
         self._ids = ids
@@ -129,6 +150,23 @@ class PolicyEnforcer:
         self._pep.on_obligation(OBLIGATION_RELEASE_FIELDS, self._noop_obligation)
         self._pep.on_obligation(OBLIGATION_AUDIT, self._audit_obligation)
         self.stats = EnforcerStats()
+        self._pipeline = build_enforcement_pipeline(
+            stats=self.stats,
+            audit=self._audit,
+            ids=self._ids,
+            clock=self._clock,
+            purposes=self._purposes,
+            id_map=self._id_map,
+            consent_resolver=self._resolve_consent,
+            repository=self._repository,
+            pep=self._pep,
+            fetcher=self._fetcher,
+        )
+
+    @property
+    def pipeline(self):
+        """The Algorithm 1 interceptor chain (inspectable, e.g. stage names)."""
+        return self._pipeline
 
     # -- PIP wiring -----------------------------------------------------------
 
@@ -164,8 +202,8 @@ class PolicyEnforcer:
         return None
 
     def _audit_obligation(self, request: RequestContext, outcome: object) -> None:
-        # The actual audit record is written by _record with the full
-        # request context; the obligation only needs to be dischargeable.
+        # The actual audit record is written by the audit interceptor with
+        # the full request context; the obligation only needs discharging.
         self._audit_obligations_fired += 1
 
     # -- Algorithm 1 -----------------------------------------------------------------
@@ -177,61 +215,9 @@ class PolicyEnforcer:
         "Access Denied message" of Fig. 4 — and propagates gateway
         availability failures.  Every outcome is audited.
         """
-        self.stats.requests += 1
-        now = self._clock.now()
-        try:
-            entry = self._resolve_request_entry(request)
-        except (AccessDeniedError, UnknownEventError) as exc:
-            self._record(request, AuditOutcome.DENY, str(exc), subject_ref=None)
-            self.stats.denies += 1
-            raise AccessDeniedError(str(exc), request) from exc
-
-        # Consent veto (source-level, checked before policy matching).
-        consent = self._resolve_consent(entry.producer_id)
-        if consent is not None and not consent.allows_details(
-            entry.subject_ref, entry.event_type
-        ):
-            self.stats.consent_vetoes += 1
-            self.stats.denies += 1
-            reason = "data subject opted out of detail disclosure"
-            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
-            raise AccessDeniedError(reason, request)
-
-        # Steps 2-3: matching policy retrieval + PDP evaluation.
-        policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
-        context = self._build_context(request)
-        response = self._pep.authorize(policy_set, context)
-        if not response.permitted:
-            self.stats.denies += 1
-            reason = response.status_message or "no matching policy (deny-by-default)"
-            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
-            raise AccessDeniedError(reason, request)
-
-        allowed_fields = self._released_fields(response.obligations)
-        if not allowed_fields:
-            self.stats.denies += 1
-            reason = "matching policy releases no fields"
-            self._record(request, AuditOutcome.DENY, reason, entry.subject_ref)
-            raise AccessDeniedError(reason, request)
-
-        # Step 4: ask the producer for the allowed part of the details.
-        gateway = self._resolve_gateway(entry.producer_id)
-        try:
-            detail = gateway.get_response(
-                entry.src_event_id, allowed_fields, event_id=request.event_id
-            )
-        except (GatewayError, SourceUnavailableError) as exc:
-            self.stats.gateway_failures += 1
-            self._record(request, AuditOutcome.ERROR, str(exc), entry.subject_ref)
-            raise
-        self.stats.permits += 1
-        self._record(
-            request,
-            AuditOutcome.PERMIT,
-            f"released fields: {', '.join(sorted(allowed_fields))}",
-            entry.subject_ref,
+        return self._pipeline.execute(
+            Invocation(REQUEST_DETAILS, {"request": request})
         )
-        return detail
 
     def decide(self, request: DetailRequest) -> bool:
         """Policy decision only (no gateway call, no exception on deny).
@@ -240,68 +226,12 @@ class PolicyEnforcer:
         the controller's subscription gating.
         """
         try:
-            entry = self._resolve_request_entry(request)
-        except (AccessDeniedError, UnknownEventError):
+            entry = resolve_request_entry(request, self._purposes, self._id_map)
+        except AccessDeniedError:
             return False
         policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
-        response = self._pep.authorize(policy_set, self._build_context(request))
+        response = self._pep.authorize(policy_set, build_request_context(request))
         return response.permitted
-
-    # -- helpers -------------------------------------------------------------------
-
-    def _resolve_request_entry(self, request: DetailRequest):
-        if request.purpose not in self._purposes:
-            raise AccessDeniedError(f"unknown purpose {request.purpose!r}", request)
-        entry = self._id_map.resolve(request.event_id)  # step 1 (PIP mapping)
-        if entry.event_type != request.event_type:
-            raise AccessDeniedError(
-                f"request claims type {request.event_type!r} but event "
-                f"{request.event_id!r} is a {entry.event_type!r}",
-                request,
-            )
-        return entry
-
-    def _build_context(self, request: DetailRequest) -> RequestContext:
-        attributes: dict[str, tuple[str, ...]] = {
-            ATTR_SUBJECT_ID: (request.actor.actor_id,),
-            ATTR_SUBJECT_ORGANIZATION: (request.actor.organization,),
-            ATTR_RESOURCE_EVENT_TYPE: (request.event_type,),
-            ATTR_RESOURCE_EVENT_ID: (request.event_id,),
-            ATTR_ACTION_PURPOSE: (request.purpose,),
-        }
-        if request.actor.role:
-            attributes[ATTR_SUBJECT_ROLE] = (request.actor.role,)
-        return RequestContext(attributes)
-
-    @staticmethod
-    def _released_fields(obligations) -> frozenset[str]:
-        fields: set[str] = set()
-        for outcome in obligations:
-            if outcome.obligation_id == OBLIGATION_RELEASE_FIELDS:
-                fields.update(outcome.assignment("field"))
-        return frozenset(fields)
-
-    def _record(
-        self,
-        request: DetailRequest,
-        outcome: AuditOutcome,
-        detail: str,
-        subject_ref: str | None,
-    ) -> None:
-        self._audit.append(
-            AuditRecord(
-                record_id=self._ids.next("aud"),
-                timestamp=self._clock.now(),
-                actor=request.actor.actor_id,
-                action=AuditAction.DETAIL_REQUEST,
-                outcome=outcome,
-                event_id=request.event_id,
-                event_type=request.event_type,
-                subject_ref=subject_ref,
-                purpose=request.purpose,
-                detail=detail,
-            )
-        )
 
     @property
     def pdp_stats(self):

@@ -11,6 +11,12 @@ Algorithm 2 (``getResponse(src_eID, F)``) runs here, *at the producer*:
 fetch the stored detail, blank every field outside ``F``, and return the
 privacy-aware event — "it is never the case that data not accessible by a
 certain data consumer leaves the data producer" (§5).
+
+This class is the reference implementation of the
+:class:`~repro.runtime.interfaces.CooperationGateway` protocol; the
+enforcement pipeline reaches it only through a
+:class:`~repro.runtime.interfaces.DetailFetcher`, so remote or sharded
+gateways can be substituted without touching Algorithm 1.
 """
 
 from __future__ import annotations

@@ -17,13 +17,16 @@ plaintext identity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.messages import NotificationMessage
-from repro.crypto.keystore import KeyStore
 from repro.exceptions import UnknownEventError
 from repro.registry.objects import RegistryObject
 from repro.registry.query import FilterQuery
 from repro.registry.registry import Registry
+
+if TYPE_CHECKING:
+    from repro.runtime.interfaces import CipherProvider
 
 #: Registry object type of index entries.
 OBJECT_TYPE = "Notification"
@@ -44,15 +47,28 @@ class IndexStats:
     open_operations: int = 0
 
 
+@dataclass(frozen=True)
+class SealedIdentity:
+    """The identifying slots of a notification, sealed for index storage.
+
+    Produced by :meth:`EventsIndex.seal_identity` (the publish pipeline's
+    crypto stage) and consumed by :meth:`EventsIndex.store`.
+    """
+
+    subject_ref: str
+    subject_display: str | None = None
+
+
 class EventsIndex:
     """ebXML-backed notification index with sealed identifying fields.
 
     ``encrypt_identity=False`` exists only for ablation A2 (measuring the
     cost of the paper's encrypted-index requirement); production use keeps
-    it on.
+    it on.  ``keystore`` may be any
+    :class:`~repro.runtime.interfaces.CipherProvider`.
     """
 
-    def __init__(self, keystore: KeyStore, encrypt_identity: bool = True) -> None:
+    def __init__(self, keystore: "CipherProvider", encrypt_identity: bool = True) -> None:
         self._registry = Registry()
         self._keystore = keystore
         self._keystore.create(INDEX_KEY)
@@ -94,8 +110,26 @@ class EventsIndex:
 
     # -- storage ------------------------------------------------------------
 
-    def store(self, notification: NotificationMessage) -> RegistryObject:
-        """Index a published notification and return its registry object."""
+    def seal_identity(self, notification: NotificationMessage) -> SealedIdentity:
+        """Seal the identifying slots (the publish pipeline's crypto stage)."""
+        return SealedIdentity(
+            subject_ref=self._seal(notification.subject_ref),
+            subject_display=(
+                self._seal(notification.subject_display)
+                if notification.subject_display else None
+            ),
+        )
+
+    def store(self, notification: NotificationMessage,
+              sealed: SealedIdentity | None = None) -> RegistryObject:
+        """Index a published notification and return its registry object.
+
+        ``sealed`` carries identity slots already sealed by
+        :meth:`seal_identity`; without it the index seals inline (direct
+        callers outside the pipeline).
+        """
+        if sealed is None:
+            sealed = self.seal_identity(notification)
         obj = RegistryObject(
             object_id=notification.event_id,
             object_type=OBJECT_TYPE,
@@ -106,9 +140,9 @@ class EventsIndex:
         obj.classify(SCHEME_PRODUCER, notification.producer_id)
         obj.set_slot("occurredAt", f"{notification.occurred_at:020.6f}")
         obj.set_slot("producerId", notification.producer_id)
-        obj.set_slot("subjectRef", self._seal(notification.subject_ref))
-        if notification.subject_display:
-            obj.set_slot("subjectDisplay", self._seal(notification.subject_display))
+        obj.set_slot("subjectRef", sealed.subject_ref)
+        if sealed.subject_display is not None:
+            obj.set_slot("subjectDisplay", sealed.subject_display)
         self._registry.submit(obj)
         self._registry.approve(notification.event_id)
         self.stats.stored += 1

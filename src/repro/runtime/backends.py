@@ -1,0 +1,201 @@
+"""Durable backend implementations of the runtime interfaces.
+
+The in-memory classes (:class:`~repro.core.index.EventsIndex`,
+:class:`~repro.audit.log.AuditLog`) are the reference implementations; the
+JSONL-backed pair here proves the multi-backend seam: both write through to
+append-only JSON-lines files (:mod:`repro.storage.jsonl`) and replay them
+on start, so a platform restarted over the same data directory sees its
+indexed notifications (identity slots still sealed — the files never hold
+plaintext identities) and its hash-chained audit trail.
+
+Select them through the kernel::
+
+    RuntimeConfig(index_store="jsonl", audit_sink="jsonl", data_dir="...")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
+from repro.core.index import EventsIndex, SealedIdentity
+from repro.core.messages import NotificationMessage
+from repro.exceptions import TamperedLogError
+from repro.registry.objects import LifecycleStatus, RegistryObject, Slot
+from repro.storage.jsonl import JsonlFile
+
+
+class JsonlAuditSink:
+    """Hash-chained audit log with JSONL write-through persistence.
+
+    Every appended record lands in ``audit.jsonl`` together with its chain
+    digest.  On construction an existing file is replayed into a fresh
+    chain and the stored head digest re-verified, so tampering with the
+    file is detected at load time, not at the next guarantor review.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._log = AuditLog()
+        self._file = JsonlFile(path)
+        self._replay()
+
+    @property
+    def path(self) -> Path:
+        """The backing JSONL file."""
+        return self._file.path
+
+    def _replay(self) -> None:
+        rows = self._file.read_all()
+        for row in rows:
+            digest = self._log.append(AuditRecord(
+                record_id=row["record_id"],
+                timestamp=row["timestamp"],
+                actor=row["actor"],
+                action=AuditAction(row["action"]),
+                outcome=AuditOutcome(row["outcome"]),
+                event_id=row["event_id"],
+                event_type=row["event_type"],
+                subject_ref=row["subject_ref"],
+                purpose=row["purpose"],
+                detail=row["detail"],
+            ))
+            if row.get("digest") not in (None, digest):
+                raise TamperedLogError(
+                    f"{self.path}: stored digest of record "
+                    f"{row['record_id']!r} does not replay"
+                )
+
+    # -- AuditSink ---------------------------------------------------------
+
+    def append(self, record: AuditRecord) -> str:
+        """Append ``record``, write it through to disk, return its digest."""
+        digest = self._log.append(record)
+        self._file.append({**record.to_payload(), "digest": digest})
+        return digest
+
+    def records(self) -> tuple[AuditRecord, ...]:
+        """A snapshot of all records, oldest first."""
+        return self._log.records()
+
+    def record_at(self, index: int) -> AuditRecord:
+        """The record at position ``index`` (0-based)."""
+        return self._log.record_at(index)
+
+    @property
+    def head_digest(self) -> str:
+        """Digest of the latest chain link."""
+        return self._log.head_digest
+
+    def verify_integrity(self) -> None:
+        """Re-hash every record against the chain."""
+        self._log.verify_integrity()
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+
+class JsonlIndexStore:
+    """Events index with JSONL write-through persistence.
+
+    Wraps the in-memory :class:`EventsIndex` (queries, decryption and the
+    nonce sequence behave identically) and appends every stored registry
+    object — identity slots sealed — to ``index.jsonl``.  On construction
+    an existing file is replayed via the raw-restore path, and the nonce
+    sequence fast-forwarded so no keystream is reused after a restart.
+    """
+
+    def __init__(self, path: str | Path, keystore, encrypt_identity: bool = True) -> None:
+        self._inner = EventsIndex(keystore, encrypt_identity=encrypt_identity)
+        self._file = JsonlFile(path)
+        self._replay()
+
+    @property
+    def path(self) -> Path:
+        """The backing JSONL file."""
+        return self._file.path
+
+    def _replay(self) -> None:
+        sequence = 0
+        for row in self._file.read_all():
+            obj = RegistryObject(
+                object_id=row["object_id"], object_type=row["object_type"],
+                name=row["name"], description=row["description"],
+            )
+            for classification in row["classifications"]:
+                obj.classify(classification["scheme"], classification["node"])
+            for slot_name, values in row["slots"].items():
+                obj.slots[slot_name] = Slot(slot_name, tuple(values))
+            self._inner.restore_raw(obj)
+            obj.status = LifecycleStatus(row["status"])
+            sequence = max(sequence, int(row.get("sequence", 0)))
+        if sequence:
+            self._inner.restore_sequence(sequence)
+
+    # -- IndexStore --------------------------------------------------------
+
+    def seal_identity(self, notification: NotificationMessage) -> SealedIdentity:
+        """Seal the identifying slots (crypto stage pass-through)."""
+        return self._inner.seal_identity(notification)
+
+    def store(self, notification: NotificationMessage,
+              sealed: SealedIdentity | None = None) -> RegistryObject:
+        """Index a notification and append its sealed row to disk."""
+        obj = self._inner.store(notification, sealed=sealed)
+        self._file.append({
+            "object_id": obj.object_id, "object_type": obj.object_type,
+            "name": obj.name, "description": obj.description,
+            "status": obj.status.value,
+            "classifications": [
+                {"scheme": c.scheme, "node": c.node} for c in obj.classifications
+            ],
+            "slots": {name: list(slot.values) for name, slot in obj.slots.items()},
+            "sequence": self._inner.sequence,
+        })
+        return obj
+
+    def restore_raw(self, obj: RegistryObject) -> None:
+        """Re-insert an archived registry object (archive-restore path)."""
+        self._inner.restore_raw(obj)
+
+    def get(self, event_id: str) -> NotificationMessage:
+        """Rebuild the notification stored under ``event_id``."""
+        return self._inner.get(event_id)
+
+    def inquire(self, event_types, since=None, until=None, producer_id=None):
+        """Query notifications of the authorized ``event_types``."""
+        return self._inner.inquire(event_types, since=since, until=until,
+                                   producer_id=producer_id)
+
+    def count_for_type(self, event_type: str) -> int:
+        """Number of indexed notifications of one class."""
+        return self._inner.count_for_type(event_type)
+
+    def restore_sequence(self, value: int) -> None:
+        """Fast-forward the nonce counter (archive-restore path)."""
+        self._inner.restore_sequence(value)
+
+    @property
+    def encrypt_identity(self) -> bool:
+        """Whether identity slots are sealed (ablation A2 switch)."""
+        return self._inner.encrypt_identity
+
+    @property
+    def registry(self):
+        """The underlying ebXML-style registry (read-mostly)."""
+        return self._inner.registry
+
+    @property
+    def sequence(self) -> int:
+        """The nonce sequence counter."""
+        return self._inner.sequence
+
+    @property
+    def stats(self):
+        """The inner index's instrumentation counters."""
+        return self._inner.stats
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __contains__(self, event_id: str) -> bool:
+        return event_id in self._inner

@@ -1,0 +1,198 @@
+"""The service kernel — the platform's single composition root.
+
+Every collaborator of the :class:`~repro.core.controller.DataController`
+(cipher, transport, index store, audit sink, detail fetcher, policy
+decision point) is constructed here, by *name*, from a registry of
+factories.  The controller, CLI, examples and benchmarks all build their
+service graph through one kernel, so swapping a backend — say the
+in-memory events index for the JSONL-backed one — is a
+:class:`RuntimeConfig` field, not an edit to the controller:
+
+    >>> controller = DataController(runtime=RuntimeConfig(
+    ...     index_store="jsonl", audit_sink="jsonl", data_dir="/tmp/css"))
+
+Factories receive the construction context (clock, ids, keystore, paths,
+...) as keyword arguments and may ignore what they don't need.  They
+import their implementation modules lazily, keeping the kernel itself
+import-light and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+#: A service factory: ``factory(**context) -> implementation``.
+ServiceFactory = Callable[..., Any]
+
+#: Service kinds the default kernel wires (one per controller collaborator).
+KIND_CIPHER = "cipher"
+KIND_TRANSPORT = "transport"
+KIND_INDEX = "index"
+KIND_AUDIT = "audit"
+KIND_PDP = "pdp"
+KIND_FETCHER = "fetcher"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Named implementation choices for one platform instance.
+
+    The defaults reproduce the historical all-in-memory wiring; ``jsonl``
+    backends additionally need ``data_dir``.
+    """
+
+    cipher: str = "keystore"
+    transport: str = "bus"
+    index_store: str = "memory"
+    audit_sink: str = "memory"
+    pdp: str = "xacml"
+    detail_fetcher: str = "endpoint"
+    data_dir: str | Path | None = None
+
+
+class ServiceKernel:
+    """A two-level registry: service kind → implementation name → factory."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, dict[str, ServiceFactory]] = {}
+
+    def register(self, kind: str, name: str, factory: ServiceFactory) -> None:
+        """Register (or replace) the factory for ``kind``/``name``."""
+        self._factories.setdefault(kind, {})[name] = factory
+
+    def create(self, kind: str, name: str, **context: Any) -> Any:
+        """Instantiate implementation ``name`` of service ``kind``."""
+        try:
+            by_name = self._factories[kind]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown service kind {kind!r}; "
+                f"kinds: {', '.join(sorted(self._factories))}"
+            ) from exc
+        try:
+            factory = by_name[name]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no {kind!r} implementation named {name!r}; "
+                f"available: {', '.join(sorted(by_name))}"
+            ) from exc
+        return factory(**context)
+
+    def kinds(self) -> tuple[str, ...]:
+        """The registered service kinds, sorted."""
+        return tuple(sorted(self._factories))
+
+    def implementations(self, kind: str) -> tuple[str, ...]:
+        """The implementation names registered for ``kind``, sorted."""
+        if kind not in self._factories:
+            raise ConfigurationError(f"unknown service kind {kind!r}")
+        return tuple(sorted(self._factories[kind]))
+
+    def wiring(self) -> dict[str, tuple[str, ...]]:
+        """The full kind → implementations table (for docs and the CLI)."""
+        return {kind: self.implementations(kind) for kind in self.kinds()}
+
+
+def _data_file(context: dict, filename: str) -> Path:
+    data_dir = context.get("data_dir")
+    if data_dir is None:
+        raise ConfigurationError(
+            f"the jsonl backend needs RuntimeConfig.data_dir (for {filename})"
+        )
+    return Path(data_dir) / filename
+
+
+# -- default factories (lazy imports: the kernel must not cycle with core) --
+
+
+def _keystore(**context: Any) -> Any:
+    from repro.crypto.keystore import KeyStore
+
+    return KeyStore(context["master_secret"])
+
+
+def _service_bus(**context: Any) -> Any:
+    from repro.bus.broker import ServiceBus
+
+    return ServiceBus(
+        clock=context["clock"], ids=context["ids"],
+        auto_dispatch=context.get("auto_dispatch", True),
+    )
+
+
+def _memory_index(**context: Any) -> Any:
+    from repro.core.index import EventsIndex
+
+    return EventsIndex(
+        context["keystore"],
+        encrypt_identity=context.get("encrypt_identity", True),
+    )
+
+
+def _jsonl_index(**context: Any) -> Any:
+    from repro.runtime.backends import JsonlIndexStore
+
+    return JsonlIndexStore(
+        _data_file(context, "index.jsonl"),
+        context["keystore"],
+        encrypt_identity=context.get("encrypt_identity", True),
+    )
+
+
+def _memory_audit(**context: Any) -> Any:
+    from repro.audit.log import AuditLog
+
+    return AuditLog()
+
+
+def _jsonl_audit(**context: Any) -> Any:
+    from repro.runtime.backends import JsonlAuditSink
+
+    return JsonlAuditSink(_data_file(context, "audit.jsonl"))
+
+
+def _xacml_enforcer(**context: Any) -> Any:
+    from repro.core.enforcement import PolicyEnforcer
+
+    return PolicyEnforcer(
+        repository=context["repository"],
+        id_map=context["id_map"],
+        purposes=context["purposes"],
+        gateway_resolver=context.get("gateway_resolver"),
+        audit_log=context["audit_log"],
+        clock=context["clock"],
+        ids=context["ids"],
+        consent_resolver=context.get("consent_resolver"),
+        fetcher=context.get("fetcher"),
+    )
+
+
+def _endpoint_fetcher(**context: Any) -> Any:
+    from repro.runtime.services import EndpointDetailFetcher
+
+    return EndpointDetailFetcher(context["endpoints"], context["require_producer"])
+
+
+def _direct_fetcher(**context: Any) -> Any:
+    from repro.runtime.services import DirectDetailFetcher
+
+    return DirectDetailFetcher(context["gateway_resolver"])
+
+
+def default_kernel() -> ServiceKernel:
+    """A kernel pre-loaded with every in-tree implementation."""
+    kernel = ServiceKernel()
+    kernel.register(KIND_CIPHER, "keystore", _keystore)
+    kernel.register(KIND_TRANSPORT, "bus", _service_bus)
+    kernel.register(KIND_INDEX, "memory", _memory_index)
+    kernel.register(KIND_INDEX, "jsonl", _jsonl_index)
+    kernel.register(KIND_AUDIT, "memory", _memory_audit)
+    kernel.register(KIND_AUDIT, "jsonl", _jsonl_audit)
+    kernel.register(KIND_PDP, "xacml", _xacml_enforcer)
+    kernel.register(KIND_FETCHER, "endpoint", _endpoint_fetcher)
+    kernel.register(KIND_FETCHER, "direct", _direct_fetcher)
+    return kernel

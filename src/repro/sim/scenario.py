@@ -22,6 +22,7 @@ from repro.core.controller import DataController
 from repro.core.events import EventClass
 from repro.core.producer import DataProducer
 from repro.exceptions import AccessDeniedError, ConfigurationError
+from repro.runtime.kernel import RuntimeConfig
 from repro.sim.domain import (
     ROLE_ADMINISTRATOR,
     ROLE_FAMILY_DOCTOR,
@@ -74,6 +75,8 @@ class ScenarioConfig:
     seed: int = 2010
     encrypt_identity: bool = True
     mean_interarrival: float = 60.0
+    #: Kernel backend selection (None = in-memory defaults).
+    runtime: "RuntimeConfig | None" = None
     consumers: tuple[tuple[str, str], ...] = DEFAULT_CONSUMERS
     producer_assignment: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_PRODUCER_ASSIGNMENT)
@@ -129,6 +132,7 @@ class CssScenario:
             clock=self.clock,
             seed=f"scenario-{self.config.seed}",
             encrypt_identity=self.config.encrypt_identity,
+            runtime=self.config.runtime,
         )
         self.templates = standard_event_templates()
         self.population = SyntheticPopulation(self.config.n_patients, seed=self.config.seed)

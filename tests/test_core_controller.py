@@ -23,7 +23,6 @@ from repro.exceptions import (
     SourceUnavailableError,
     UnknownProducerError,
 )
-from tests.conftest import blood_test_schema
 
 
 class TestJoining:

@@ -1,0 +1,184 @@
+"""Interceptor-pipeline semantics: ordering, short-circuits, typed errors.
+
+The service-kernel refactor routes both hot paths through
+:mod:`repro.runtime.interceptors`; these tests pin the contract: stage
+order is deterministic and inspectable, a deny short-circuits the chain
+but the audit stage still records the attempt, and stage failures surface
+as the platform's typed exceptions, never as pipeline-internal wrappers.
+"""
+
+import pytest
+
+from repro import DataConsumer, DataController, DataProducer
+from repro.audit.log import AuditAction, AuditOutcome
+from repro.core.consent import ConsentRegistry, ConsentScope
+from repro.core.enforcement import DetailRequest
+from repro.exceptions import (
+    AccessDeniedError,
+    PrivacyError,
+    UnknownProducerError,
+    ValidationError,
+)
+from repro.runtime.interceptors import Interceptor, InterceptorPipeline, Invocation
+from tests.conftest import blood_test_schema
+
+
+def build_world():
+    controller = DataController(seed="pipe")
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    blood = hospital.declare_event_class(blood_test_schema())
+    doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi", role="family-doctor")
+    hospital.define_policy(
+        "BloodTest", fields=["PatientId", "Hemoglobin"],
+        consumers=[("family-doctor", "role")], purposes=["healthcare-treatment"])
+    return controller, hospital, blood, doctor
+
+
+def publish(hospital, blood, subject="p1"):
+    return hospital.publish(
+        blood, subject_id=subject, subject_name="Mario Bianchi", summary="done",
+        details={"PatientId": subject, "Name": "Mario", "Hemoglobin": 14.0,
+                 "Glucose": 90.0, "HivResult": "negative"})
+
+
+class Tag:
+    """A stub stage that records its passage and forwards."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def intercept(self, invocation, proceed):
+        invocation.context.setdefault("seen", []).append(self.name)
+        return proceed(invocation)
+
+
+class TestPipelineMachinery:
+    def test_stages_execute_in_declared_order(self):
+        pipeline = InterceptorPipeline(
+            [Tag("a"), Tag("b"), Tag("c")],
+            terminal=lambda inv: tuple(inv.context["seen"]),
+            name="demo",
+        )
+        invocation = Invocation("demo")
+        assert pipeline.execute(invocation) == ("a", "b", "c")
+        assert invocation.trace == ["a", "b", "c"]
+        assert pipeline.stage_names == ("a", "b", "c")
+
+    def test_short_circuit_skips_downstream_stages(self):
+        class Stop:
+            name = "stop"
+
+            def intercept(self, invocation, proceed):
+                return "stopped"  # never calls proceed
+
+        pipeline = InterceptorPipeline(
+            [Tag("a"), Stop(), Tag("never")],
+            terminal=lambda inv: "terminal",
+        )
+        invocation = Invocation("demo")
+        assert pipeline.execute(invocation) == "stopped"
+        assert invocation.trace == ["a", "stop"]
+        assert invocation.context["seen"] == ["a"]
+
+    def test_stage_exceptions_surface_unwrapped(self):
+        class Boom:
+            name = "boom"
+
+            def intercept(self, invocation, proceed):
+                raise ValidationError("malformed payload")
+
+        pipeline = InterceptorPipeline([Tag("a"), Boom()], terminal=lambda inv: None)
+        with pytest.raises(ValidationError, match="malformed payload"):
+            pipeline.execute(Invocation("demo"))
+
+    def test_stub_stages_satisfy_the_interceptor_protocol(self):
+        assert isinstance(Tag("a"), Interceptor)
+
+
+class TestControllerWiring:
+    def test_publish_pipeline_stage_order_is_deterministic(self):
+        controller = DataController(seed="wire")
+        assert controller.publish_pipeline.stage_names == (
+            "stats", "contract", "admission", "audit", "consent",
+            "persist", "crypto", "index", "route",
+        )
+
+    def test_enforcement_pipeline_stage_order_is_deterministic(self):
+        controller = DataController(seed="wire")
+        assert controller.enforcer.pipeline.stage_names == (
+            "stats", "audit", "resolve", "consent", "decide", "fetch", "filter",
+        )
+
+    def test_details_edge_pipeline_stage_order(self):
+        controller = DataController(seed="wire")
+        assert controller.details_pipeline.stage_names == (
+            "contract", "authenticate",
+        )
+
+
+class TestDenyShortCircuits:
+    def test_policy_deny_is_audited_and_gateway_never_called(self):
+        controller, hospital, blood, doctor = build_world()
+        doctor.subscribe("BloodTest")
+        notification = publish(hospital, blood)
+        intruder = DataConsumer(controller, "Mallory", "Mallory", role="clerk")
+        with pytest.raises(AccessDeniedError):
+            controller.request_details(
+                "Mallory",
+                DetailRequest(actor=intruder.actor, event_type="BloodTest",
+                              event_id=notification.event_id,
+                              purpose="healthcare-treatment"),
+            )
+        denies = [r for r in controller.audit_log.records()
+                  if r.action is AuditAction.DETAIL_REQUEST
+                  and r.outcome is AuditOutcome.DENY]
+        assert len(denies) == 1
+        assert denies[0].actor == "Mallory"
+        # the fetch stage was short-circuited: nothing left the producer
+        stats = hospital.gateway.stats
+        assert stats.served_from_cache == 0 and stats.served_from_source == 0
+        assert controller.enforcer.stats.denies == 1
+
+    def test_consent_veto_on_publish_returns_none_but_is_audited(self):
+        controller, hospital, blood, doctor = build_world()
+        consent = ConsentRegistry("Hospital")
+        consent.opt_out("p1", ConsentScope.NOTIFICATIONS)
+        controller.attach_consent("Hospital", consent)
+        assert publish(hospital, blood, "p1") is None
+        assert len(controller.index) == 0  # nothing indexed or routed
+        denies = [r for r in controller.audit_log.records()
+                  if r.action is AuditAction.PUBLISH
+                  and r.outcome is AuditOutcome.DENY]
+        assert len(denies) == 1
+        assert denies[0].detail == "data subject opted out of event sharing"
+        assert controller.publish_stats.consent_blocked == 1
+        # the veto fired before the persist stage: no event id was consumed
+        ok = publish(hospital, blood, "p2")
+        assert ok.event_id.startswith("evt-000001")
+
+    def test_admission_failure_surfaces_as_typed_exception(self):
+        controller, hospital, blood, doctor = build_world()
+        rival = DataProducer(controller, "Rival", "Rival clinic")
+        with pytest.raises(UnknownProducerError):
+            publish(rival, blood)
+        assert controller.publish_stats.failures == 1
+
+    def test_field_filter_stage_blocks_overreleasing_gateway(self):
+        controller, hospital, blood, doctor = build_world()
+        doctor.subscribe("BloodTest")
+        notification = publish(hospital, blood)
+
+        real_fetch = controller.detail_fetcher.fetch
+
+        class LeakyFetcher:
+            def fetch(self, producer_id, src_event_id, allowed_fields, event_id):
+                # a buggy/hostile gateway ignores the policy's field set
+                return real_fetch(producer_id, src_event_id,
+                                  ["PatientId", "Hemoglobin", "HivResult"],
+                                  event_id)
+
+        for stage in controller.enforcer.pipeline._interceptors:  # noqa: SLF001
+            if stage.name == "fetch":
+                stage._fetcher = LeakyFetcher()  # noqa: SLF001
+        with pytest.raises(PrivacyError, match="outside the policy grant"):
+            doctor.request_details(notification, "healthcare-treatment")

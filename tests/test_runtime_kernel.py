@@ -1,0 +1,150 @@
+"""Service kernel and durable-backend tests.
+
+Pins the composition-root contract: collaborators resolve by name through
+the kernel, unknown names fail with the platform's configuration error,
+the in-memory implementations satisfy the runtime protocols, and the
+JSONL index/audit pair survives a restart (with tamper detection on the
+audit chain).
+"""
+
+import json
+
+import pytest
+
+from repro import DataConsumer, DataController, DataProducer, RuntimeConfig, default_kernel
+from repro.crypto.keystore import KeyStore
+from repro.exceptions import ConfigurationError, TamperedLogError
+from repro.runtime.backends import JsonlAuditSink, JsonlIndexStore
+from repro.runtime.interfaces import (
+    AuditSink,
+    CipherProvider,
+    CooperationGateway,
+    DetailFetcher,
+    IndexStore,
+    NotificationTransport,
+    PolicyDecisionPoint,
+)
+from tests.conftest import blood_test_schema
+
+
+def build_world(runtime=None):
+    controller = DataController(seed="kern", runtime=runtime)
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    blood = hospital.declare_event_class(blood_test_schema())
+    doctor = DataConsumer(controller, "Dr-Rossi", "Dr. Rossi", role="family-doctor")
+    hospital.define_policy(
+        "BloodTest", fields=["PatientId", "Hemoglobin"],
+        consumers=[("family-doctor", "role")], purposes=["healthcare-treatment"])
+    return controller, hospital, blood, doctor
+
+
+def publish(hospital, blood, subject="p1"):
+    return hospital.publish(
+        blood, subject_id=subject, subject_name="Mario Bianchi", summary="done",
+        details={"PatientId": subject, "Name": "Mario", "Hemoglobin": 14.0,
+                 "Glucose": 90.0, "HivResult": "negative"})
+
+
+class TestKernelRegistry:
+    def test_default_wiring_table(self):
+        kernel = default_kernel()
+        wiring = kernel.wiring()
+        assert wiring["index"] == ("jsonl", "memory")
+        assert wiring["audit"] == ("jsonl", "memory")
+        assert wiring["fetcher"] == ("direct", "endpoint")
+        assert set(wiring) == {"audit", "cipher", "fetcher", "index", "pdp",
+                               "transport"}
+
+    def test_unknown_kind_and_name_are_configuration_errors(self):
+        kernel = default_kernel()
+        with pytest.raises(ConfigurationError, match="unknown service kind"):
+            kernel.create("blockchain", "memory")
+        with pytest.raises(ConfigurationError, match="no 'index' implementation"):
+            kernel.create("index", "postgres")
+
+    def test_jsonl_backend_without_data_dir_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="data_dir"):
+            DataController(runtime=RuntimeConfig(index_store="jsonl"))
+
+    def test_custom_registration_overrides(self):
+        kernel = default_kernel()
+        sentinel = object()
+        kernel.register("audit", "null", lambda **ctx: sentinel)
+        assert kernel.create("audit", "null") is sentinel
+        assert "null" in kernel.implementations("audit")
+
+    def test_controller_collaborators_satisfy_the_protocols(self):
+        controller, hospital, blood, doctor = build_world()
+        assert isinstance(controller.keystore, CipherProvider)
+        assert isinstance(controller.index, IndexStore)
+        assert isinstance(controller.audit_log, AuditSink)
+        assert isinstance(controller.bus, NotificationTransport)
+        assert isinstance(controller.detail_fetcher, DetailFetcher)
+        assert isinstance(controller.enforcer, PolicyDecisionPoint)
+        assert isinstance(hospital.gateway, CooperationGateway)
+
+
+class TestJsonlBackends:
+    def test_full_flow_on_jsonl_backends(self, tmp_path):
+        runtime = RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
+                                data_dir=tmp_path)
+        controller, hospital, blood, doctor = build_world(runtime)
+        doctor.subscribe("BloodTest")
+        notification = publish(hospital, blood)
+        detail = doctor.request_details(notification, "healthcare-treatment")
+        assert detail.exposed_values()
+        assert (tmp_path / "index.jsonl").exists()
+        assert (tmp_path / "audit.jsonl").exists()
+        assert isinstance(controller.index, JsonlIndexStore)
+        assert isinstance(controller.audit_log, JsonlAuditSink)
+
+    def test_identity_slots_are_sealed_on_disk(self, tmp_path):
+        runtime = RuntimeConfig(index_store="jsonl", data_dir=tmp_path)
+        controller, hospital, blood, doctor = build_world(runtime)
+        publish(hospital, blood, "secret-patient")
+        rows = [json.loads(line) for line in
+                (tmp_path / "index.jsonl").read_text().splitlines()]
+        assert len(rows) == 1
+        blob = json.dumps(rows[0])
+        assert "secret-patient" not in blob
+        assert "Mario Bianchi" not in blob
+
+    def test_index_replay_restores_notifications_and_nonce_sequence(self, tmp_path):
+        runtime = RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
+                                data_dir=tmp_path)
+        controller, hospital, blood, doctor = build_world(runtime)
+        first = publish(hospital, blood, "p1")
+        publish(hospital, blood, "p2")
+        old_sequence = controller.index.sequence
+
+        reloaded = JsonlIndexStore(tmp_path / "index.jsonl",
+                                   KeyStore("css-platform-secret"))
+        assert len(reloaded) == 2
+        assert reloaded.sequence == old_sequence  # no keystream reuse
+        replayed = reloaded.get(first.event_id)
+        assert replayed.subject_ref == "p1"
+        assert replayed.subject_display == "Mario Bianchi"
+
+    def test_audit_replay_verifies_the_hash_chain(self, tmp_path):
+        runtime = RuntimeConfig(audit_sink="jsonl", data_dir=tmp_path)
+        controller, hospital, blood, doctor = build_world(runtime)
+        publish(hospital, blood)
+        head = controller.audit_log.head_digest
+
+        reloaded = JsonlAuditSink(tmp_path / "audit.jsonl")
+        reloaded.verify_integrity()
+        assert len(reloaded) == len(controller.audit_log)
+        assert reloaded.head_digest == head
+
+    def test_tampered_audit_file_is_rejected_on_replay(self, tmp_path):
+        runtime = RuntimeConfig(audit_sink="jsonl", data_dir=tmp_path)
+        controller, hospital, blood, doctor = build_world(runtime)
+        publish(hospital, blood)
+        path = tmp_path / "audit.jsonl"
+        lines = path.read_text().splitlines()
+        doctored = json.loads(lines[0])
+        doctored["actor"] = "someone-else"
+        lines[0] = json.dumps(doctored)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TamperedLogError):
+            JsonlAuditSink(path)
