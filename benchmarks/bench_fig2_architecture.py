@@ -63,8 +63,15 @@ def test_publish_fanout_cost(benchmark, n_subscribers):
 
     benchmark(bus.publish, "events.health.BloodTest", "hospital", "<Notification/>")
     assert len(sink) >= n_subscribers  # every subscriber got every round's message
+    # Clean measurement window: reset the warmed-up counters, then take one
+    # exactly-measured round instead of dividing cumulative totals by rounds.
+    bus.stats.reset()
+    bus.publish("events.health.BloodTest", "hospital", "<Notification/>")
     stats = bus.stats
+    assert stats.published == 1
+    assert stats.fanned_out == n_subscribers
     assert stats.bytes_fanned_out == stats.bytes_published * n_subscribers
+    assert bus.queue_depth == 0  # auto_dispatch drained every queue
     print(
         f"\n[F2] subscribers={n_subscribers}: published={stats.bytes_published}B, "
         f"fanned out={stats.bytes_fanned_out}B "

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_obs.json`` (schema ``css-bench-obs/1``).
+
+CI runs the scenario with telemetry enabled, then this script; a missing
+or malformed summary fails the build so the perf trajectory can never
+silently rot.  Usage::
+
+    python benchmarks/check_obs_schema.py BENCH_obs.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-obs/1"
+LATENCY_KEYS = ("p50", "p95", "p99", "mean", "min", "max")
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks must be a non-empty list")
+        benchmarks = []
+    for index, entry in enumerate(benchmarks):
+        where = f"benchmarks[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        if not isinstance(entry.get("figure"), str) or not entry.get("figure"):
+            problems.append(f"{where}.figure must be a non-empty string")
+        ops = entry.get("ops_per_second")
+        if not _number(ops) or ops <= 0:
+            problems.append(f"{where}.ops_per_second must be a positive number")
+        latency = entry.get("latency_seconds")
+        if not isinstance(latency, dict):
+            problems.append(f"{where}.latency_seconds must be an object")
+            continue
+        for key in LATENCY_KEYS:
+            value = latency.get(key)
+            if not _number(value) or value < 0:
+                problems.append(
+                    f"{where}.latency_seconds.{key} must be a non-negative number"
+                )
+        if all(_number(latency.get(key)) for key in ("p50", "p95", "p99")):
+            if not latency["p50"] <= latency["p95"] <= latency["p99"]:
+                problems.append(f"{where}: percentiles must satisfy p50 <= p95 <= p99")
+    counters = payload.get("counters", {})
+    if not isinstance(counters, dict):
+        problems.append("counters must be an object when present")
+    else:
+        for name, value in counters.items():
+            if not _number(value):
+                problems.append(f"counters[{name!r}] must be a number")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_obs_schema.py BENCH_obs.json", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_obs_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_obs_schema: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_obs_schema: {problem}", file=sys.stderr)
+        return 1
+    entries = len(payload["benchmarks"])
+    print(f"check_obs_schema: {path} ok ({entries} benchmark entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

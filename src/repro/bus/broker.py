@@ -31,6 +31,14 @@ class BusStats:
     bytes_published: int = 0
     bytes_fanned_out: int = 0
 
+    def reset(self) -> None:
+        """Zero every counter (benchmark warm-up / measurement windows)."""
+        self.published = 0
+        self.fanned_out = 0
+        self.dispatch_rounds = 0
+        self.bytes_published = 0
+        self.bytes_fanned_out = 0
+
 
 class ServiceBus:
     """In-process ESB with durable pub/sub and explicit dispatch."""
@@ -42,6 +50,7 @@ class ServiceBus:
         delivery_policy: DeliveryPolicy | None = None,
         auto_dispatch: bool = True,
         strict_topics: bool = True,
+        telemetry=None,
     ) -> None:
         self._clock = clock or Clock()
         self._ids = ids or IdFactory()
@@ -51,6 +60,9 @@ class ServiceBus:
         self.auto_dispatch = auto_dispatch
         self.strict_topics = strict_topics
         self.stats = BusStats()
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     # -- topics ------------------------------------------------------------
 
@@ -126,6 +138,10 @@ class ServiceBus:
             subscription.queue.enqueue(envelope, now=now)
             self.stats.fanned_out += 1
             self.stats.bytes_fanned_out += size
+        if self._telemetry is not None:
+            self._telemetry.count("bus.published_total", topic=topic)
+            self._telemetry.count("bus.fanout_total", len(matching), topic=topic)
+            self._telemetry.gauge("bus.queue.depth", self.queue_depth)
         if self.auto_dispatch and matching:
             self.dispatch()
         return envelope
@@ -135,11 +151,21 @@ class ServiceBus:
     def dispatch(self) -> DeliveryReport:
         """Run one dispatch round over all subscriptions."""
         self.stats.dispatch_rounds += 1
-        return self._engine.dispatch_all(self._subscriptions.all_subscriptions())
+        report = self._engine.dispatch_all(self._subscriptions.all_subscriptions())
+        if self._telemetry is not None:
+            self._telemetry.count("bus.dispatch_rounds_total")
+            self._telemetry.gauge("bus.queue.depth", self.queue_depth)
+        return report
 
     def pending_messages(self) -> int:
         """Total messages waiting across all subscription queues."""
         return sum(sub.queue.depth for sub in self._subscriptions.all_subscriptions())
+
+    @property
+    def queue_depth(self) -> int:
+        """Broker-wide queue depth — the single source the telemetry
+        gauge (``bus.queue.depth``) and the benchmarks both read."""
+        return self.pending_messages()
 
     @property
     def dead_letter_depth(self) -> int:

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Five subcommands, all built on the public API::
+Six subcommands, all built on the public API::
 
     python -m repro scenario  [--events N] [--patients N] [--rate R]
                               [--seed S] [--archive DIR] [--durable DIR]
     python -m repro compare   [--events N] [--seed S]
     python -m repro monitor   [--events N] [--seed S] [--threshold K]
+    python -m repro telemetry [--scenario default] [--events N] [--seed S]
+                              [--guard hash|reject] [--trace-out FILE]
+                              [--metrics-out FILE] [--bench-out FILE]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -13,9 +16,12 @@ Five subcommands, all built on the public API::
 (optionally archiving the resulting platform; ``--durable DIR`` runs it
 on the JSONL-backed index/audit kernel backends writing into DIR);
 ``compare`` prints the CSS-vs-baselines table; ``monitor`` prints the
-governing body's aggregated view; ``inspect`` restores an archive and
-prints its audit summary (verifying the hash chain in the process);
-``kernel`` prints the service-kernel wiring table.
+governing body's aggregated view; ``telemetry`` reruns the scenario on
+the in-memory telemetry backend and prints per-stage latency percentiles
+and counters (JSONL trace/metric exports and a ``BENCH_obs.json``-style
+summary on request); ``inspect`` restores an archive and prints its audit
+summary (verifying the hash chain in the process); ``kernel`` prints the
+service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -66,6 +72,21 @@ def _build_parser() -> argparse.ArgumentParser:
     _scenario_options(monitor)
     monitor.add_argument("--threshold", type=int, default=5,
                          help="small-cell suppression threshold k (default 5)")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="run a scenario with telemetry enabled and report"
+    )
+    telemetry.add_argument("--scenario", default="default", choices=["default"],
+                           help="named scenario preset (only 'default' so far)")
+    _scenario_options(telemetry)
+    telemetry.add_argument("--guard", default="hash", choices=["hash", "reject"],
+                           help="privacy-guard mode for labels/attributes")
+    telemetry.add_argument("--trace-out", metavar="FILE",
+                           help="write the span trace as JSONL to FILE")
+    telemetry.add_argument("--metrics-out", metavar="FILE",
+                           help="write the metrics snapshot as JSONL to FILE")
+    telemetry.add_argument("--bench-out", metavar="FILE",
+                           help="write a BENCH_obs.json-style summary to FILE")
 
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
@@ -123,6 +144,45 @@ def _cmd_scenario(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace, out) -> int:
+    from repro.obs.benchreport import scenario_summary, write_summary
+    from repro.obs.exporters import render_latency_table, render_metrics_table
+    from repro.obs.telemetry import PIPELINE_DURATION, STAGE_DURATION
+
+    runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard=args.guard)
+    config = ScenarioConfig(
+        n_patients=args.patients, n_events=args.events,
+        detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
+    )
+    scenario = CssScenario(config)
+    report = scenario.run(scenario.generate_workload())
+    telemetry = scenario.controller.telemetry
+
+    print(report.to_text(), file=out)
+    print(file=out)
+    print(f"TELEMETRY (scenario={args.scenario}, seed={args.seed}, "
+          f"guard={args.guard}, simulated seconds={telemetry.clock.now():.0f})",
+          file=out)
+    print(render_latency_table(telemetry.metrics, STAGE_DURATION,
+                               unit="simulated s"), file=out)
+    print(render_latency_table(telemetry.metrics, PIPELINE_DURATION,
+                               unit="simulated s"), file=out)
+    print(render_metrics_table(telemetry.metrics), file=out)
+    print(f"finished spans: {len(telemetry.tracer.finished_spans())}", file=out)
+
+    if args.trace_out or args.metrics_out:
+        telemetry.dump(trace_path=args.trace_out, metrics_path=args.metrics_out)
+        for path in (args.trace_out, args.metrics_out):
+            if path:
+                print(f"wrote {path}", file=out)
+    if args.bench_out:
+        write_summary(args.bench_out, scenario_summary(
+            telemetry, source=f"repro telemetry --scenario {args.scenario} "
+                              f"--seed {args.seed}"))
+        print(f"wrote {args.bench_out}", file=out)
+    return 0
+
+
 def _cmd_kernel(args: argparse.Namespace, out) -> int:
     kernel = default_kernel()
     defaults = RuntimeConfig()
@@ -131,6 +191,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "cipher": defaults.cipher, "transport": defaults.transport,
         "index": defaults.index_store, "audit": defaults.audit_sink,
         "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
+        "telemetry": defaults.telemetry,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -192,6 +253,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "scenario": _cmd_scenario,
         "compare": _cmd_compare,
         "monitor": _cmd_monitor,
+        "telemetry": _cmd_telemetry,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

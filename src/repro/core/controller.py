@@ -71,6 +71,7 @@ from repro.runtime.kernel import (
     KIND_FETCHER,
     KIND_INDEX,
     KIND_PDP,
+    KIND_TELEMETRY,
     KIND_TRANSPORT,
     RuntimeConfig,
     ServiceKernel,
@@ -107,9 +108,15 @@ class DataController:
         self.keystore = self.kernel.create(
             KIND_CIPHER, self.runtime.cipher, master_secret=master_secret
         )
+        self.telemetry = self.kernel.create(
+            KIND_TELEMETRY, self.runtime.telemetry,
+            clock=self.clock, master_secret=master_secret,
+            telemetry_guard=self.runtime.telemetry_guard,
+        )
         self.bus = self.kernel.create(
             KIND_TRANSPORT, self.runtime.transport,
             clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
+            telemetry=self.telemetry,
         )
         self.endpoints = EndpointRegistry()
         self.actors = ActorDirectory()
@@ -143,6 +150,7 @@ class DataController:
             purposes=self.purposes, audit_log=self.audit_log,
             clock=self.clock, ids=self.ids,
             consent_resolver=self._consent.get, fetcher=self._fetcher,
+            telemetry=self.telemetry,
         )
         self.publish_stats = PublishStats()
         self._publish_pipeline = build_publish_pipeline(
@@ -157,6 +165,7 @@ class DataController:
             id_map=self.id_map,
             index_store=self.index,
             transport=self.bus,
+            telemetry=self.telemetry,
         )
         self._details_pipeline = build_details_edge_pipeline(
             contracts=self.contracts,
@@ -165,6 +174,7 @@ class DataController:
             endpoint_call=lambda request: self.endpoints.call(
                 "controller.getEventDetails", request
             ),
+            telemetry=self.telemetry,
         )
         self.endpoints.expose(
             "controller.getEventDetails",
@@ -247,6 +257,9 @@ class DataController:
             )
         self.catalog.install(event_class)
         self.bus.declare_topic(event_class.topic)
+        # Detail-payload keys are sensitive: registering them with the
+        # telemetry guard keeps them out of metric labels / span attributes.
+        self.telemetry.restrict_keys(event_class.fields)
         self._record(
             producer_id, AuditAction.DECLARE_EVENT_CLASS, AuditOutcome.PERMIT,
             event_type=event_class.name,
@@ -267,6 +280,7 @@ class DataController:
                 f"{event_class.producer_id!r}, not {producer_id!r}"
             )
         upgraded = self.catalog.upgrade(event_class)
+        self.telemetry.restrict_keys(upgraded.fields)
         self._record(
             producer_id, AuditAction.DECLARE_EVENT_CLASS, AuditOutcome.PERMIT,
             event_type=upgraded.name,

@@ -116,6 +116,7 @@ class PolicyEnforcer:
         ids: IdFactory | None = None,
         consent_resolver: ConsentResolver | None = None,
         fetcher: DetailFetcher | None = None,
+        telemetry=None,
     ) -> None:
         if audit_log is None or clock is None or ids is None:
             raise ConfigurationError(
@@ -135,7 +136,7 @@ class PolicyEnforcer:
         self._clock = clock
         self._ids = ids
         self._resolve_consent = consent_resolver or (lambda producer_id: None)
-        self._pdp = PolicyDecisionPoint()
+        self._pdp = PolicyDecisionPoint(telemetry=telemetry)
         self._pip = self._build_pip()
         self._pep = PolicyEnforcementPoint(
             pdp=self._pdp,
@@ -161,6 +162,7 @@ class PolicyEnforcer:
             repository=self._repository,
             pep=self._pep,
             fetcher=self._fetcher,
+            telemetry=telemetry,
         )
 
     @property

@@ -1,0 +1,60 @@
+"""Privacy-safe observability: metrics, tracing, guard and exporters.
+
+See :mod:`repro.obs.telemetry` for the kernel-resolved facade,
+:mod:`repro.obs.guard` for the privacy guard that keeps telemetry from
+becoming a side channel, and ``docs/OBSERVABILITY.md`` for the naming
+scheme and exporter formats.
+"""
+
+from repro.obs.exporters import (
+    metric_lines,
+    render_latency_table,
+    render_metrics_table,
+    span_lines,
+    write_jsonl,
+)
+from repro.obs.guard import (
+    MODE_HASH,
+    MODE_REJECT,
+    PrivacyGuard,
+    TelemetryPrivacyError,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    PIPELINE_DURATION,
+    PIPELINE_OUTCOMES,
+    STAGE_DURATION,
+    InMemoryTelemetry,
+    NoopTelemetry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryTelemetry",
+    "MODE_HASH",
+    "MODE_REJECT",
+    "MetricsRegistry",
+    "NoopTelemetry",
+    "PIPELINE_DURATION",
+    "PIPELINE_OUTCOMES",
+    "PrivacyGuard",
+    "STAGE_DURATION",
+    "Span",
+    "TelemetryPrivacyError",
+    "Tracer",
+    "metric_lines",
+    "render_latency_table",
+    "render_metrics_table",
+    "span_lines",
+    "write_jsonl",
+]

@@ -1,0 +1,182 @@
+"""Metric instruments: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` keys every series by ``(name, labels)`` where
+``labels`` is the guard-sanitised tuple produced by
+:class:`~repro.obs.guard.PrivacyGuard` — identifying label values never
+reach a series key.  Histograms use fixed bucket boundaries, so p50/p95/p99
+summaries are computed from bucket counts (upper-bound estimate) exactly
+like a scrape-based system would, and two runs over the same workload
+produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.obs.guard import PrivacyGuard
+
+#: Default latency buckets in (simulated) seconds, sub-ms to 10 s.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The percentiles every histogram summary reports.
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (queue depth, active spans, ...)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max sidecars."""
+
+    boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.boundaries) + 1)  # + overflow
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.boundaries, value)
+        self.counts[index] += 1
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index == len(self.boundaries):
+                    return self.max  # overflow bucket: cap at observed max
+                return min(self.boundaries[index], self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """The p50/p95/p99 + count/sum/min/max summary row."""
+        row = {
+            "count": float(self.count), "sum": self.sum,
+            "min": self.min, "max": self.max,
+            "mean": self.sum / self.count if self.count else 0.0,
+        }
+        for q in SUMMARY_QUANTILES:
+            row[f"p{int(q * 100)}"] = self.quantile(q)
+        return row
+
+
+class MetricsRegistry:
+    """All metric series of one platform instance, guard-protected."""
+
+    def __init__(self, guard: PrivacyGuard | None = None) -> None:
+        self.guard = guard or PrivacyGuard()
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Gauge] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
+
+    # -- series access -----------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, self.guard.sanitize(labels))
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter()
+        return series
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, self.guard.sanitize(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge()
+        return series
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: object
+    ) -> Histogram:
+        key = (name, self.guard.sanitize(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+        return series
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Every series as a plain dict row, deterministically ordered."""
+        rows: list[dict] = []
+        for (name, labels), counter in self._counters.items():
+            rows.append({"type": "counter", "name": name,
+                         "labels": dict(labels), "value": counter.value})
+        for (name, labels), gauge in self._gauges.items():
+            rows.append({"type": "gauge", "name": name,
+                         "labels": dict(labels), "value": gauge.value})
+        for (name, labels), histogram in self._histograms.items():
+            rows.append({"type": "histogram", "name": name,
+                         "labels": dict(labels), **histogram.summary()})
+        rows.sort(key=lambda row: (row["name"], sorted(row["labels"].items()),
+                                   row["type"]))
+        return rows
+
+    def histogram_summaries(self, name: str) -> list[tuple[dict[str, str], dict]]:
+        """``(labels, summary)`` per series of histogram ``name``, sorted."""
+        found = [
+            (dict(labels), histogram.summary())
+            for (series, labels), histogram in self._histograms.items()
+            if series == name
+        ]
+        found.sort(key=lambda pair: sorted(pair[0].items()))
+        return found
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter series (0.0 if never touched)."""
+        key = (name, self.guard.sanitize(labels))
+        series = self._counters.get(key)
+        return series.value if series else 0.0
+
+    def reset(self) -> None:
+        """Drop every series (scenario reruns, benchmark warm-up)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,132 @@
+"""The ``Telemetry`` service: the kernel-resolved observability facade.
+
+Two backends, registered in the service kernel like every other
+collaborator (``RuntimeConfig(telemetry="inmemory")``):
+
+* :class:`NoopTelemetry` (default) — every operation is a no-op and
+  ``enabled`` is ``False``, so the pipelines skip instrumentation wrappers
+  entirely: an un-instrumented platform pays nothing;
+* :class:`InMemoryTelemetry` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  plus a :class:`~repro.obs.tracing.Tracer` sharing one
+  :class:`~repro.obs.guard.PrivacyGuard`, timed against the platform's
+  simulated clock.
+
+The facade API is intentionally tiny — ``count``/``gauge``/``observe``,
+``span``/``stage_span``, ``restrict_keys`` — so instrumented modules
+(bus broker, XACML PDP, interceptor pipelines) depend on nothing but this
+shape.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.clock import Clock
+from repro.obs.exporters import metric_lines, span_lines, write_jsonl
+from repro.obs.guard import MODE_HASH, PrivacyGuard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Histogram recording per-stage pipeline latency (simulated seconds).
+STAGE_DURATION = "pipeline.stage.duration_seconds"
+#: Histogram recording whole-pipeline latency (simulated seconds).
+PIPELINE_DURATION = "pipeline.duration_seconds"
+#: Counter of pipeline executions, labelled by pipeline + outcome.
+PIPELINE_OUTCOMES = "pipeline.invocations_total"
+
+
+class NoopTelemetry:
+    """The do-nothing backend (telemetry disabled)."""
+
+    enabled = False
+
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float, buckets=None, **labels: object) -> None:
+        """No-op."""
+
+    def restrict_keys(self, keys) -> None:
+        """No-op."""
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        yield None
+
+    @contextmanager
+    def stage_span(self, pipeline: str, stage: str):
+        yield None
+
+
+class InMemoryTelemetry:
+    """Metrics + tracing against the simulated clock, guard-protected."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        guard: PrivacyGuard | None = None,
+        guard_mode: str = MODE_HASH,
+        secret: str = "css-telemetry",
+    ) -> None:
+        self.clock = clock or Clock()
+        self.guard = guard or PrivacyGuard(mode=guard_mode, secret=secret)
+        self.metrics = MetricsRegistry(self.guard)
+        self.tracer = Tracer(self.clock, self.guard)
+
+    # -- metrics -----------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Increment counter ``name`` for the given label set."""
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set gauge ``name`` to ``value`` for the given label set."""
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, buckets=None, **labels: object) -> None:
+        """Record ``value`` into histogram ``name`` for the given label set."""
+        self.metrics.histogram(name, buckets=buckets, **labels).observe(value)
+
+    def restrict_keys(self, keys) -> None:
+        """Mark additional keys as sensitive (detail-payload field names)."""
+        self.guard.restrict_keys(keys)
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, name: str, **attributes: object):
+        """Open a span (child of the current one, or the root of a trace)."""
+        return self.tracer.span(name, **attributes)
+
+    @contextmanager
+    def stage_span(self, pipeline: str, stage: str):
+        """A per-interceptor-stage child span plus its duration histogram."""
+        with self.tracer.span(f"stage.{stage}", pipeline=pipeline,
+                              stage=stage) as span:
+            try:
+                yield span
+            finally:
+                span.end = self.clock.now()
+                self.observe(STAGE_DURATION, span.duration,
+                             pipeline=pipeline, stage=stage)
+
+    # -- export ------------------------------------------------------------
+
+    def trace_export(self) -> list[str]:
+        """Finished spans as canonical JSONL lines (deterministic)."""
+        return span_lines(self.tracer.finished_spans())
+
+    def metrics_export(self) -> list[str]:
+        """Metric snapshot as canonical JSONL lines (deterministic)."""
+        return metric_lines(self.metrics)
+
+    def dump(self, trace_path=None, metrics_path=None) -> None:
+        """Write JSONL exports to the given paths (either may be None)."""
+        if trace_path is not None:
+            write_jsonl(trace_path, self.trace_export())
+        if metrics_path is not None:
+            write_jsonl(metrics_path, self.metrics_export())

@@ -1,0 +1,140 @@
+"""Deterministic tracing: spans with parent/child context propagation.
+
+One trace per pipeline execution (a publish, a request-for-details), one
+child span per interceptor stage.  Timestamps come from the platform's
+simulated :class:`~repro.clock.Clock` and span/trace ids from plain
+counters, so the same seeded scenario always produces the same spans —
+the trace-determinism tests diff the JSONL export byte for byte.
+
+Span attributes pass through the :class:`~repro.obs.guard.PrivacyGuard`
+exactly like metric labels: a span can say *which stage* denied *which
+event type*, never *whose* event it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import Clock
+from repro.obs.guard import PrivacyGuard
+
+#: Span status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float | None = None
+    status: str = STATUS_OK
+    error: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span duration in (simulated) seconds; 0.0 while still open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_attribute(self, guard: PrivacyGuard, key: str, value: object) -> None:
+        """Attach a guard-sanitised attribute."""
+        self.attributes.update(dict(guard.sanitize({key: value})))
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering (JSONL export, assertions)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(sorted(self.attributes.items())),
+        }
+
+
+class _SpanContext:
+    """Context manager closing a span (and popping the tracer stack)."""
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.status = STATUS_ERROR
+            self.span.error = exc_type.__name__
+        self._tracer._finish(self.span)
+        return False  # never swallow — pipeline semantics stay intact
+
+
+class Tracer:
+    """Produces spans; propagates parent/child context via an open-span stack."""
+
+    def __init__(self, clock: Clock, guard: PrivacyGuard | None = None) -> None:
+        self._clock = clock
+        self.guard = guard or PrivacyGuard()
+        self._finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._trace_counter = 0
+        self._span_counter = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a span as a child of the innermost open span (or a new trace)."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            self._trace_counter += 1
+            trace_id = f"tr-{self._trace_counter:06d}"
+        else:
+            trace_id = parent.trace_id
+        self._span_counter += 1
+        span = Span(
+            trace_id=trace_id,
+            span_id=f"sp-{self._span_counter:06d}",
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            start=self._clock.now(),
+            attributes=dict(self.guard.sanitize(attributes)),
+        )
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock.now()
+        # The stack unwinds in LIFO order under the context-manager protocol.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self._finished.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def finished_spans(self) -> tuple[Span, ...]:
+        """Completed spans, in finish order (children before parents)."""
+        return tuple(self._finished)
+
+    def spans_named(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [span for span in self._finished if span.name == name]
+
+    def reset(self) -> None:
+        """Forget finished spans (open spans are unaffected)."""
+        self._finished.clear()

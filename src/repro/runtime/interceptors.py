@@ -82,26 +82,48 @@ class Interceptor(Protocol):
 
 
 class InterceptorPipeline:
-    """An ordered interceptor chain around a terminal operation."""
+    """An ordered interceptor chain around a terminal operation.
+
+    ``telemetry`` (a :mod:`repro.obs.telemetry` backend) makes the chain
+    observable: one root span per execution, one child span plus a
+    duration-histogram sample per stage, and an outcome counter.  With the
+    noop backend (``enabled`` false, the default) the instrumented
+    wrappers are never composed — the un-instrumented hot path is
+    byte-for-byte the pre-observability chain.
+    """
 
     def __init__(
         self,
         interceptors: Sequence[Interceptor],
         terminal: Proceed,
         name: str = "",
+        telemetry=None,
     ) -> None:
         self.name = name
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
         self._interceptors = tuple(interceptors)
         chain = terminal
         for interceptor in reversed(self._interceptors):
             chain = self._wrap(interceptor, chain)
         self._chain = chain
 
-    @staticmethod
-    def _wrap(interceptor: Interceptor, nxt: Proceed) -> Proceed:
-        def step(invocation: Invocation) -> Any:
-            invocation.trace.append(interceptor.name)
-            return interceptor.intercept(invocation, nxt)
+    def _wrap(self, interceptor: Interceptor, nxt: Proceed) -> Proceed:
+        telemetry = self._telemetry
+        pipeline_name = self.name
+
+        if telemetry is None:
+            def step(invocation: Invocation) -> Any:
+                invocation.trace.append(interceptor.name)
+                return interceptor.intercept(invocation, nxt)
+        else:
+            def step(invocation: Invocation) -> Any:
+                invocation.trace.append(interceptor.name)
+                with telemetry.stage_span(
+                    pipeline_name or invocation.operation, interceptor.name
+                ):
+                    return interceptor.intercept(invocation, nxt)
 
         return step
 
@@ -117,7 +139,38 @@ class InterceptorPipeline:
         stage surface to the caller unchanged — the pipeline machinery
         never wraps or swallows them.
         """
-        return self._chain(invocation)
+        if self._telemetry is None:
+            return self._chain(invocation)
+        return self._execute_observed(invocation)
+
+    def _execute_observed(self, invocation: Invocation) -> Any:
+        from repro.obs.telemetry import (
+            PIPELINE_DURATION,
+            PIPELINE_OUTCOMES,
+        )
+
+        telemetry = self._telemetry
+        pipeline = self.name or invocation.operation
+        started = telemetry.clock.now()
+        outcome = "ok"
+        try:
+            with telemetry.span(f"pipeline.{pipeline}", pipeline=pipeline):
+                result = self._chain(invocation)
+        except AccessDeniedError:
+            outcome = "deny"
+            raise
+        except Exception:
+            outcome = "error"
+            raise
+        else:
+            if result is None:
+                outcome = "consent-veto"
+            return result
+        finally:
+            telemetry.count(PIPELINE_OUTCOMES, pipeline=pipeline, outcome=outcome)
+            telemetry.observe(
+                PIPELINE_DURATION, telemetry.clock.now() - started, pipeline=pipeline
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -626,6 +679,7 @@ def build_publish_pipeline(
     id_map,
     index_store,
     transport,
+    telemetry=None,
 ) -> InterceptorPipeline:
     """The notification-publish hot path (§4): encrypt → index → route → audit."""
     return InterceptorPipeline(
@@ -642,6 +696,7 @@ def build_publish_pipeline(
         ],
         terminal=lambda invocation: invocation.context["notification"],
         name=PUBLISH,
+        telemetry=telemetry,
     )
 
 
@@ -657,6 +712,7 @@ def build_enforcement_pipeline(
     repository,
     pep,
     fetcher,
+    telemetry=None,
 ) -> InterceptorPipeline:
     """Algorithm 1 as a chain: resolve → consent → decide → fetch → filter."""
     return InterceptorPipeline(
@@ -671,6 +727,7 @@ def build_enforcement_pipeline(
         ],
         terminal=lambda invocation: invocation.context["detail"],
         name=REQUEST_DETAILS,
+        telemetry=telemetry,
     )
 
 
@@ -680,6 +737,7 @@ def build_details_edge_pipeline(
     clock,
     identity_lookup,
     endpoint_call,
+    telemetry=None,
 ) -> InterceptorPipeline:
     """The controller edge of the details path: contract → authenticate → endpoint."""
     return InterceptorPipeline(
@@ -688,5 +746,6 @@ def build_details_edge_pipeline(
             AuthenticateInterceptor(identity_lookup),
         ],
         terminal=lambda invocation: endpoint_call(invocation.context["request"]),
-        name=REQUEST_DETAILS,
+        name=f"{REQUEST_DETAILS}-edge",
+        telemetry=telemetry,
     )

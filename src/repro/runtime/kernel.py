@@ -20,6 +20,7 @@ import-light and cycle-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from difflib import get_close_matches
 from pathlib import Path
 from typing import Any, Callable
 
@@ -35,6 +36,7 @@ KIND_INDEX = "index"
 KIND_AUDIT = "audit"
 KIND_PDP = "pdp"
 KIND_FETCHER = "fetcher"
+KIND_TELEMETRY = "telemetry"
 
 
 @dataclass(frozen=True)
@@ -51,6 +53,9 @@ class RuntimeConfig:
     audit_sink: str = "memory"
     pdp: str = "xacml"
     detail_fetcher: str = "endpoint"
+    telemetry: str = "noop"
+    #: Privacy-guard mode for the telemetry backend ("hash" or "reject").
+    telemetry_guard: str = "hash"
     data_dir: str | Path | None = None
 
 
@@ -65,19 +70,25 @@ class ServiceKernel:
         self._factories.setdefault(kind, {})[name] = factory
 
     def create(self, kind: str, name: str, **context: Any) -> Any:
-        """Instantiate implementation ``name`` of service ``kind``."""
+        """Instantiate implementation ``name`` of service ``kind``.
+
+        Unknown kinds and names fail with a :class:`ConfigurationError`
+        listing what *is* registered (plus a close-match suggestion for
+        typos), never a bare ``KeyError``.
+        """
         try:
             by_name = self._factories[kind]
         except KeyError as exc:
             raise ConfigurationError(
-                f"unknown service kind {kind!r}; "
+                f"unknown service kind {kind!r};{_suggest(kind, self._factories)} "
                 f"kinds: {', '.join(sorted(self._factories))}"
             ) from exc
         try:
             factory = by_name[name]
         except KeyError as exc:
             raise ConfigurationError(
-                f"no {kind!r} implementation named {name!r}; "
+                f"no {kind!r} implementation named {name!r};"
+                f"{_suggest(name, by_name)} "
                 f"available: {', '.join(sorted(by_name))}"
             ) from exc
         return factory(**context)
@@ -95,6 +106,11 @@ class ServiceKernel:
     def wiring(self) -> dict[str, tuple[str, ...]]:
         """The full kind → implementations table (for docs and the CLI)."""
         return {kind: self.implementations(kind) for kind in self.kinds()}
+
+
+def _suggest(typo: str, known) -> str:
+    matches = get_close_matches(typo, list(known), n=1)
+    return f" did you mean {matches[0]!r}?" if matches else ""
 
 
 def _data_file(context: dict, filename: str) -> Path:
@@ -121,6 +137,23 @@ def _service_bus(**context: Any) -> Any:
     return ServiceBus(
         clock=context["clock"], ids=context["ids"],
         auto_dispatch=context.get("auto_dispatch", True),
+        telemetry=context.get("telemetry"),
+    )
+
+
+def _noop_telemetry(**context: Any) -> Any:
+    from repro.obs.telemetry import NoopTelemetry
+
+    return NoopTelemetry()
+
+
+def _inmemory_telemetry(**context: Any) -> Any:
+    from repro.obs.telemetry import InMemoryTelemetry
+
+    return InMemoryTelemetry(
+        clock=context["clock"],
+        guard_mode=context.get("telemetry_guard", "hash"),
+        secret=context.get("master_secret", "css-telemetry"),
     )
 
 
@@ -168,6 +201,7 @@ def _xacml_enforcer(**context: Any) -> Any:
         ids=context["ids"],
         consent_resolver=context.get("consent_resolver"),
         fetcher=context.get("fetcher"),
+        telemetry=context.get("telemetry"),
     )
 
 
@@ -195,4 +229,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_PDP, "xacml", _xacml_enforcer)
     kernel.register(KIND_FETCHER, "endpoint", _endpoint_fetcher)
     kernel.register(KIND_FETCHER, "direct", _direct_fetcher)
+    kernel.register(KIND_TELEMETRY, "noop", _noop_telemetry)
+    kernel.register(KIND_TELEMETRY, "inmemory", _inmemory_telemetry)
     return kernel

@@ -27,30 +27,58 @@ class PdpStats:
 
 
 class PolicyDecisionPoint:
-    """Evaluates XACML policies and policy sets."""
+    """Evaluates XACML policies and policy sets.
 
-    def __init__(self) -> None:
+    ``telemetry`` (a :mod:`repro.obs.telemetry` backend) mirrors the
+    :class:`PdpStats` counters into the metrics registry and labels every
+    evaluation with its decision — the Fig. 4 deny-rate series operators
+    watch, with nothing identifying in the labels.
+    """
+
+    def __init__(self, telemetry=None) -> None:
         self.stats = PdpStats()
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     # -- public API ----------------------------------------------------------
 
     def evaluate_policy(self, policy: Policy, request: RequestContext) -> ResponseContext:
         """Evaluate one policy against ``request``."""
         self.stats.requests += 1
-        return self._policy_decision(policy, request)
+        before = self.stats.policies_evaluated
+        response = self._policy_decision(policy, request)
+        self._record_evaluation(response, self.stats.policies_evaluated - before)
+        return response
 
     def evaluate_policy_set(self, policy_set: PolicySet, request: RequestContext) -> ResponseContext:
         """Evaluate a policy set against ``request``."""
         self.stats.requests += 1
+        before = self.stats.policies_evaluated
         if not policy_set.target.applies_to(request):
-            return ResponseContext(Decision.NOT_APPLICABLE)
+            response = ResponseContext(Decision.NOT_APPLICABLE)
+            self._record_evaluation(response, 0)
+            return response
         outcomes = []
         for policy in policy_set.policies:
             outcome = self._policy_decision(policy, request)
             outcomes.append(outcome)
             if self._can_short_circuit(policy_set.combining, outcome.decision):
                 break
-        return self._combine(policy_set.combining, outcomes)
+        response = self._combine(policy_set.combining, outcomes)
+        self._record_evaluation(response, self.stats.policies_evaluated - before)
+        return response
+
+    def _record_evaluation(self, response: ResponseContext, policies_walked: int) -> None:
+        if self._telemetry is None:
+            return
+        self._telemetry.count(
+            "xacml.pdp.evaluations_total", decision=response.decision.name.lower()
+        )
+        self._telemetry.observe(
+            "xacml.pdp.policies_per_request", policies_walked,
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0),
+        )
 
     # -- policy evaluation -----------------------------------------------------
 

@@ -1,0 +1,372 @@
+"""Tests for the privacy-safe observability subsystem (``repro.obs``).
+
+Covers the metric instruments, the tracer's context propagation, the
+privacy guard's two modes, the exporters, the kernel-resolved telemetry
+backends, and the end-to-end instrumentation of both interceptor
+pipelines, the bus broker and the XACML PDP.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import AccessDeniedError, DataConsumer, DataController, DataProducer
+from repro.clock import Clock
+from repro.obs.exporters import (
+    render_latency_table,
+    render_metrics_table,
+    write_jsonl,
+)
+from repro.obs.guard import (
+    MODE_REJECT,
+    PrivacyGuard,
+    TelemetryPrivacyError,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    PIPELINE_DURATION,
+    PIPELINE_OUTCOMES,
+    STAGE_DURATION,
+    InMemoryTelemetry,
+    NoopTelemetry,
+)
+from repro.obs.tracing import STATUS_ERROR, Tracer
+from repro.runtime.kernel import KIND_TELEMETRY, RuntimeConfig, default_kernel
+from tests.conftest import blood_test_schema
+
+
+def telemetry_platform(guard_mode: str = "hash"):
+    """A small platform running on the in-memory telemetry backend."""
+    runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard=guard_mode)
+    controller = DataController(seed="obs", runtime=runtime)
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    blood = hospital.declare_event_class(blood_test_schema())
+    doctor = DataConsumer(controller, "Doctor", "Doctor", role="family-doctor")
+    hospital.define_policy(
+        event_type="BloodTest",
+        fields=["PatientId", "Name", "Hemoglobin"],
+        consumers=[("Doctor", "unit")],
+        purposes=["healthcare-treatment"],
+    )
+    doctor.subscribe("BloodTest")
+    return controller, hospital, blood, doctor
+
+
+def publish_one(hospital, blood, subject_id="pat-1"):
+    return hospital.publish(
+        blood, subject_id=subject_id, subject_name="Mario Bianchi",
+        summary="blood test completed",
+        details={"PatientId": subject_id, "Name": "Mario", "Hemoglobin": 14.0,
+                 "Glucose": 92.0, "HivResult": "negative"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metric instruments
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_and_gauge_series_keyed_by_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", route="a").inc()
+        registry.counter("req_total", route="a").inc(2)
+        registry.counter("req_total", route="b").inc()
+        registry.gauge("depth").set(7)
+        assert registry.counter_value("req_total", route="a") == 3
+        assert registry.counter_value("req_total", route="b") == 1
+        assert registry.counter_value("req_total", route="missing") == 0.0
+        assert registry.gauge("depth").value == 7.0
+
+    def test_counters_only_move_forward(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("n").inc(-1)
+
+    def test_histogram_quantiles_from_buckets(self):
+        histogram = Histogram(boundaries=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.05, 0.3, 0.3, 0.3, 0.7, 0.7, 0.9, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["min"] == 0.05
+        assert summary["max"] == 3.0
+        # Upper-bound estimates from the fixed buckets:
+        assert summary["p50"] == 0.5   # 5th obs lands in the (0.1, 0.5] bucket
+        assert summary["p99"] == 3.0   # overflow bucket caps at observed max
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0 and summary["p99"] == 0.0
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total", k="2").inc()
+            registry.counter("a_total", k="1").inc()
+            registry.histogram("lat", stage="x").observe(0.2)
+            return registry.snapshot()
+
+        assert build() == build()
+        names = [row["name"] for row in build()]
+        assert names == sorted(names)
+
+    def test_reset_drops_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert registry.snapshot() == []
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_parent_child_propagation(self):
+        clock = Clock()
+        tracer = Tracer(clock)
+        with tracer.span("root") as root:
+            clock.advance(1.0)
+            with tracer.span("child") as child:
+                clock.advance(0.5)
+            assert tracer.current_span is root
+        assert tracer.current_span is None
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        assert child.duration == 0.5
+        assert root.duration == 1.5
+        # Children finish before parents.
+        assert [span.name for span in tracer.finished_spans()] == ["child", "root"]
+
+    def test_sibling_traces_get_distinct_trace_ids(self):
+        tracer = Tracer(Clock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished_spans()
+        assert first.trace_id != second.trace_id
+
+    def test_error_marks_span_without_swallowing(self):
+        tracer = Tracer(Clock())
+        with pytest.raises(KeyError):
+            with tracer.span("failing"):
+                raise KeyError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.status == STATUS_ERROR
+        assert span.error == "KeyError"
+
+    def test_attributes_pass_through_the_guard(self):
+        tracer = Tracer(Clock(), PrivacyGuard(mode="hash"))
+        with tracer.span("op", subject_ref="pat-9", stage="decide") as span:
+            pass
+        assert span.attributes["stage"] == "decide"
+        assert span.attributes["subject_ref"].startswith("h:")
+        assert "pat-9" not in span.attributes["subject_ref"]
+
+
+# ---------------------------------------------------------------------------
+# Privacy guard
+# ---------------------------------------------------------------------------
+
+
+class TestPrivacyGuard:
+    def test_hash_mode_redacts_identifying_values(self):
+        guard = PrivacyGuard(mode="hash")
+        cleared = dict(guard.sanitize({"subject_ref": "pat-1", "topic": "t"}))
+        assert cleared["topic"] == "t"
+        assert cleared["subject_ref"].startswith("h:")
+        # Keyed digest: stable within a guard, secret-dependent across guards.
+        assert cleared["subject_ref"] == dict(
+            guard.sanitize({"subject_ref": "pat-1"})
+        )["subject_ref"]
+        other = PrivacyGuard(mode="hash", secret="other")
+        assert cleared["subject_ref"] != dict(
+            other.sanitize({"subject_ref": "pat-1"})
+        )["subject_ref"]
+
+    def test_reject_mode_raises(self):
+        guard = PrivacyGuard(mode=MODE_REJECT)
+        with pytest.raises(TelemetryPrivacyError):
+            guard.sanitize({"patient_id": "pat-1"})
+
+    def test_marker_substrings_catch_key_variants(self):
+        guard = PrivacyGuard()
+        assert guard.is_identifying("Assisted-Person-Ref")
+        assert guard.is_identifying("subjectDisplay".lower())
+        assert not guard.is_identifying("event_type")
+
+    def test_restricted_keys_cover_detail_payload_fields(self):
+        guard = PrivacyGuard(mode=MODE_REJECT)
+        assert not guard.is_identifying("Hemoglobin")
+        guard.restrict_keys(["Hemoglobin", "HivResult"])
+        assert guard.is_identifying("hemoglobin")
+        with pytest.raises(TelemetryPrivacyError):
+            guard.sanitize({"HivResult": "positive"})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyGuard(mode="plaintext")
+
+
+# ---------------------------------------------------------------------------
+# Telemetry backends + kernel wiring
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryBackends:
+    def test_noop_is_disabled_and_inert(self):
+        telemetry = NoopTelemetry()
+        assert telemetry.enabled is False
+        telemetry.count("n", subject_ref="pat-1")  # guard never consulted
+        telemetry.observe("lat", 0.5)
+        with telemetry.span("op") as span:
+            assert span is None
+        with telemetry.stage_span("publish", "crypto") as span:
+            assert span is None
+
+    def test_kernel_resolves_both_backends(self):
+        kernel = default_kernel()
+        clock = Clock()
+        noop = kernel.create(KIND_TELEMETRY, "noop", clock=clock)
+        inmem = kernel.create(KIND_TELEMETRY, "inmemory", clock=clock,
+                              telemetry_guard="reject", master_secret="s")
+        assert isinstance(noop, NoopTelemetry)
+        assert isinstance(inmem, InMemoryTelemetry)
+        assert inmem.clock is clock
+        assert inmem.guard.mode == "reject"
+
+    def test_controller_defaults_to_noop(self):
+        controller = DataController(seed="obs")
+        assert isinstance(controller.telemetry, NoopTelemetry)
+
+    def test_stage_span_records_duration_histogram(self):
+        clock = Clock()
+        telemetry = InMemoryTelemetry(clock=clock)
+        with telemetry.stage_span("publish", "crypto"):
+            clock.advance(0.25)
+        ((labels, summary),) = telemetry.metrics.histogram_summaries(STAGE_DURATION)
+        assert labels == {"pipeline": "publish", "stage": "crypto"}
+        assert summary["count"] == 1 and summary["max"] == 0.25
+
+
+# ---------------------------------------------------------------------------
+# Pipeline / broker / PDP instrumentation (end to end)
+# ---------------------------------------------------------------------------
+
+
+class TestInstrumentation:
+    def test_publish_produces_root_and_stage_spans(self):
+        controller, hospital, blood, doctor = telemetry_platform()
+        publish_one(hospital, blood)
+        tracer = controller.telemetry.tracer
+        (root,) = tracer.spans_named("pipeline.publish")
+        stages = [span for span in tracer.finished_spans()
+                  if span.trace_id == root.trace_id and span is not root]
+        assert [span.attributes["stage"] for span in stages] == [
+            "route", "index", "crypto", "persist", "consent",
+            "audit", "admission", "contract", "stats",
+        ]  # finish order: innermost stage first
+        assert all(span.parent_id for span in stages)
+
+    def test_details_request_spans_and_outcome_counters(self):
+        controller, hospital, blood, doctor = telemetry_platform()
+        notification = publish_one(hospital, blood)
+        doctor.request_details(notification, "healthcare-treatment")
+        metrics = controller.telemetry.metrics
+        tracer = controller.telemetry.tracer
+        assert tracer.spans_named("pipeline.request-details-edge")
+        assert tracer.spans_named("pipeline.request-details")
+        assert metrics.counter_value(
+            PIPELINE_OUTCOMES, pipeline="publish", outcome="ok") == 1
+        assert metrics.counter_value(
+            PIPELINE_OUTCOMES, pipeline="request-details", outcome="ok") == 1
+        names = {row["name"] for row in metrics.snapshot()}
+        assert PIPELINE_DURATION in names and STAGE_DURATION in names
+
+    def test_denied_request_counts_as_deny(self):
+        controller, hospital, blood, doctor = telemetry_platform()
+        notification = publish_one(hospital, blood)
+        with pytest.raises(AccessDeniedError):
+            doctor.request_details(notification, "statistical-analysis")
+        metrics = controller.telemetry.metrics
+        assert metrics.counter_value(
+            PIPELINE_OUTCOMES, pipeline="request-details", outcome="deny") == 1
+        (root,) = controller.telemetry.tracer.spans_named(
+            "pipeline.request-details")
+        assert root.status == STATUS_ERROR
+        assert root.error == "AccessDeniedError"
+
+    def test_bus_counters_and_queue_depth_gauge(self):
+        controller, hospital, blood, doctor = telemetry_platform()
+        publish_one(hospital, blood)
+        metrics = controller.telemetry.metrics
+        topic = blood.topic
+        assert metrics.counter_value("bus.published_total", topic=topic) == 1
+        assert metrics.counter_value("bus.fanout_total", topic=topic) == 1
+        # auto_dispatch drained the queues; the gauge reads the single source.
+        assert metrics.gauge("bus.queue.depth").value == controller.bus.queue_depth
+        assert controller.bus.queue_depth == 0
+
+    def test_pdp_evaluation_counters(self):
+        controller, hospital, blood, doctor = telemetry_platform()
+        notification = publish_one(hospital, blood)
+        doctor.request_details(notification, "healthcare-treatment")
+        metrics = controller.telemetry.metrics
+        assert metrics.counter_value(
+            "xacml.pdp.evaluations_total", decision="permit") == 1
+        summaries = metrics.histogram_summaries("xacml.pdp.policies_per_request")
+        assert summaries and summaries[0][1]["count"] == 1
+
+    def test_noop_platform_records_nothing(self):
+        controller = DataController(seed="obs")
+        hospital = DataProducer(controller, "Hospital", "Hospital")
+        blood = hospital.declare_event_class(blood_test_schema())
+        publish_one(hospital, blood)
+        assert not hasattr(controller.telemetry, "metrics")
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        telemetry = InMemoryTelemetry(clock=Clock())
+        telemetry.count("n", kind="x")
+        with telemetry.span("op"):
+            pass
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.jsonl"
+        telemetry.dump(trace_path=trace_path, metrics_path=metrics_path)
+        spans = [json.loads(line) for line in
+                 trace_path.read_text().splitlines()]
+        rows = [json.loads(line) for line in
+                metrics_path.read_text().splitlines()]
+        assert spans[0]["name"] == "op" and spans[0]["parent_id"] is None
+        assert rows[0] == {"type": "counter", "name": "n",
+                           "labels": {"kind": "x"}, "value": 1.0}
+
+    def test_write_jsonl_empty_writes_empty_file(self, tmp_path):
+        target = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert target.read_text() == ""
+
+    def test_console_tables_render(self):
+        telemetry = InMemoryTelemetry(clock=Clock())
+        assert "no counters" in render_metrics_table(telemetry.metrics)
+        assert "no observations" in render_latency_table(
+            telemetry.metrics, STAGE_DURATION)
+        telemetry.count("bus.published_total", topic="t")
+        telemetry.observe(STAGE_DURATION, 0.1, pipeline="publish", stage="crypto")
+        metrics_table = render_metrics_table(telemetry.metrics)
+        latency_table = render_latency_table(telemetry.metrics, STAGE_DURATION)
+        assert "bus.published_total{topic=t}" in metrics_table
+        assert "p95" in latency_table
+        assert "pipeline=publish,stage=crypto" in latency_table

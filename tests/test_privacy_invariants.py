@@ -9,10 +9,14 @@ through a real platform instance and checks the paper's core guarantees:
    raise :class:`AccessDeniedError`.
 3. **Total traceability** (§4): every detail request — permitted or not —
    appends exactly one audit record, and the chain stays verifiable.
+4. **No telemetry side channel**: metric labels and span attributes never
+   carry plaintext assisted-person identifiers or detail-payload values —
+   the observability layer cannot re-leak what enforcement protects.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,7 +28,12 @@ from repro import (
 )
 from repro.audit.log import AuditAction
 from repro.audit.query import AuditQuery
+from repro.clock import Clock
 from repro.core.policy import DetailRequestSpec
+from repro.obs.guard import TelemetryPrivacyError
+from repro.obs.telemetry import InMemoryTelemetry
+from repro.runtime.kernel import RuntimeConfig
+from repro.sim.scenario import CssScenario, ScenarioConfig
 from tests.conftest import blood_test_schema
 
 FIELDS = ("PatientId", "Name", "Hemoglobin", "Glucose", "HivResult")
@@ -141,3 +150,72 @@ def test_matching_agrees_between_def3_and_enforcement(fields, purposes,
     except AccessDeniedError:
         permitted = False
     assert permitted == should_permit
+
+
+# ---------------------------------------------------------------------------
+# Invariant 4: telemetry is not a side channel
+# ---------------------------------------------------------------------------
+
+
+IDENTIFYING_LABELS = (
+    {"subject_ref": "pat-17"},
+    {"patient_id": "pat-17"},
+    {"subject_display": "Mario Bianchi"},
+    {"assisted_person": "pat-17"},
+)
+
+
+@pytest.mark.parametrize("labels", IDENTIFYING_LABELS,
+                         ids=lambda labels: next(iter(labels)))
+def test_identifying_metric_label_is_rejected_in_strict_mode(labels):
+    telemetry = InMemoryTelemetry(clock=Clock(), guard_mode="reject")
+    with pytest.raises(TelemetryPrivacyError):
+        telemetry.count("detail_requests_total", **labels)
+    with pytest.raises(TelemetryPrivacyError):
+        with telemetry.span("request", **labels):
+            pass
+    assert telemetry.metrics.snapshot() == []
+
+
+@pytest.mark.parametrize("labels", IDENTIFYING_LABELS,
+                         ids=lambda labels: next(iter(labels)))
+def test_identifying_metric_label_is_hashed_in_hash_mode(labels):
+    telemetry = InMemoryTelemetry(clock=Clock(), guard_mode="hash")
+    telemetry.count("detail_requests_total", **labels)
+    key, value = next(iter(labels.items()))
+    (row,) = telemetry.metrics.snapshot()
+    assert row["labels"][key].startswith("h:")
+    assert str(value) not in row["labels"][key]
+
+
+def test_detail_payload_field_labels_are_guarded():
+    """Field names registered at class declaration become restricted keys."""
+    telemetry = InMemoryTelemetry(clock=Clock(), guard_mode="reject")
+    telemetry.restrict_keys(["Hemoglobin", "HivResult"])
+    with pytest.raises(TelemetryPrivacyError):
+        telemetry.count("field_released_total", HivResult="positive")
+
+
+def test_controller_registers_declared_fields_with_the_guard():
+    runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard="reject")
+    controller = DataController(seed="prop", runtime=runtime)
+    hospital = DataProducer(controller, "Hospital", "Hospital")
+    hospital.declare_event_class(blood_test_schema())
+    with pytest.raises(TelemetryPrivacyError):
+        controller.telemetry.count("x_total", Hemoglobin=14.0)
+
+
+def test_scenario_telemetry_exports_contain_no_plaintext_identifiers():
+    """Full scenario: trace + metric exports are free of patient identity."""
+    config = ScenarioConfig(
+        n_patients=6, n_events=40, detail_request_rate=0.5, seed=2010,
+        runtime=RuntimeConfig(telemetry="inmemory", telemetry_guard="hash"),
+    )
+    scenario = CssScenario(config)
+    scenario.run(scenario.generate_workload())
+    telemetry = scenario.controller.telemetry
+    exported = "\n".join(telemetry.trace_export() + telemetry.metrics_export())
+    for patient in scenario.population:
+        assert patient.patient_id not in exported
+        for name_part in patient.name.split():
+            assert name_part not in exported

@@ -52,8 +52,9 @@ class TestKernelRegistry:
         assert wiring["index"] == ("jsonl", "memory")
         assert wiring["audit"] == ("jsonl", "memory")
         assert wiring["fetcher"] == ("direct", "endpoint")
+        assert wiring["telemetry"] == ("inmemory", "noop")
         assert set(wiring) == {"audit", "cipher", "fetcher", "index", "pdp",
-                               "transport"}
+                               "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()
@@ -61,6 +62,16 @@ class TestKernelRegistry:
             kernel.create("blockchain", "memory")
         with pytest.raises(ConfigurationError, match="no 'index' implementation"):
             kernel.create("index", "postgres")
+
+    def test_unknown_name_error_lists_implementations_and_suggests(self):
+        kernel = default_kernel()
+        with pytest.raises(ConfigurationError,
+                           match=r"available: jsonl, memory") as excinfo:
+            kernel.create("index", "jsonll")
+        assert "did you mean 'jsonl'?" in str(excinfo.value)
+        with pytest.raises(ConfigurationError,
+                           match="did you mean 'telemetry'"):
+            kernel.create("telemetryy", "noop")
 
     def test_jsonl_backend_without_data_dir_fails_fast(self):
         with pytest.raises(ConfigurationError, match="data_dir"):
