@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_federation.json`` (schema ``css-bench-federation/1``).
+
+CI runs ``bench_federation.py`` on a small federation, then this script;
+a missing or malformed summary — or a scaling curve whose throughput
+stops increasing with the node count — fails the build.  Usage::
+
+    python benchmarks/check_federation_schema.py BENCH_federation.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-federation/1"
+POINT_NUMBERS = (
+    "events_published", "notifications_delivered", "cross_node_hops",
+    "makespan_seconds", "events_per_simulated_second", "wall_seconds",
+)
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    workload = payload.get("workload")
+    if not isinstance(workload, dict):
+        problems.append("workload must be an object")
+    else:
+        for key in ("events", "patients", "seed"):
+            if not isinstance(workload.get(key), int):
+                problems.append(f"workload.{key} must be an integer")
+    scaling = payload.get("scaling")
+    if not isinstance(scaling, list) or not scaling:
+        problems.append("scaling must be a non-empty list")
+        scaling = []
+    node_counts: list[int] = []
+    throughputs: list[float] = []
+    for index, point in enumerate(scaling):
+        where = f"scaling[{index}]"
+        if not isinstance(point, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        nodes = point.get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            problems.append(f"{where}.nodes must be a positive integer")
+        else:
+            node_counts.append(nodes)
+        for key in POINT_NUMBERS:
+            value = point.get(key)
+            if not _number(value) or value < 0:
+                problems.append(f"{where}.{key} must be a non-negative number")
+        makespan = point.get("makespan_seconds")
+        throughput = point.get("events_per_simulated_second")
+        if _number(makespan) and makespan <= 0:
+            problems.append(f"{where}.makespan_seconds must be positive")
+        if _number(throughput):
+            if throughput <= 0:
+                problems.append(
+                    f"{where}.events_per_simulated_second must be positive"
+                )
+            else:
+                throughputs.append(throughput)
+    if node_counts and node_counts != sorted(set(node_counts)):
+        problems.append("scaling[].nodes must be strictly increasing")
+    if len(throughputs) == len(scaling) and len(throughputs) > 1:
+        if any(b <= a for a, b in zip(throughputs, throughputs[1:])):
+            problems.append(
+                "events_per_simulated_second must increase strictly with "
+                "the node count"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_federation_schema.py BENCH_federation.json",
+              file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_federation_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_federation_schema: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_federation_schema: {problem}", file=sys.stderr)
+        return 1
+    points = len(payload["scaling"])
+    print(f"check_federation_schema: {path} ok ({points} scaling points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

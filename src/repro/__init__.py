@@ -47,6 +47,7 @@ from repro.core.purposes import (
     PurposeRegistry,
 )
 from repro.exceptions import AccessDeniedError, CssError
+from repro.federation import FederatedPlatform
 from repro.runtime.kernel import RuntimeConfig, ServiceKernel, default_kernel
 from repro.xmlmsg.document import XmlDocument
 from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
@@ -85,6 +86,7 @@ __all__ = [
     "EnumerationType",
     "EventClass",
     "EventOccurrence",
+    "FederatedPlatform",
     "HEALTHCARE_TREATMENT",
     "IntegerType",
     "LocalCooperationGateway",

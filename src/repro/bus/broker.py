@@ -77,13 +77,19 @@ class ServiceBus:
 
     # -- subscriptions ---------------------------------------------------------
 
-    def subscribe(self, subscriber: str, pattern: str, handler: Handler) -> Subscription:
-        """Create a durable subscription and return it."""
+    def subscribe(self, subscriber: str, pattern: str, handler: Handler,
+                  delivery_policy: DeliveryPolicy | None = None) -> Subscription:
+        """Create a durable subscription and return it.
+
+        ``delivery_policy`` overrides the engine-wide retry budget for
+        this subscription only (``None`` keeps the engine default).
+        """
         subscription = Subscription(
             subscription_id=self._ids.next("sub"),
             subscriber=subscriber,
             pattern=pattern,
             handler=handler,
+            policy=delivery_policy,
         )
         self._subscriptions.add(subscription)
         return subscription
@@ -175,3 +181,16 @@ class ServiceBus:
     def drain_dead_letters(self) -> list[Envelope]:
         """Remove and return every dead-lettered envelope (operator action)."""
         return self._engine.dead_letter.drain()
+
+    def replay_dead_letters(self, subscription_id: str) -> int:
+        """Re-drive one subscription's dead letters after its consumer is fixed.
+
+        Counts the messages as redeliveries and, with ``auto_dispatch``,
+        immediately runs a dispatch round so they flow through the repaired
+        handler.  Returns how many messages were re-driven.
+        """
+        subscription = self._subscriptions.get(subscription_id)
+        count = self._engine.replay_dead_letters(subscription)
+        if count and self.auto_dispatch:
+            self.dispatch()
+        return count

@@ -13,14 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bus.queue import MessageQueue
+from repro.bus.queue import DeadLetterQueue
 from repro.bus.subscriptions import Subscription
 from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
 class DeliveryPolicy:
-    """Retry budget applied to every subscription."""
+    """Retry budget; the engine default unless a subscription overrides it."""
 
     max_attempts: int = 3
 
@@ -51,7 +51,11 @@ class DeliveryEngine:
 
     def __init__(self, policy: DeliveryPolicy | None = None) -> None:
         self.policy = policy or DeliveryPolicy()
-        self.dead_letter = MessageQueue("dead-letter")
+        self.dead_letter = DeadLetterQueue("dead-letter")
+
+    def policy_for(self, subscription: Subscription) -> DeliveryPolicy:
+        """The retry budget governing one subscription (override or default)."""
+        return subscription.policy or self.policy
 
     def dispatch_subscription(self, subscription: Subscription) -> DeliveryReport:
         """Deliver every queued message of one subscription.
@@ -64,6 +68,7 @@ class DeliveryEngine:
         if not subscription.active:
             return report
         queue = subscription.queue
+        max_attempts = self.policy_for(subscription).max_attempts
         while queue.depth:
             head = queue.peek()
             assert head is not None  # depth > 0
@@ -75,15 +80,33 @@ class DeliveryEngine:
                 report.errors.append(
                     f"{subscription.subscription_id}: {type(exc).__name__}: {exc}"
                 )
-                if attempts >= self.policy.max_attempts:
+                if attempts >= max_attempts:
                     envelope = queue.evict_head()
-                    self.dead_letter.enqueue(envelope)
+                    self.dead_letter.enqueue_from(
+                        subscription.subscription_id, envelope
+                    )
                     report.dead_lettered += 1
                     continue
                 break  # leave the head for the next round
             queue.ack()
             report.delivered += 1
         return report
+
+    def replay_dead_letters(self, subscription: Subscription) -> int:
+        """Re-drive one subscription's dead letters through its queue.
+
+        The operator's recovery path: after the subscriber is fixed, its
+        parked poison messages are re-enqueued (counted as redeliveries,
+        with a fresh retry budget) and the next dispatch round delivers
+        them in their original order, ahead of nothing — they rejoin at
+        the tail like any other publication.  Returns how many messages
+        were re-driven.
+        """
+        envelopes = self.dead_letter.take_for(subscription.subscription_id)
+        for envelope in envelopes:
+            subscription.queue.enqueue(envelope)
+            subscription.queue.stats.redelivered += 1
+        return len(envelopes)
 
     def dispatch_all(self, subscriptions: list[Subscription]) -> DeliveryReport:
         """Run one dispatch round over ``subscriptions``."""

@@ -99,3 +99,64 @@ class MessageQueue:
         self.stats.delivered += len(self._messages)
         self._messages.clear()
         return envelopes
+
+
+class DeadLetterQueue(MessageQueue):
+    """The broker's parking lot for poison messages.
+
+    Besides FIFO storage it remembers *which subscription* each envelope
+    was evicted from, so :meth:`take_for` can hand the delivery engine
+    exactly the messages to re-drive once that subscriber is fixed
+    (``DeliveryEngine.replay_dead_letters``).  Envelopes are shared across
+    subscription queues, so the origin lives here, never in the envelope.
+    """
+
+    def __init__(self, name: str = "dead-letter") -> None:
+        super().__init__(name)
+        self._origins: deque[str] = deque()
+
+    def enqueue(self, envelope: Envelope, now: float = 0.0) -> None:
+        """Park an envelope with no recorded origin (direct callers)."""
+        self.enqueue_from("", envelope, now=now)
+
+    def enqueue_from(self, subscription_id: str, envelope: Envelope,
+                     now: float = 0.0) -> None:
+        """Park an envelope evicted from ``subscription_id``'s queue."""
+        super().enqueue(envelope, now=now)
+        self._origins.append(subscription_id)
+
+    def ack(self) -> Envelope:
+        envelope = super().ack()
+        self._origins.popleft()
+        return envelope
+
+    def evict_head(self) -> Envelope:
+        envelope = super().evict_head()
+        self._origins.popleft()
+        return envelope
+
+    def drain(self) -> list[Envelope]:
+        self._origins.clear()
+        return super().drain()
+
+    def origin_of(self, position: int) -> str:
+        """Subscription id the message at ``position`` was evicted from."""
+        try:
+            return self._origins[position]
+        except IndexError as exc:
+            raise BusError(f"no dead letter at position {position}") from exc
+
+    def take_for(self, subscription_id: str) -> list[Envelope]:
+        """Remove and return every dead letter of one subscription."""
+        kept: deque[QueuedMessage] = deque()
+        kept_origins: deque[str] = deque()
+        taken: list[Envelope] = []
+        for queued, origin in zip(self._messages, self._origins):
+            if origin == subscription_id:
+                taken.append(queued.envelope)
+            else:
+                kept.append(queued)
+                kept_origins.append(origin)
+        self._messages = kept
+        self._origins = kept_origins
+        return taken

@@ -11,12 +11,15 @@ authorizes the consumer for the event class — that gating lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.bus.envelope import Envelope
 from repro.bus.queue import MessageQueue
 from repro.bus.topics import validate_pattern
 from repro.exceptions import SubscriptionError
+
+if TYPE_CHECKING:
+    from repro.bus.delivery import DeliveryPolicy
 
 #: Signature of subscriber callbacks. Raising marks the delivery failed.
 Handler = Callable[[Envelope], None]
@@ -24,13 +27,21 @@ Handler = Callable[[Envelope], None]
 
 @dataclass
 class Subscription:
-    """A durable subscription and its queue."""
+    """A durable subscription and its queue.
+
+    ``policy`` is an optional per-subscription retry budget: when set it
+    overrides the delivery engine's default
+    :class:`~repro.bus.delivery.DeliveryPolicy` for this subscription only
+    (a flaky analytics sink can fail fast while clinical consumers keep
+    the full budget).
+    """
 
     subscription_id: str
     subscriber: str
     pattern: str
     handler: Handler
     active: bool = True
+    policy: DeliveryPolicy | None = None
     queue: MessageQueue = field(init=False)
 
     def __post_init__(self) -> None:

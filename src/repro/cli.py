@@ -1,14 +1,17 @@
 """Command-line interface.
 
-Six subcommands, all built on the public API::
+Seven subcommands, all built on the public API::
 
     python -m repro scenario  [--events N] [--patients N] [--rate R]
                               [--seed S] [--archive DIR] [--durable DIR]
     python -m repro compare   [--events N] [--seed S]
     python -m repro monitor   [--events N] [--seed S] [--threshold K]
-    python -m repro telemetry [--scenario default] [--events N] [--seed S]
+    python -m repro telemetry [--scenario default|federated] [--nodes N]
+                              [--events N] [--seed S]
                               [--guard hash|reject] [--trace-out FILE]
                               [--metrics-out FILE] [--bench-out FILE]
+    python -m repro federate  [--nodes N] [--events N] [--seed S]
+                              [--rebalance]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -19,9 +22,11 @@ on the JSONL-backed index/audit kernel backends writing into DIR);
 governing body's aggregated view; ``telemetry`` reruns the scenario on
 the in-memory telemetry backend and prints per-stage latency percentiles
 and counters (JSONL trace/metric exports and a ``BENCH_obs.json``-style
-summary on request); ``inspect`` restores an archive and prints its audit
-summary (verifying the hash chain in the process); ``kernel`` prints the
-service-kernel wiring table.
+summary on request); ``federate`` runs the same workload sharded over an
+N-node federation and prints per-node figures, the federated guarantor
+inquiry and, with ``--rebalance``, a live add-node rebalance; ``inspect``
+restores an archive and prints its audit summary (verifying the hash
+chain in the process); ``kernel`` prints the service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -76,8 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
     telemetry = sub.add_parser(
         "telemetry", help="run a scenario with telemetry enabled and report"
     )
-    telemetry.add_argument("--scenario", default="default", choices=["default"],
-                           help="named scenario preset (only 'default' so far)")
+    telemetry.add_argument("--scenario", default="default",
+                           choices=["default", "federated"],
+                           help="named scenario preset")
+    telemetry.add_argument("--nodes", type=int, default=2,
+                           help="federation size for --scenario federated "
+                                "(default 2)")
     _scenario_options(telemetry)
     telemetry.add_argument("--guard", default="hash", choices=["hash", "reject"],
                            help="privacy-guard mode for labels/attributes")
@@ -87,6 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="write the metrics snapshot as JSONL to FILE")
     telemetry.add_argument("--bench-out", metavar="FILE",
                            help="write a BENCH_obs.json-style summary to FILE")
+
+    federate = sub.add_parser(
+        "federate", help="run the scenario sharded over an N-node federation"
+    )
+    _scenario_options(federate)
+    federate.add_argument("--nodes", type=int, default=2,
+                          help="number of controller nodes (default 2)")
+    federate.add_argument("--rebalance", action="store_true",
+                          help="add a node after the run and re-home the "
+                               "moved index entries")
 
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
@@ -149,14 +168,25 @@ def _cmd_telemetry(args: argparse.Namespace, out) -> int:
     from repro.obs.exporters import render_latency_table, render_metrics_table
     from repro.obs.telemetry import PIPELINE_DURATION, STAGE_DURATION
 
-    runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard=args.guard)
-    config = ScenarioConfig(
-        n_patients=args.patients, n_events=args.events,
-        detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
-    )
-    scenario = CssScenario(config)
-    report = scenario.run(scenario.generate_workload())
-    telemetry = scenario.controller.telemetry
+    if args.scenario == "federated":
+        from repro.federation import FederatedScenario, FederatedScenarioConfig
+
+        scenario = FederatedScenario(FederatedScenarioConfig(
+            nodes=args.nodes, n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed,
+            telemetry_guard=args.guard,
+        ))
+        report = scenario.run()
+        telemetry = scenario.telemetry
+    else:
+        runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard=args.guard)
+        config = ScenarioConfig(
+            n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
+        )
+        scenario = CssScenario(config)
+        report = scenario.run(scenario.generate_workload())
+        telemetry = scenario.controller.telemetry
 
     print(report.to_text(), file=out)
     print(file=out)
@@ -183,6 +213,25 @@ def _cmd_telemetry(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_federate(args: argparse.Namespace, out) -> int:
+    from repro.federation import FederatedScenario, FederatedScenarioConfig
+
+    scenario = FederatedScenario(FederatedScenarioConfig(
+        nodes=args.nodes, n_patients=args.patients, n_events=args.events,
+        detail_request_rate=args.rate, seed=args.seed,
+    ))
+    report = scenario.run()
+    print(report.to_text(), file=out)
+    trail = scenario.platform.guarantor_inquiry()
+    print(f"federated audit: {len(trail)} records over "
+          f"{len(trail.heads)} verified chains", file=out)
+    if args.rebalance:
+        rebalance = scenario.platform.add_node()
+        print(f"rebalance: added {rebalance.node_id}, re-homed "
+              f"{rebalance.entries_moved} index entries", file=out)
+    return 0
+
+
 def _cmd_kernel(args: argparse.Namespace, out) -> int:
     kernel = default_kernel()
     defaults = RuntimeConfig()
@@ -191,7 +240,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "cipher": defaults.cipher, "transport": defaults.transport,
         "index": defaults.index_store, "audit": defaults.audit_sink,
         "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
-        "telemetry": defaults.telemetry,
+        "telemetry": defaults.telemetry, "federation": defaults.federation,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -254,6 +303,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "compare": _cmd_compare,
         "monitor": _cmd_monitor,
         "telemetry": _cmd_telemetry,
+        "federate": _cmd_federate,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

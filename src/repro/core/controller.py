@@ -100,20 +100,25 @@ class DataController:
         auto_dispatch: bool = True,
         runtime: RuntimeConfig | None = None,
         kernel: ServiceKernel | None = None,
+        services_context: dict | None = None,
     ) -> None:
         self.clock = clock or Clock()
         self.ids = IdFactory(seed=seed)
         self.runtime = runtime or RuntimeConfig()
         self.kernel = kernel or default_kernel()
-        self.keystore = self.kernel.create(
+        # Extra construction context merged into every kernel.create call —
+        # the federated platform passes its membership/node identity through
+        # here so factories like the federated index can reach them.
+        self._services_context = dict(services_context or {})
+        self.keystore = self._create(
             KIND_CIPHER, self.runtime.cipher, master_secret=master_secret
         )
-        self.telemetry = self.kernel.create(
+        self.telemetry = self._create(
             KIND_TELEMETRY, self.runtime.telemetry,
             clock=self.clock, master_secret=master_secret,
             telemetry_guard=self.runtime.telemetry_guard,
         )
-        self.bus = self.kernel.create(
+        self.bus = self._create(
             KIND_TRANSPORT, self.runtime.transport,
             clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
             telemetry=self.telemetry,
@@ -123,14 +128,14 @@ class DataController:
         self.contracts = ContractRegistry()
         self.catalog = EventCatalog()
         self.purposes = PurposeRegistry()
-        self.index = self.kernel.create(
+        self.index = self._create(
             KIND_INDEX, self.runtime.index_store,
             keystore=self.keystore, encrypt_identity=encrypt_identity,
             data_dir=self.runtime.data_dir,
         )
         self.id_map = EventIdMap()
         self.policies = PolicyRepository()
-        self.audit_log = self.kernel.create(
+        self.audit_log = self._create(
             KIND_AUDIT, self.runtime.audit_sink, data_dir=self.runtime.data_dir
         )
         self.pending_requests = PendingRequestQueue()
@@ -139,12 +144,12 @@ class DataController:
         self._gateways: dict[str, CooperationGateway] = {}
         self._consent: dict[str, ConsentRegistry] = {}
         self._identity = None  # optional LocalIdentityProvider (future-work extension)
-        self._fetcher = self.kernel.create(
+        self._fetcher = self._create(
             KIND_FETCHER, self.runtime.detail_fetcher,
             endpoints=self.endpoints, require_producer=self.gateway_of,
             gateway_resolver=self.gateway_of,
         )
-        self.enforcer = self.kernel.create(
+        self.enforcer = self._create(
             KIND_PDP, self.runtime.pdp,
             repository=self.policies, id_map=self.id_map,
             purposes=self.purposes, audit_log=self.audit_log,
@@ -186,6 +191,11 @@ class DataController:
             lambda request: self._inquire_endpoint(request),
             "Events-index inquiry",
         )
+
+    def _create(self, kind: str, name: str, **context):
+        """kernel.create with the controller-wide services context merged in."""
+        merged = {**self._services_context, **context}
+        return self.kernel.create(kind, name, **merged)
 
     # -- pipelines (inspectable wiring) ----------------------------------------
 

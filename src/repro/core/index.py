@@ -161,6 +161,16 @@ class EventsIndex:
         self.stats.open_operations += 1
         return self._keystore.open_(INDEX_KEY, token)
 
+    def open_identity(self, token: str) -> str:
+        """Open one sealed identity slot with this node's keystore.
+
+        The federated index uses this to decrypt entries fetched from
+        peer shards: every node derives the same ``index-identity`` key
+        from the shared master secret, so tokens sealed anywhere in the
+        cluster open locally — plaintext identity never crosses a link.
+        """
+        return self._open(token)
+
     # -- retrieval ------------------------------------------------------------
 
     def get(self, event_id: str) -> NotificationMessage:

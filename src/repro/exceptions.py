@@ -144,6 +144,23 @@ class EndpointError(BusError):
 
 
 # ---------------------------------------------------------------------------
+# Federation
+# ---------------------------------------------------------------------------
+
+
+class FederationError(CssError):
+    """Base class for multi-node federation failures."""
+
+
+class LinkFailureError(FederationError):
+    """An inter-node link dropped a call beyond its retry budget."""
+
+
+class NotHomeNodeError(FederationError):
+    """A node was asked to decide for a producer it does not home."""
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,59 @@
+"""Federation: N data controllers operating as one logical CSS platform.
+
+The paper's deployment served one territory behind a single data
+controller; this subsystem scales the same architecture horizontally while
+keeping its privacy model intact:
+
+* :mod:`~repro.federation.ring` — consistent hashing over a keyed digest
+  of the (never-plaintext) subject reference partitions the events index;
+* :mod:`~repro.federation.link` — the simulated inter-node transport:
+  canonical-JSON payloads, deterministic latency, scripted failure
+  injection, retry through the bus's :class:`~repro.bus.delivery.DeliveryPolicy`;
+* :mod:`~repro.federation.membership` — the static ring of nodes and the
+  link table (kernel kind ``federation``: ``none`` | ``static``);
+* :mod:`~repro.federation.index` — the sharded events index (kernel kind
+  ``index``: ``federated``), storing sealed entries on their owner shard;
+* :mod:`~repro.federation.node` / :mod:`~repro.federation.router` — the
+  server and client halves of cross-node operations.  The load-bearing
+  rule: a request-for-details is ALWAYS decided on the **home node** of
+  the producing gateway, by that node's own PDP and local cooperation
+  gateway — Algorithms 1–2 never leave the producer's side;
+* :mod:`~repro.federation.audit` — guarantor inquiries fan out to every
+  node and merge one total-ordered, per-node-verified trail;
+* :mod:`~repro.federation.platform` / :mod:`~repro.federation.scenario` —
+  the N-node deployment facade and the seeded workload driver behind
+  ``repro federate`` and ``benchmarks/bench_federation.py``.
+"""
+
+from repro.federation.audit import FederatedAuditEntry, FederatedAuditTrail
+from repro.federation.index import FederatedIndexStore
+from repro.federation.link import Link, LinkStats
+from repro.federation.membership import NoFederation, StaticMembership
+from repro.federation.node import FederationNode
+from repro.federation.platform import FederatedPlatform, RebalanceReport
+from repro.federation.ring import HashRing, subject_shard_key
+from repro.federation.router import FederationRouter
+from repro.federation.scenario import (
+    FederatedScenario,
+    FederatedScenarioConfig,
+    FederatedScenarioReport,
+)
+
+__all__ = [
+    "FederatedAuditEntry",
+    "FederatedAuditTrail",
+    "FederatedIndexStore",
+    "FederatedPlatform",
+    "FederatedScenario",
+    "FederatedScenarioConfig",
+    "FederatedScenarioReport",
+    "FederationNode",
+    "FederationRouter",
+    "HashRing",
+    "Link",
+    "LinkStats",
+    "NoFederation",
+    "RebalanceReport",
+    "StaticMembership",
+    "subject_shard_key",
+]

@@ -1,0 +1,297 @@
+"""The sharded events index (kernel kind ``index: federated``).
+
+Wraps each node's local :class:`~repro.core.index.EventsIndex` and routes
+by subject ownership: a notification is stored on the ring owner of its
+subject's shard key, so all of one person's events live on one node and a
+subject-scoped catch-up touches a single shard.
+
+Wire discipline — the privacy boundary of the tentpole:
+
+* entries cross links with identity slots **still sealed** under the
+  shared ``index-identity`` key (every node derives the same key from the
+  master secret, so the receiving shard can store them verbatim and any
+  querying node can open them locally);
+* inquiries fan out, peers return sealed raw entries, and decryption
+  happens only on the querying node — plaintext identity never crosses.
+
+Rebalancing (:meth:`rehome`) re-computes ownership after the ring grew,
+ships mis-homed entries (sealed) to their new owner and *withdraws* them
+locally — ebXML withdrawal keeps the object for provenance but hides it
+from every default inquiry, so results stay duplicate-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.index import (
+    OBJECT_TYPE,
+    SCHEME_EVENT_CLASS,
+    SCHEME_PRODUCER,
+    EventsIndex,
+    SealedIdentity,
+)
+from repro.core.messages import NotificationMessage
+from repro.exceptions import FederationError, UnknownEventError
+from repro.registry.objects import LifecycleStatus, RegistryObject
+from repro.registry.query import FilterQuery
+
+if TYPE_CHECKING:
+    from repro.federation.membership import StaticMembership
+
+
+@dataclass
+class FederatedIndexStats:
+    """Counters of shard routing and rebalancing."""
+
+    local_stores: int = 0
+    remote_stores: int = 0
+    remote_inquiries: int = 0
+    rehomed: int = 0
+
+
+class FederatedIndexStore:
+    """One node's view of the cluster-wide events index."""
+
+    def __init__(self, local: EventsIndex, membership: "StaticMembership",
+                 node_id: str) -> None:
+        self.local = local
+        self.membership = membership
+        self.node_id = node_id
+        self.stats = FederatedIndexStats()
+
+    @property
+    def encrypt_identity(self) -> bool:
+        """Mirrors the local index (the ablation knob applies per node)."""
+        return self.local.encrypt_identity
+
+    def _self_node(self):
+        """This node's federation endpoint (for channel sealing)."""
+        return self.membership.node(self.node_id)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._live_local_objects())
+
+    def __contains__(self, event_id: str) -> bool:
+        return self._live_local(event_id) is not None
+
+    # -- storage (shard routing) -------------------------------------------
+
+    def seal_identity(self, notification: NotificationMessage) -> SealedIdentity:
+        """Seal identity slots with the local keystore (publish crypto stage)."""
+        return self.local.seal_identity(notification)
+
+    def store(self, notification: NotificationMessage,
+              sealed: SealedIdentity | None = None):
+        """Store on the owning shard: locally, or sealed over the link."""
+        if sealed is None:
+            sealed = self.local.seal_identity(notification)
+        owner = self.membership.owner_of_subject(notification.subject_ref)
+        if owner == self.node_id:
+            self.stats.local_stores += 1
+            return self.local.store(notification, sealed=sealed)
+        entry = {
+            "event_id": notification.event_id,
+            "event_type": notification.event_type,
+            "producer_id": notification.producer_id,
+            "occurred_at": notification.occurred_at,
+            "summary": notification.summary,
+            "subject_ref": sealed.subject_ref,
+            "subject_display": sealed.subject_display,
+        }
+        # The identity slots are already index-key tokens, but the summary
+        # text may name the subject — the whole entry crosses sealed under
+        # this node's channel key.
+        response = self.membership.link(self.node_id, owner).call(
+            "index.store", self._self_node().seal_channel({"entry": entry})
+        )
+        if "error" in response:
+            raise FederationError(
+                f"shard {owner!r} rejected entry {notification.event_id!r}: "
+                f"{response['message']}"
+            )
+        self.stats.remote_stores += 1
+        return response
+
+    def accept_remote(self, entry: dict) -> None:
+        """Store an entry shipped by a peer (identity slots still sealed)."""
+        obj = RegistryObject(
+            object_id=entry["event_id"],
+            object_type=OBJECT_TYPE,
+            name=entry["summary"],
+            description=entry["summary"],
+        )
+        obj.classify(SCHEME_EVENT_CLASS, entry["event_type"])
+        obj.classify(SCHEME_PRODUCER, entry["producer_id"])
+        obj.set_slot("occurredAt", f"{entry['occurred_at']:020.6f}")
+        obj.set_slot("producerId", entry["producer_id"])
+        obj.set_slot("subjectRef", entry["subject_ref"])
+        if entry.get("subject_display") is not None:
+            obj.set_slot("subjectDisplay", entry["subject_display"])
+        self.local.restore_raw(obj)
+
+    # -- local raw access (the peer-facing surface) -------------------------
+
+    def _live_local_objects(self) -> list[RegistryObject]:
+        return [
+            obj for obj in self.local.registry.by_type(OBJECT_TYPE)
+            if obj.status is not LifecycleStatus.WITHDRAWN
+        ]
+
+    def _live_local(self, event_id: str) -> RegistryObject | None:
+        if event_id not in self.local.registry:
+            return None
+        obj = self.local.registry.get(event_id)
+        return None if obj.status is LifecycleStatus.WITHDRAWN else obj
+
+    def _to_entry(self, obj: RegistryObject) -> dict:
+        return {
+            "event_id": obj.object_id,
+            "event_type": obj.classification_node(SCHEME_EVENT_CLASS) or "",
+            "producer_id": obj.slot_value("producerId") or "",
+            "occurred_at": float(obj.slot_value("occurredAt") or 0.0),
+            "summary": obj.name,
+            "subject_ref": obj.slot_value("subjectRef") or "",
+            "subject_display": obj.slot_value("subjectDisplay"),
+        }
+
+    def local_raw_inquire(
+        self,
+        event_types: list[str],
+        since: float | None = None,
+        until: float | None = None,
+        producer_id: str | None = None,
+    ) -> list[dict]:
+        """This shard's matching entries, identity slots kept sealed."""
+        entries: list[dict] = []
+        for event_type in dict.fromkeys(event_types):
+            query = FilterQuery(object_type=OBJECT_TYPE).where(
+                f"class:{SCHEME_EVENT_CLASS}", "eq", event_type
+            )
+            if since is not None:
+                query.where("slot:occurredAt", "ge", f"{since:020.6f}")
+            if until is not None:
+                query.where("slot:occurredAt", "le", f"{until:020.6f}")
+            if producer_id is not None:
+                query.where(f"class:{SCHEME_PRODUCER}", "eq", producer_id)
+            for obj in self.local.registry.query(query):
+                entries.append(self._to_entry(obj))
+        return entries
+
+    def local_raw_get(self, event_id: str) -> dict | None:
+        """One sealed raw entry of this shard (None if absent/withdrawn)."""
+        obj = self._live_local(event_id)
+        return None if obj is None else self._to_entry(obj)
+
+    def local_count_for_type(self, event_type: str) -> int:
+        """Live entries of one class on this shard."""
+        return sum(
+            1 for obj in self.local.registry.by_classification(
+                SCHEME_EVENT_CLASS, event_type
+            )
+            if obj.status is not LifecycleStatus.WITHDRAWN
+        )
+
+    def _entry_to_notification(self, entry: dict) -> NotificationMessage:
+        return NotificationMessage(
+            event_id=entry["event_id"],
+            event_type=entry["event_type"],
+            producer_id=entry["producer_id"],
+            occurred_at=entry["occurred_at"],
+            summary=entry["summary"],
+            subject_ref=self.local.open_identity(entry["subject_ref"]),
+            subject_display=(
+                self.local.open_identity(entry["subject_display"])
+                if entry.get("subject_display") else ""
+            ),
+        )
+
+    # -- cluster-wide retrieval ---------------------------------------------
+
+    def _peer_ids(self) -> tuple[str, ...]:
+        return tuple(n for n in self.membership.node_ids if n != self.node_id)
+
+    def get(self, event_id: str) -> NotificationMessage:
+        """Rebuild a notification from whichever shard holds it."""
+        obj = self._live_local(event_id)
+        if obj is not None:
+            return self.local.get(event_id)
+        for peer in self._peer_ids():
+            response = self.membership.link(self.node_id, peer).call(
+                "index.get", {"event_id": event_id}
+            )
+            entry = self._self_node().open_channel(response)["entry"]
+            if entry is not None:
+                return self._entry_to_notification(entry)
+        raise UnknownEventError(f"no notification indexed under {event_id!r}")
+
+    def inquire(
+        self,
+        event_types: list[str],
+        since: float | None = None,
+        until: float | None = None,
+        producer_id: str | None = None,
+    ) -> list[NotificationMessage]:
+        """Cluster-wide inquiry: local shard + sealed fan-out, opened here."""
+        self.local.stats.inquiries += 1
+        results = {
+            entry["event_id"]: self._entry_to_notification(entry)
+            for entry in self.local_raw_inquire(
+                event_types, since=since, until=until, producer_id=producer_id
+            )
+        }
+        for peer in self._peer_ids():
+            self.stats.remote_inquiries += 1
+            response = self.membership.link(self.node_id, peer).call(
+                "index.inquire",
+                {"event_types": list(event_types), "since": since,
+                 "until": until, "producer_id": producer_id},
+            )
+            for entry in self._self_node().open_channel(response)["entries"]:
+                results.setdefault(
+                    entry["event_id"], self._entry_to_notification(entry)
+                )
+        ordered = sorted(results.values(), key=lambda n: (n.occurred_at, n.event_id))
+        return ordered
+
+    def count_for_type(self, event_type: str) -> int:
+        """Cluster-wide live count of one class."""
+        total = self.local_count_for_type(event_type)
+        for peer in self._peer_ids():
+            response = self.membership.link(self.node_id, peer).call(
+                "index.count", {"event_type": event_type}
+            )
+            total += response.get("count", 0)
+        return total
+
+    # -- rebalance ----------------------------------------------------------
+
+    def rehome(self) -> int:
+        """Ship entries this node no longer owns to their new shard.
+
+        Called after the ring changed (a node joined).  The subject token
+        is opened *locally* to re-compute ownership — the plaintext stays
+        on this node; the entry crosses with its slots still sealed.
+        Moved entries are withdrawn locally (hidden, not erased).
+        Returns how many entries moved.
+        """
+        moved = 0
+        for obj in self._live_local_objects():
+            subject_ref = self.local.open_identity(obj.slot_value("subjectRef") or "")
+            owner = self.membership.owner_of_subject(subject_ref)
+            if owner == self.node_id:
+                continue
+            response = self.membership.link(self.node_id, owner).call(
+                "index.rehome",
+                self._self_node().seal_channel({"entry": self._to_entry(obj)}),
+            )
+            if "error" in response:
+                raise FederationError(
+                    f"rehome of {obj.object_id!r} to {owner!r} failed: "
+                    f"{response['message']}"
+                )
+            self.local.registry.withdraw(obj.object_id)
+            moved += 1
+            self.stats.rehomed += 1
+        return moved

@@ -1,0 +1,135 @@
+"""Simulated inter-node links.
+
+A :class:`Link` is one directed channel from a federation node to a peer.
+Its transport discipline is the subsystem's privacy boundary:
+
+* payloads are JSON-serializable dicts, serialized to canonical JSON for
+  the wire — every byte that crosses is kept in :attr:`Link.transcript`,
+  which the privacy tests grep for plaintext identities;
+* identifying content is sealed *before* it reaches the link (index
+  entries carry the index-key tokens; detail responses and audit exports
+  travel under the sender's federation channel key);
+* each attempt advances the shared simulated clock by a deterministic
+  latency, failures are scripted (:meth:`fail_next` or a failure hook),
+  and retries run through the bus's existing
+  :class:`~repro.bus.delivery.DeliveryPolicy` budget.
+
+Server-side errors (access denied, source unavailable) are *responses*,
+encoded by :meth:`FederationNode.handle` — the link retries only
+transmission drops, never decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.bus.delivery import DeliveryPolicy
+from repro.clock import Clock
+from repro.crypto.hashing import canonical_json
+from repro.exceptions import LinkFailureError
+
+if TYPE_CHECKING:
+    from repro.federation.node import FederationNode
+
+#: Counter of cross-node calls, labelled with guard-hashed node ids.
+HOP_COUNTER = "federation.hops_total"
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters (benchmarks and failure-injection tests)."""
+
+    calls: int = 0
+    delivered: int = 0
+    retries: int = 0
+    failed_attempts: int = 0
+    bytes_carried: int = 0
+
+
+class Link:
+    """One directed, latency- and failure-simulating channel to a peer node."""
+
+    def __init__(
+        self,
+        source: str,
+        target: "FederationNode",
+        clock: Clock | None = None,
+        latency: float = 0.005,
+        policy: DeliveryPolicy | None = None,
+        telemetry=None,
+        source_label: str = "",
+        target_label: str = "",
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.latency = latency
+        self.policy = policy or DeliveryPolicy()
+        self.stats = LinkStats()
+        self.transcript: list[str] = []
+        self._clock = clock or Clock()
+        self._fail_budget = 0
+        self._failure_hook: Callable[[str, dict], bool] | None = None
+        self._telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        self._source_label = source_label or source
+        self._target_label = target_label or target.node_id
+
+    # -- failure injection -------------------------------------------------
+
+    def fail_next(self, count: int = 1) -> None:
+        """Drop the next ``count`` transmission attempts (deterministic)."""
+        if count < 0:
+            raise LinkFailureError("failure budget must be non-negative")
+        self._fail_budget += count
+
+    def set_failure_hook(self, hook: Callable[[str, dict], bool] | None) -> None:
+        """Install a predicate ``hook(operation, payload) -> drop?``."""
+        self._failure_hook = hook
+
+    def _should_fail(self, operation: str, payload: dict) -> bool:
+        if self._fail_budget > 0:
+            self._fail_budget -= 1
+            return True
+        return bool(self._failure_hook and self._failure_hook(operation, payload))
+
+    # -- transmission ------------------------------------------------------
+
+    def call(self, operation: str, payload: dict) -> dict:
+        """Send one request to the peer and return its response dict.
+
+        Retries dropped attempts up to the link policy's ``max_attempts``;
+        raises :class:`~repro.exceptions.LinkFailureError` once the budget
+        is exhausted.  Every wire message (request and response) is
+        appended to :attr:`transcript` as canonical JSON.
+        """
+        self.stats.calls += 1
+        wire = canonical_json({"op": operation, "payload": payload})
+        self.transcript.append(wire)
+        self.stats.bytes_carried += len(wire)
+        last_error: LinkFailureError | None = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+            self._clock.advance(self.latency)
+            if self._should_fail(operation, payload):
+                self.stats.failed_attempts += 1
+                last_error = LinkFailureError(
+                    f"link {self.source}->{self.target.node_id} dropped "
+                    f"{operation!r} (attempt {attempt}/{self.policy.max_attempts})"
+                )
+                continue
+            response = self.target.handle(operation, payload)
+            response_wire = canonical_json(response)
+            self.transcript.append(response_wire)
+            self.stats.bytes_carried += len(response_wire)
+            self.stats.delivered += 1
+            if self._telemetry is not None:
+                self._telemetry.count(
+                    HOP_COUNTER, source=self._source_label,
+                    target=self._target_label, op=operation,
+                )
+            return response
+        assert last_error is not None
+        raise last_error

@@ -1,0 +1,149 @@
+"""Cluster membership: the ring, the nodes, and the link table.
+
+:class:`StaticMembership` is the kernel's ``federation: static``
+implementation — a fixed plan of ``shards`` controller nodes sharing one
+simulated clock and one master secret.  It is created *before* any node
+exists (the platform builds controllers against it), so nodes register
+themselves as they come up; links between node pairs are created lazily
+and cached, one per direction.
+
+:class:`NoFederation` is the ``federation: none`` sentinel for
+single-controller deployments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bus.delivery import DeliveryPolicy
+from repro.clock import Clock
+from repro.exceptions import ConfigurationError, FederationError
+from repro.federation.link import Link
+from repro.federation.ring import HashRing, subject_shard_key
+
+if TYPE_CHECKING:
+    from repro.federation.node import FederationNode
+
+
+class NoFederation:
+    """Single-controller deployments: federation disabled."""
+
+    enabled = False
+    shards = 1
+
+
+class StaticMembership:
+    """A fixed-shard federation plan (kernel kind ``federation: static``)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        shards: int,
+        clock: Clock | None = None,
+        master_secret: str = "css-platform-secret",
+        replicas: int = 64,
+        link_latency: float = 0.005,
+        link_policy: DeliveryPolicy | None = None,
+        telemetry=None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("federation needs at least one shard")
+        self.clock = clock or Clock()
+        self.ring = HashRing(replicas=replicas)
+        self.link_latency = link_latency
+        self.link_policy = link_policy or DeliveryPolicy()
+        self._secret = master_secret
+        self._telemetry = telemetry
+        self._nodes: dict[str, FederationNode] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._next_shard = 0
+        self.planned_nodes: tuple[str, ...] = tuple(
+            self.add_shard() for _ in range(shards)
+        )
+
+    # -- topology ----------------------------------------------------------
+
+    def add_shard(self) -> str:
+        """Extend the ring with the next node id (rebalance step 1).
+
+        Only changes ownership; the platform still has to build the node,
+        let it register, and re-home the moved index entries.
+        """
+        node_id = f"node-{self._next_shard}"
+        self._next_shard += 1
+        self.ring.add_node(node_id)
+        return node_id
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        """The ring's member node ids, sorted."""
+        return self.ring.nodes
+
+    @property
+    def shards(self) -> int:
+        """Number of nodes on the ring."""
+        return len(self.ring)
+
+    def owner_of_subject(self, subject_ref: str) -> str:
+        """The node owning a subject's index partition (keyed digest routing)."""
+        return self.ring.owner_of(subject_shard_key(self._secret, subject_ref))
+
+    # -- node registry -----------------------------------------------------
+
+    def register(self, node: "FederationNode") -> None:
+        """A node announces itself (called from ``FederationNode.__init__``)."""
+        if node.node_id not in self.ring:
+            raise FederationError(
+                f"node {node.node_id!r} is not part of this federation plan"
+            )
+        if node.node_id in self._nodes:
+            raise FederationError(f"node {node.node_id!r} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "FederationNode":
+        """The registered node behind ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise FederationError(f"no registered node {node_id!r}") from exc
+
+    def nodes(self) -> tuple["FederationNode", ...]:
+        """Every registered node, ordered by node id."""
+        return tuple(self._nodes[node_id] for node_id in sorted(self._nodes))
+
+    # -- links -------------------------------------------------------------
+
+    def link(self, source_id: str, target_id: str) -> Link:
+        """The (cached) directed link ``source_id`` → ``target_id``."""
+        if source_id == target_id:
+            raise FederationError(f"node {source_id!r} must not link to itself")
+        key = (source_id, target_id)
+        if key not in self._links:
+            self._links[key] = Link(
+                source=source_id,
+                target=self.node(target_id),
+                clock=self.clock,
+                latency=self.link_latency,
+                policy=self.link_policy,
+                telemetry=self._telemetry,
+                source_label=self.node_label(source_id),
+                target_label=self.node_label(target_id),
+            )
+        return self._links[key]
+
+    def links(self) -> tuple[Link, ...]:
+        """Every link created so far (for stats and privacy transcripts)."""
+        return tuple(self._links[key] for key in sorted(self._links))
+
+    # -- telemetry ---------------------------------------------------------
+
+    def node_label(self, node_id: str) -> str:
+        """The node id as it may appear in telemetry labels.
+
+        Hashed through the telemetry's :class:`~repro.obs.guard.PrivacyGuard`
+        when one is attached, so even infrastructure topology stays
+        pseudonymous in exported metrics.
+        """
+        guard = getattr(self._telemetry, "guard", None)
+        return guard.hash_value(node_id) if guard is not None else node_id

@@ -1,0 +1,323 @@
+"""One controller node of a federated deployment (the server side).
+
+A :class:`FederationNode` wraps a full
+:class:`~repro.core.controller.DataController` and exposes the small set
+of operations peers may invoke over a :class:`~repro.federation.link.Link`.
+The handler table is the node's entire remote surface — and it is where
+the paper's privacy model survives distribution:
+
+* ``details.get`` runs the node's **own** PDP and local cooperation
+  gateway (Algorithms 1–2) for events its producers published.  Deny or
+  permit, the decision and the field filtering happen here, on the home
+  node; the response carries only the already-filtered detail message,
+  sealed under this node's federation channel key.  No peer can release
+  this node's detail fields.
+* ``subscribe.remote`` replicates the controller's subscription gating:
+  the home node's policy repository decides, queues the pending access
+  request on deny, audits either way, and only then installs a relay.
+* ``index.*`` accepts/serves index entries with identity slots *still
+  sealed* — opening happens only on the querying node, under the shared
+  index key.
+* ``audit.records`` exports this node's verified hash-chained trail,
+  sealed, for the federated guarantor inquiry.
+
+Simulated service times (the ``*_COST`` constants) are charged to the
+node's :class:`WorkMeter`; the federation benchmark derives cluster
+makespan — and therefore routing throughput — from the busiest node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.audit.log import AuditAction, AuditOutcome
+from repro.core.actors import Actor, ActorKind
+from repro.core.elicitation import PendingAccessRequest
+from repro.core.enforcement import DetailRequest
+from repro.crypto.hashing import canonical_json
+from repro.exceptions import (
+    AccessDeniedError,
+    GatewayError,
+    UnknownEventClassError,
+    UnknownEventError,
+)
+
+if TYPE_CHECKING:
+    from repro.core.controller import DataController
+    from repro.federation.membership import StaticMembership
+
+#: Keystore key-name prefix for per-sender channel sealing.  Each node
+#: seals under its *own* key (unique nonce space); receivers re-derive the
+#: same key from the shared master secret to open.
+CHANNEL_KEY_PREFIX = "federation-channel/"
+
+#: Simulated per-operation service times (seconds) — the cost model behind
+#: the federation benchmark's makespan/throughput figures.
+PUBLISH_COST = 0.004
+INDEX_COST = 0.002
+RELAY_COST = 0.001
+DETAIL_COST = 0.003
+AUDIT_COST = 0.001
+
+#: Gauge of each node's bus queue depth, labelled by hashed node id.
+NODE_QUEUE_DEPTH = "federation.node.queue_depth"
+
+
+@dataclass
+class WorkMeter:
+    """Simulated busy-time accounting for one node."""
+
+    busy_seconds: float = 0.0
+    operations: int = 0
+
+    def add(self, seconds: float) -> None:
+        """Charge ``seconds`` of simulated service time to this node."""
+        self.busy_seconds += seconds
+        self.operations += 1
+
+
+class FederationNode:
+    """A data controller participating in the federation."""
+
+    def __init__(self, node_id: str, controller: "DataController",
+                 membership: "StaticMembership") -> None:
+        self.node_id = node_id
+        self.controller = controller
+        self.membership = membership
+        self.work = WorkMeter()
+        self.hops_in = 0
+        self._channel_key = CHANNEL_KEY_PREFIX + node_id
+        self._channel_seq = 0
+        controller.keystore.create(self._channel_key)
+        #: (origin node, topic) pairs already relayed toward a peer.
+        self._relays: dict[tuple[str, str], str] = {}
+        #: Topics this node re-publishes locally for relayed notifications.
+        self._relay_topics: set[str] = set()
+        self._handlers: dict[str, Callable[[dict], dict]] = {
+            "ping": self._op_ping,
+            "index.store": self._op_index_store,
+            "index.rehome": self._op_index_store,
+            "index.inquire": self._op_index_inquire,
+            "index.get": self._op_index_get,
+            "index.count": self._op_index_count,
+            "subscribe.remote": self._op_subscribe_remote,
+            "bus.relay": self._op_bus_relay,
+            "details.get": self._op_details_get,
+            "audit.records": self._op_audit_records,
+        }
+        membership.register(self)
+
+    @property
+    def label(self) -> str:
+        """This node's (guard-hashed) telemetry label."""
+        return self.membership.node_label(self.node_id)
+
+    # -- channel sealing ---------------------------------------------------
+
+    def seal_channel(self, payload: dict) -> dict:
+        """Seal a response payload under this node's channel key."""
+        self._channel_seq += 1
+        token = self.controller.keystore.seal(
+            self._channel_key, canonical_json(payload), self._channel_seq
+        )
+        return {"from": self.node_id, "token": token}
+
+    def open_channel(self, sealed: dict) -> dict:
+        """Open a peer's channel-sealed payload (same derived key)."""
+        name = CHANNEL_KEY_PREFIX + sealed["from"]
+        keystore = self.controller.keystore
+        keystore.create(name)  # deterministic derivation: no key exchange
+        return json.loads(keystore.open_(name, sealed["token"]))
+
+    # -- server dispatch ---------------------------------------------------
+
+    def handle(self, operation: str, payload: dict) -> dict:
+        """Serve one remote call; domain failures become error responses."""
+        handler = self._handlers.get(operation)
+        if handler is None:
+            return {"error": "unknown-operation", "message": operation}
+        self.hops_in += 1
+        try:
+            return handler(payload)
+        except AccessDeniedError as exc:
+            return {"error": "access-denied", "message": str(exc)}
+        except GatewayError as exc:
+            return {"error": "source-unavailable", "message": str(exc)}
+        except UnknownEventError as exc:
+            return {"error": "unknown-event", "message": str(exc)}
+        except UnknownEventClassError as exc:
+            return {"error": "unknown-event-class", "message": str(exc)}
+
+    def _op_ping(self, payload: dict) -> dict:
+        return {"ok": True, "node": self.node_id}
+
+    # -- index shard operations --------------------------------------------
+
+    def _op_index_store(self, payload: dict) -> dict:
+        self.work.add(INDEX_COST)
+        self.controller.index.accept_remote(self.open_channel(payload)["entry"])
+        return {"ok": True, "node": self.node_id}
+
+    def _op_index_inquire(self, payload: dict) -> dict:
+        self.work.add(INDEX_COST)
+        entries = self.controller.index.local_raw_inquire(
+            payload["event_types"],
+            since=payload.get("since"),
+            until=payload.get("until"),
+            producer_id=payload.get("producer_id"),
+        )
+        # Summaries may name the subject: results cross sealed.
+        return self.seal_channel({"entries": entries})
+
+    def _op_index_get(self, payload: dict) -> dict:
+        self.work.add(INDEX_COST)
+        return self.seal_channel(
+            {"entry": self.controller.index.local_raw_get(payload["event_id"])}
+        )
+
+    def _op_index_count(self, payload: dict) -> dict:
+        return {"count": self.controller.index.local_count_for_type(
+            payload["event_type"]
+        )}
+
+    # -- cross-node subscriptions ------------------------------------------
+
+    def _op_subscribe_remote(self, payload: dict) -> dict:
+        """Authorize a remote consumer and install a relay toward its node.
+
+        Mirrors ``DataController.subscribe``'s gating on the home node:
+        deny-by-default with a pending access request when no policy of
+        *this* node's producer authorizes the consumer, audited either way.
+        """
+        controller = self.controller
+        consumer_id = payload["consumer_id"]
+        role = payload.get("role", "")
+        event_type = payload["event_type"]
+        origin = payload["origin"]
+        event_class = controller.catalog.get(event_type)
+        if not controller.policies.has_policy_for(
+            event_class.producer_id, event_type, consumer_id, role
+        ):
+            request = PendingAccessRequest(
+                request_id=controller.ids.next("par"),
+                consumer_id=consumer_id,
+                consumer_role=role,
+                event_type=event_type,
+                producer_id=event_class.producer_id,
+                requested_at=controller.clock.now(),
+            )
+            controller.pending_requests.add(request)
+            controller._record(  # noqa: SLF001 - the node acts as the controller's edge
+                consumer_id, AuditAction.SUBSCRIBE, AuditOutcome.DENY,
+                event_type=event_type,
+                detail=f"remote subscribe from {origin}: no authorizing "
+                       f"policy; pending access request queued",
+            )
+            raise AccessDeniedError(
+                f"no policy authorizes {consumer_id!r} for {event_type!r}; "
+                "access request is pending with the producer"
+            )
+        relay_id = self._ensure_relay(origin, event_class.topic)
+        controller._record(  # noqa: SLF001
+            consumer_id, AuditAction.SUBSCRIBE, AuditOutcome.PERMIT,
+            event_type=event_type,
+            detail=f"remote subscribe, relayed to {origin}",
+        )
+        return {"ok": True, "relay_id": relay_id, "topic": event_class.topic,
+                "node": self.node_id}
+
+    def _ensure_relay(self, origin: str, topic: str) -> str:
+        """One relay subscription per (peer node, topic), shared by its consumers."""
+        key = (origin, topic)
+        if key in self._relays:
+            return self._relays[key]
+
+        def relay(envelope) -> None:
+            self.work.add(RELAY_COST)
+            sealed = self.seal_channel({"topic": topic, "xml": str(envelope.body)})
+            link = self.membership.link(self.node_id, origin)
+            link.call("bus.relay", sealed)
+
+        subscription = self.controller.bus.subscribe(
+            f"federation-relay:{origin}", topic, relay
+        )
+        self._relays[key] = subscription.subscription_id
+        return subscription.subscription_id
+
+    def _op_bus_relay(self, payload: dict) -> dict:
+        """Re-publish a relayed notification on this node's local bus."""
+        self.work.add(RELAY_COST)
+        body = self.open_channel(payload)
+        topic = body["topic"]
+        if topic not in self._relay_topics:
+            self.controller.bus.declare_topic(topic)
+            self._relay_topics.add(topic)
+        self.controller.bus.publish(
+            topic, sender=f"federation:{payload['from']}", body=body["xml"]
+        )
+        return {"ok": True, "node": self.node_id}
+
+    # -- home-node enforcement ---------------------------------------------
+
+    def _op_details_get(self, payload: dict) -> dict:
+        """Decide a forwarded request-for-details with this node's own PDP.
+
+        The consumer sits on another node, but the producer is homed here:
+        this node's policy repository, PIP id map, consent registry and
+        local cooperation gateway resolve the request exactly as a local
+        one (Algorithm 1 + Algorithm 2).  The filtered detail message is
+        sealed before it crosses back.
+        """
+        self.work.add(DETAIL_COST)
+        actor = Actor(
+            actor_id=payload["actor_id"],
+            name=payload.get("actor_name") or payload["actor_id"],
+            kind=ActorKind.CONSUMER,
+            role=payload.get("role", ""),
+        )
+        request = DetailRequest(
+            actor=actor,
+            event_type=payload["event_type"],
+            event_id=payload["event_id"],
+            purpose=payload["purpose"],
+        )
+        detail = self.controller.enforcer.get_event_details(request)
+        return self.seal_channel({
+            "event_id": detail.event_id,
+            "event_type": detail.event_type,
+            "producer_id": detail.producer_id,
+            "fields": detail.payload.fields,
+            "released": list(detail.released_fields),
+        })
+
+    # -- federated audit ----------------------------------------------------
+
+    def _op_audit_records(self, payload: dict) -> dict:
+        """Export this node's verified audit trail (sealed) for a guarantor."""
+        self.work.add(AUDIT_COST)
+        log = self.controller.audit_log
+        log.verify_integrity()
+        records = [record.to_payload() for record in log.records()]
+        event_type = payload.get("event_type")
+        if event_type is not None:
+            records = [r for r in records if r["event_type"] == event_type]
+        since, until = payload.get("since"), payload.get("until")
+        if since is not None:
+            records = [r for r in records if r["timestamp"] >= since]
+        if until is not None:
+            records = [r for r in records if r["timestamp"] <= until]
+        sealed = self.seal_channel({"records": records})
+        sealed["head"] = log.head_digest
+        sealed["count"] = len(records)
+        return sealed
+
+    # -- telemetry ---------------------------------------------------------
+
+    def record_queue_depth(self) -> None:
+        """Publish this node's bus queue depth under its hashed label."""
+        telemetry = self.controller.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.gauge(NODE_QUEUE_DEPTH, self.controller.bus.queue_depth,
+                            node=self.label)

@@ -1,0 +1,397 @@
+"""The N-node deployment facade.
+
+:class:`FederatedPlatform` assembles ``shards`` complete
+:class:`~repro.core.controller.DataController` instances — each with its
+own catalog, policy repository, PDP, gateways and audit chain — into one
+logical CSS platform:
+
+* all nodes share one simulated clock, one master secret (so sealed
+  identity tokens and channel keys interoperate) and, optionally, one
+  telemetry backend;
+* every producer and consumer is **homed** on exactly one node; an event
+  class lives on its producer's home node, and so do the policies its
+  producer defines — which is what makes home-node enforcement possible;
+* the events index is partitioned across nodes by the consistent-hash
+  ring over keyed subject digests (kernel kind ``index: federated``);
+* cross-node subscriptions and requests-for-details go through each
+  node's :class:`~repro.federation.router.FederationRouter`; decisions
+  always run on the producer's home node;
+* :meth:`add_node` grows the ring at runtime and re-homes the index
+  entries whose ownership moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.audit.log import AuditAction, AuditOutcome
+from repro.bus.delivery import DeliveryPolicy
+from repro.clock import Clock
+from repro.core.consumer import DataConsumer
+from repro.core.controller import DataController
+from repro.core.enforcement import DetailRequest
+from repro.core.events import EventClass
+from repro.core.messages import DetailMessage, NotificationMessage
+from repro.core.producer import DataProducer
+from repro.exceptions import AccessDeniedError, FederationError
+from repro.federation.audit import FederatedAuditTrail, guarantor_inquiry
+from repro.federation.node import INDEX_COST, PUBLISH_COST, FederationNode
+from repro.federation.router import FederationRouter
+from repro.obs.telemetry import NoopTelemetry
+from repro.runtime.kernel import (
+    KIND_FEDERATION,
+    RuntimeConfig,
+    ServiceKernel,
+    default_kernel,
+)
+from repro.xmlmsg.schema import MessageSchema
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one :meth:`FederatedPlatform.add_node` rebalance."""
+
+    node_id: str
+    entries_moved: int
+
+
+class FederatedPlatform:
+    """N sharded data controllers operating as one logical platform."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        master_secret: str = "css-platform-secret",
+        seed: str = "fed",
+        encrypt_identity: bool = True,
+        clock: Clock | None = None,
+        runtime: RuntimeConfig | None = None,
+        kernel: ServiceKernel | None = None,
+        telemetry=None,
+        link_latency: float = 0.005,
+        link_policy: DeliveryPolicy | None = None,
+    ) -> None:
+        self.clock = clock or Clock()
+        self.kernel = kernel or default_kernel()
+        self.telemetry = telemetry if telemetry is not None else NoopTelemetry()
+        self._master_secret = master_secret
+        self._seed = seed
+        self._encrypt_identity = encrypt_identity
+        self._base_runtime = runtime or RuntimeConfig()
+        self.membership = self.kernel.create(
+            KIND_FEDERATION, "static",
+            shards=shards, clock=self.clock, master_secret=master_secret,
+            link_latency=link_latency, link_policy=link_policy,
+            telemetry=self.telemetry,
+        )
+        self._routers: dict[str, FederationRouter] = {}
+        self._producers: dict[str, DataProducer] = {}
+        self._consumers: dict[str, DataConsumer] = {}
+        self._producer_home: dict[str, str] = {}
+        self._consumer_home: dict[str, str] = {}
+        self._class_home: dict[str, str] = {}
+        self._round_robin = 0
+        for node_id in self.membership.planned_nodes:
+            self._build_node(node_id)
+
+    # -- topology ----------------------------------------------------------
+
+    def _build_node(self, node_id: str) -> FederationNode:
+        node_runtime = replace(
+            self._base_runtime,
+            index_store="federated",
+            telemetry="shared",
+            federation="static",
+            shards=self.membership.shards,
+        )
+        controller = DataController(
+            clock=self.clock,
+            master_secret=self._master_secret,
+            # Per-node seeds keep ids (events, audit records, subscriptions)
+            # collision-free across the federation.
+            seed=f"{self._seed}-{node_id}",
+            encrypt_identity=self._encrypt_identity,
+            runtime=node_runtime,
+            kernel=self.kernel,
+            services_context={
+                "membership": self.membership,
+                "node_id": node_id,
+                "shared_telemetry": self.telemetry,
+            },
+        )
+        node = FederationNode(node_id, controller, self.membership)
+        self._routers[node_id] = FederationRouter(node)
+        return node
+
+    def nodes(self) -> tuple[FederationNode, ...]:
+        """Every node, ordered by node id."""
+        return self.membership.nodes()
+
+    def node(self, node_id: str) -> FederationNode:
+        """One node by id."""
+        return self.membership.node(node_id)
+
+    def controller_of(self, node_id: str) -> DataController:
+        """The data controller behind one node."""
+        return self.membership.node(node_id).controller
+
+    def _next_home(self, node_id: str | None) -> str:
+        if node_id is not None:
+            if node_id not in self.membership.node_ids:
+                raise FederationError(f"unknown node {node_id!r}")
+            return node_id
+        node_ids = self.membership.node_ids
+        home = node_ids[self._round_robin % len(node_ids)]
+        self._round_robin += 1
+        return home
+
+    # -- party management (homing) -----------------------------------------
+
+    def add_producer(
+        self, actor_id: str, name: str, role: str = "",
+        node_id: str | None = None, **kwargs,
+    ) -> DataProducer:
+        """Join a producer on its home node (round-robin when unspecified)."""
+        if actor_id in self._producer_home:
+            raise FederationError(f"producer {actor_id!r} already homed")
+        home = self._next_home(node_id)
+        producer = DataProducer(
+            self.controller_of(home), actor_id, name, role=role, **kwargs
+        )
+        self._producers[actor_id] = producer
+        self._producer_home[actor_id] = home
+        return producer
+
+    def add_consumer(
+        self, actor_id: str, name: str, role: str = "",
+        node_id: str | None = None, **kwargs,
+    ) -> DataConsumer:
+        """Join a consumer on its home node (round-robin when unspecified)."""
+        if actor_id in self._consumer_home:
+            raise FederationError(f"consumer {actor_id!r} already homed")
+        home = self._next_home(node_id)
+        consumer = DataConsumer(
+            self.controller_of(home), actor_id, name, role=role, **kwargs
+        )
+        self._consumers[actor_id] = consumer
+        self._consumer_home[actor_id] = home
+        return consumer
+
+    def producer(self, actor_id: str) -> DataProducer:
+        """A homed producer client."""
+        return self._producers[actor_id]
+
+    def consumer(self, actor_id: str) -> DataConsumer:
+        """A homed consumer client."""
+        return self._consumers[actor_id]
+
+    def home_of_producer(self, actor_id: str) -> str:
+        """The node a producer is homed on."""
+        return self._producer_home[actor_id]
+
+    def home_of_consumer(self, actor_id: str) -> str:
+        """The node a consumer is homed on."""
+        return self._consumer_home[actor_id]
+
+    def home_of_class(self, event_type: str) -> str:
+        """The node an event class (and its policies) lives on."""
+        try:
+            return self._class_home[event_type]
+        except KeyError as exc:
+            raise FederationError(
+                f"event class {event_type!r} is not declared anywhere in "
+                "this federation"
+            ) from exc
+
+    # -- catalog ------------------------------------------------------------
+
+    def declare_event_class(
+        self, producer_id: str, schema: MessageSchema,
+        category: str = "health", description: str = "",
+    ) -> EventClass:
+        """Declare a class on its producer's home node."""
+        producer = self._producers[producer_id]
+        event_class = producer.declare_event_class(
+            schema, category=category, description=description
+        )
+        self._class_home[event_class.name] = self._producer_home[producer_id]
+        return event_class
+
+    # -- publish ------------------------------------------------------------
+
+    def publish(
+        self,
+        producer_id: str,
+        event_class: EventClass,
+        subject_id: str,
+        subject_name: str,
+        summary: str,
+        details: dict[str, object],
+        occurred_at: float | None = None,
+    ) -> NotificationMessage | None:
+        """Publish on the producer's home node; the index entry lands on
+        the subject's owner shard (possibly another node)."""
+        home = self._producer_home[producer_id]
+        node = self.membership.node(home)
+        node.work.add(PUBLISH_COST)
+        notification = self._producers[producer_id].publish(
+            event_class, subject_id, subject_name, summary, details,
+            occurred_at=occurred_at,
+        )
+        if notification is not None:
+            owner = self.membership.owner_of_subject(notification.subject_ref)
+            if owner == home:
+                # Remote stores charge the owner through the link handler;
+                # local stores are charged here.
+                node.work.add(INDEX_COST)
+        node.record_queue_depth()
+        return notification
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, consumer_id: str, event_type: str, handler=None) -> str:
+        """Subscribe a consumer to a class anywhere in the federation.
+
+        Local classes go through the consumer's own controller; remote
+        ones are authorized by the class's home node (its policy
+        repository, deny-by-default) and relayed over the link.  Either
+        way notifications land in the consumer's inbox.
+        """
+        consumer = self._consumers[consumer_id]
+        consumer_home = self._consumer_home[consumer_id]
+        class_home = self.home_of_class(event_type)
+        if class_home == consumer_home:
+            return consumer.subscribe(event_type, handler)
+
+        controller = self.controller_of(consumer_home)
+        controller.contracts.require_active(
+            consumer_id, self.clock.now(), must_consume=True
+        )
+
+        def deliver(envelope) -> None:
+            notification = NotificationMessage.from_xml(str(envelope.body))
+            controller._record(  # noqa: SLF001 - platform acts as the controller's edge
+                consumer_id, AuditAction.NOTIFY, AuditOutcome.PERMIT,
+                event_id=notification.event_id,
+                event_type=notification.event_type,
+                subject_ref=notification.subject_ref,
+            )
+            consumer.inbox.append(notification)
+            if handler is not None:
+                handler(notification)
+
+        subscription_id = self._routers[consumer_home].subscribe_remote(
+            class_home, consumer.actor, event_type, deliver
+        )
+        consumer._subscription_ids[event_type] = subscription_id  # noqa: SLF001
+        return subscription_id
+
+    # -- requests for details -------------------------------------------------
+
+    def request_details(
+        self, consumer_id: str, event_type: str, event_id: str, purpose: str
+    ) -> DetailMessage:
+        """Resolve a request for details wherever the producer is homed.
+
+        The invariant of the subsystem: the decision is ALWAYS made by the
+        producing gateway's home node — its PDP, its consent registry, its
+        local cooperation gateway.  The consumer's node only forwards,
+        audits the forwarding, and unseals the already-filtered response.
+        """
+        consumer = self._consumers[consumer_id]
+        consumer_home = self._consumer_home[consumer_id]
+        class_home = self.home_of_class(event_type)
+        if class_home == consumer_home:
+            return consumer.request_details_by_id(event_type, event_id, purpose)
+
+        controller = self.controller_of(consumer_home)
+        controller.contracts.require_active(
+            consumer_id, self.clock.now(), must_consume=True
+        )
+        request = DetailRequest(
+            actor=consumer.actor,
+            event_type=event_type,
+            event_id=event_id,
+            purpose=purpose,
+        )
+        try:
+            detail = self._routers[consumer_home].request_remote_details(
+                class_home, request
+            )
+        except AccessDeniedError:
+            controller._record(  # noqa: SLF001
+                consumer_id, AuditAction.DETAIL_REQUEST, AuditOutcome.DENY,
+                event_id=event_id, event_type=event_type, purpose=purpose,
+                detail=f"denied by home node {class_home}",
+            )
+            raise
+        controller._record(  # noqa: SLF001
+            consumer_id, AuditAction.DETAIL_REQUEST, AuditOutcome.PERMIT,
+            event_id=event_id, event_type=event_type, purpose=purpose,
+            detail=f"resolved by home node {class_home}",
+        )
+        return detail
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch_all(self) -> None:
+        """Run dispatch rounds on every node until all queues drain."""
+        for _ in range(64):  # relays can cascade across nodes
+            pending = False
+            for node in self.nodes():
+                if node.controller.bus.pending_messages():
+                    node.controller.bus.dispatch()
+                    pending = True
+            if not pending:
+                return
+        raise FederationError("dispatch did not converge after 64 rounds")
+
+    # -- rebalance -----------------------------------------------------------
+
+    def add_node(self) -> RebalanceReport:
+        """Grow the federation by one node and re-home moved index entries.
+
+        Ring ownership changes first, then the node comes up, then every
+        pre-existing node ships the (still-sealed) entries it no longer
+        owns; finally any in-flight queues are replayed to drain.
+        """
+        existing = self.nodes()
+        node_id = self.membership.add_shard()
+        self._build_node(node_id)
+        moved = sum(node.controller.index.rehome() for node in existing)
+        self.dispatch_all()
+        return RebalanceReport(node_id=node_id, entries_moved=moved)
+
+    # -- federated audit -------------------------------------------------------
+
+    def guarantor_inquiry(
+        self,
+        coordinator_id: str | None = None,
+        event_type: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> FederatedAuditTrail:
+        """A guarantor's audit inquiry fanned out across every node."""
+        node_ids = self.membership.node_ids
+        coordinator = self.membership.node(coordinator_id or node_ids[0])
+        return guarantor_inquiry(
+            coordinator, event_type=event_type, since=since, until=until
+        )
+
+    # -- instrumentation -------------------------------------------------------
+
+    def total_hops(self) -> int:
+        """Cross-node calls delivered over all links so far."""
+        return sum(link.stats.delivered for link in self.membership.links())
+
+    def link_transcripts(self) -> list[str]:
+        """Every wire message that crossed any link (privacy-test surface)."""
+        lines: list[str] = []
+        for link in self.membership.links():
+            lines.extend(link.transcript)
+        return lines
+
+    def record_queue_depths(self) -> None:
+        """Refresh every node's queue-depth gauge."""
+        for node in self.nodes():
+            node.record_queue_depth()

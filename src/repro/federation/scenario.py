@@ -1,0 +1,273 @@
+"""Seeded workload driver for federated deployments.
+
+Mirrors :class:`~repro.sim.scenario.CssScenario` — same synthetic
+population, templates, role policies and seeded workload — but spreads the
+deployment over an N-node :class:`~repro.federation.platform.FederatedPlatform`:
+producers and consumers are homed round-robin, so a fixed share of the
+subscriptions and requests-for-details crosses node boundaries and is
+decided by home-node enforcement.
+
+The report adds the federation-specific figures the benchmark plots:
+cross-node hops, per-node simulated busy time, cluster makespan (the
+busiest node) and the derived notification-routing throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clock import Clock
+from repro.core.events import EventClass
+from repro.exceptions import AccessDeniedError, ConfigurationError
+from repro.federation.platform import FederatedPlatform
+from repro.obs.telemetry import InMemoryTelemetry
+from repro.sim.generators import (
+    SyntheticPopulation,
+    WorkloadGenerator,
+    WorkloadItem,
+    standard_event_templates,
+)
+from repro.sim.scenario import (
+    DEFAULT_CONSUMERS,
+    DEFAULT_PRODUCER_ASSIGNMENT,
+    ROLE_PURPOSES,
+)
+
+
+@dataclass
+class FederatedScenarioConfig:
+    """Knobs of one federated scenario run."""
+
+    nodes: int = 2
+    n_patients: int = 30
+    n_events: int = 200
+    detail_request_rate: float = 0.3
+    seed: int = 2010
+    mean_interarrival: float = 60.0
+    link_latency: float = 0.005
+    #: Privacy-guard mode for a shared in-memory telemetry backend
+    #: (None runs without telemetry).
+    telemetry_guard: str | None = None
+    consumers: tuple[tuple[str, str], ...] = DEFAULT_CONSUMERS
+    producer_assignment: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_PRODUCER_ASSIGNMENT)
+    )
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError("a federation needs at least one node")
+        if not 0.0 <= self.detail_request_rate <= 1.0:
+            raise ConfigurationError("detail_request_rate must be within [0, 1]")
+
+
+@dataclass
+class NodeReport:
+    """Per-node figures of one federated run."""
+
+    node_id: str
+    busy_seconds: float
+    operations: int
+    index_entries: int
+    audit_records: int
+
+
+@dataclass
+class FederatedScenarioReport:
+    """Outcome of one federated scenario run."""
+
+    nodes: int
+    events_published: int
+    events_blocked_by_consent: int
+    notifications_delivered: int
+    detail_requests: int
+    detail_permits: int
+    detail_denies: int
+    cross_node_hops: int
+    makespan_seconds: float
+    routing_throughput: float
+    audit_chains_verified: bool
+    node_reports: list[NodeReport] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Printable run summary."""
+        lines = [
+            "FEDERATED CSS SCENARIO REPORT",
+            "=============================",
+            f"nodes:                   {self.nodes}",
+            f"events published:        {self.events_published}",
+            f"blocked by consent:      {self.events_blocked_by_consent}",
+            f"notifications delivered: {self.notifications_delivered}",
+            f"detail requests:         {self.detail_requests} "
+            f"(permit {self.detail_permits} / deny {self.detail_denies})",
+            f"cross-node hops:         {self.cross_node_hops}",
+            f"makespan (simulated):    {self.makespan_seconds:.3f}s",
+            f"routing throughput:      {self.routing_throughput:.1f} events/s",
+            f"audit chains verified:   {self.audit_chains_verified}",
+        ]
+        for report in self.node_reports:
+            lines.append(
+                f"  {report.node_id}: busy={report.busy_seconds:.3f}s "
+                f"ops={report.operations} index={report.index_entries} "
+                f"audit={report.audit_records}"
+            )
+        return "\n".join(lines)
+
+
+class FederatedScenario:
+    """Builds and drives one federated CSS deployment."""
+
+    def __init__(self, config: FederatedScenarioConfig | None = None) -> None:
+        self.config = config or FederatedScenarioConfig()
+        self.clock = Clock()
+        self.telemetry = None
+        if self.config.telemetry_guard is not None:
+            self.telemetry = InMemoryTelemetry(
+                clock=self.clock,
+                guard_mode=self.config.telemetry_guard,
+                secret=f"css-federation-{self.config.seed}",
+            )
+        self.platform = FederatedPlatform(
+            shards=self.config.nodes,
+            clock=self.clock,
+            seed=f"fedsc-{self.config.seed}",
+            telemetry=self.telemetry,
+            link_latency=self.config.link_latency,
+        )
+        self.templates = standard_event_templates()
+        self.population = SyntheticPopulation(
+            self.config.n_patients, seed=self.config.seed
+        )
+        self.event_classes: dict[str, EventClass] = {}
+        self._rng = random.Random(self.config.seed + 1)
+        self._build()
+
+    # -- setup ------------------------------------------------------------
+
+    def _build(self) -> None:
+        config = self.config
+        # Producers homed round-robin; each class lives on its producer's node.
+        for template_name, producer_id in config.producer_assignment.items():
+            template = self.templates[template_name]
+            if producer_id not in self.platform._producers:  # noqa: SLF001
+                self.platform.add_producer(
+                    producer_id, producer_id.replace("-", " ")
+                )
+            self.event_classes[template_name] = self.platform.declare_event_class(
+                producer_id,
+                template.build_schema(),
+                category=template.category,
+                description=template.schema_factory().documentation,
+            )
+
+        # Consumers homed round-robin; policies defined on the class's home
+        # node (by its producer), subscriptions routed by the platform.
+        for consumer_id, role in config.consumers:
+            self.platform.add_consumer(
+                consumer_id, consumer_id.replace("-", " "), role=role
+            )
+            purpose = ROLE_PURPOSES[role]
+            for template_name, template in self.templates.items():
+                needed = template.needed_fields.get(role)
+                if not needed:
+                    continue
+                producer = self.platform.producer(
+                    config.producer_assignment[template_name]
+                )
+                producer.define_policy(
+                    event_type=template_name,
+                    fields=list(needed),
+                    consumers=[(consumer_id, "unit")],
+                    purposes=[purpose],
+                    label=f"{role} access to {template_name}",
+                )
+                self.platform.subscribe(consumer_id, template_name)
+
+    # -- run -----------------------------------------------------------------
+
+    def generate_workload(self) -> list[WorkloadItem]:
+        """The seeded workload for this configuration."""
+        generator = WorkloadGenerator(seed=self.config.seed)
+        return generator.generate(
+            self.population,
+            self.templates,
+            self.config.n_events,
+            mean_interarrival=self.config.mean_interarrival,
+        )
+
+    def run(self, workload: list[WorkloadItem] | None = None) -> FederatedScenarioReport:
+        """Publish the workload, issue detail requests, collect figures."""
+        config = self.config
+        platform = self.platform
+        items = workload if workload is not None else self.generate_workload()
+        published = blocked = 0
+        requests = permits = denies = 0
+
+        for item in items:
+            producer_id = config.producer_assignment[item.template_name]
+            if item.offset_seconds > self.clock.now():
+                self.clock.set(item.offset_seconds)
+            notification = platform.publish(
+                producer_id,
+                self.event_classes[item.template_name],
+                subject_id=item.patient.patient_id,
+                subject_name=item.patient.name,
+                summary=item.summary,
+                details=dict(item.details),
+            )
+            if notification is None:
+                blocked += 1
+                continue
+            published += 1
+
+            template = self.templates[item.template_name]
+            for consumer_id, role in config.consumers:
+                consumer = platform.consumer(consumer_id)
+                needed = template.needed_fields.get(role)
+                if not needed or not consumer.is_subscribed_to(item.template_name):
+                    continue
+                if self._rng.random() >= config.detail_request_rate:
+                    continue
+                requests += 1
+                try:
+                    platform.request_details(
+                        consumer_id, item.template_name,
+                        notification.event_id, ROLE_PURPOSES[role],
+                    )
+                except AccessDeniedError:
+                    denies += 1
+                    continue
+                permits += 1
+
+        platform.dispatch_all()
+        platform.record_queue_depths()
+        for node in platform.nodes():
+            node.controller.audit_log.verify_integrity()
+
+        makespan = max(node.work.busy_seconds for node in platform.nodes())
+        node_reports = [
+            NodeReport(
+                node_id=node.node_id,
+                busy_seconds=node.work.busy_seconds,
+                operations=node.work.operations,
+                index_entries=len(node.controller.index),
+                audit_records=len(node.controller.audit_log),
+            )
+            for node in platform.nodes()
+        ]
+        return FederatedScenarioReport(
+            nodes=self.config.nodes,
+            events_published=published,
+            events_blocked_by_consent=blocked,
+            notifications_delivered=sum(
+                len(platform.consumer(cid).inbox) for cid, _ in config.consumers
+            ),
+            detail_requests=requests,
+            detail_permits=permits,
+            detail_denies=denies,
+            cross_node_hops=platform.total_hops(),
+            makespan_seconds=makespan,
+            routing_throughput=(published / makespan) if makespan > 0 else 0.0,
+            audit_chains_verified=True,
+            node_reports=node_reports,
+        )

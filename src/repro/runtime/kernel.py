@@ -37,6 +37,7 @@ KIND_AUDIT = "audit"
 KIND_PDP = "pdp"
 KIND_FETCHER = "fetcher"
 KIND_TELEMETRY = "telemetry"
+KIND_FEDERATION = "federation"
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,11 @@ class RuntimeConfig:
     telemetry: str = "noop"
     #: Privacy-guard mode for the telemetry backend ("hash" or "reject").
     telemetry_guard: str = "hash"
+    #: Federation topology: "none" (single controller) or "static"
+    #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
+    federation: str = "none"
+    #: Number of controller nodes when federation is enabled.
+    shards: int = 1
     data_dir: str | Path | None = None
 
 
@@ -205,6 +211,47 @@ def _xacml_enforcer(**context: Any) -> Any:
     )
 
 
+def _no_federation(**context: Any) -> Any:
+    from repro.federation.membership import NoFederation
+
+    return NoFederation()
+
+
+def _static_federation(**context: Any) -> Any:
+    from repro.federation.membership import StaticMembership
+
+    return StaticMembership(
+        shards=context["shards"],
+        clock=context["clock"],
+        master_secret=context["master_secret"],
+        link_latency=context.get("link_latency", 0.005),
+        link_policy=context.get("link_policy"),
+        telemetry=context.get("telemetry"),
+    )
+
+
+def _federated_index(**context: Any) -> Any:
+    from repro.core.index import EventsIndex
+    from repro.federation.index import FederatedIndexStore
+
+    local = EventsIndex(
+        context["keystore"],
+        encrypt_identity=context.get("encrypt_identity", True),
+    )
+    return FederatedIndexStore(
+        local=local,
+        membership=context["membership"],
+        node_id=context["node_id"],
+    )
+
+
+def _shared_telemetry(**context: Any) -> Any:
+    # The federated platform shares one telemetry instance across all its
+    # node controllers; the factory just hands it through the kernel so the
+    # controller's wiring stays uniform.
+    return context["shared_telemetry"]
+
+
 def _endpoint_fetcher(**context: Any) -> Any:
     from repro.runtime.services import EndpointDetailFetcher
 
@@ -224,6 +271,7 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_TRANSPORT, "bus", _service_bus)
     kernel.register(KIND_INDEX, "memory", _memory_index)
     kernel.register(KIND_INDEX, "jsonl", _jsonl_index)
+    kernel.register(KIND_INDEX, "federated", _federated_index)
     kernel.register(KIND_AUDIT, "memory", _memory_audit)
     kernel.register(KIND_AUDIT, "jsonl", _jsonl_audit)
     kernel.register(KIND_PDP, "xacml", _xacml_enforcer)
@@ -231,4 +279,7 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_FETCHER, "direct", _direct_fetcher)
     kernel.register(KIND_TELEMETRY, "noop", _noop_telemetry)
     kernel.register(KIND_TELEMETRY, "inmemory", _inmemory_telemetry)
+    kernel.register(KIND_TELEMETRY, "shared", _shared_telemetry)
+    kernel.register(KIND_FEDERATION, "none", _no_federation)
+    kernel.register(KIND_FEDERATION, "static", _static_federation)
     return kernel

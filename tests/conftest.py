@@ -17,6 +17,7 @@ from repro import (
     DataProducer,
     ElementDecl,
     EventClass,
+    FederatedPlatform,
     MessageSchema,
     Occurs,
     StringType,
@@ -69,6 +70,62 @@ class SmallPlatform:
                 "HivResult": "negative",
             },
         )
+
+
+@dataclass
+class FederatedDeployment:
+    """A 2-node federation: hospital homed on node-0, doctor on node-1."""
+
+    platform: "FederatedPlatform"
+    blood_class: EventClass
+
+    def publish_blood_test(self, subject_id: str = "pat-1",
+                           name: str = "Mario Bianchi", hemoglobin: float = 14.0):
+        """Publish one blood test through the federation facade."""
+        return self.platform.publish(
+            "Hospital-S-Maria", self.blood_class,
+            subject_id=subject_id, subject_name=name,
+            summary=f"blood test completed for {name}",
+            details={
+                "PatientId": subject_id,
+                "Name": name,
+                "Hemoglobin": hemoglobin,
+                "Glucose": 92.0,
+                "HivResult": "negative",
+            },
+        )
+
+
+def build_federation(shards: int = 2, with_policy: bool = True,
+                     **platform_kwargs) -> FederatedDeployment:
+    """The federated twin of ``platform_small``: producer and consumer on
+    different nodes, so every subscription and detail request crosses a link."""
+    platform = FederatedPlatform(shards=shards, seed="fedtest", **platform_kwargs)
+    hospital = platform.add_producer(
+        "Hospital-S-Maria", "Hospital S. Maria", node_id="node-0"
+    )
+    platform.add_consumer(
+        "FamilyDoctors/Dr-Rossi", "Dr. Rossi", role="family-doctor",
+        node_id="node-1" if shards > 1 else "node-0",
+    )
+    blood_class = platform.declare_event_class(
+        "Hospital-S-Maria", blood_test_schema()
+    )
+    if with_policy:
+        hospital.define_policy(
+            event_type="BloodTest",
+            fields=["PatientId", "Name", "Hemoglobin", "Glucose"],
+            consumers=[("FamilyDoctors/Dr-Rossi", "unit")],
+            purposes=["healthcare-treatment"],
+            label="family doctor access",
+        )
+    return FederatedDeployment(platform=platform, blood_class=blood_class)
+
+
+@pytest.fixture()
+def federation_two() -> FederatedDeployment:
+    """A ready 2-node federation with the family-doctor policy in place."""
+    return build_federation()
 
 
 @pytest.fixture()

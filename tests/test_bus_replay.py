@@ -1,0 +1,126 @@
+"""Per-subscription delivery policies and dead-letter replay."""
+
+from repro.bus.broker import ServiceBus
+from repro.bus.delivery import DeliveryPolicy
+
+
+def fresh_bus(max_attempts: int = 3) -> ServiceBus:
+    bus = ServiceBus(
+        auto_dispatch=False,
+        delivery_policy=DeliveryPolicy(max_attempts=max_attempts),
+    )
+    bus.declare_topic("events.t")
+    return bus
+
+
+class TestPerSubscriptionPolicy:
+    def test_override_beats_the_engine_default(self):
+        bus = fresh_bus(max_attempts=3)
+        strict_attempts, patient_attempts = [], []
+
+        def strict(envelope):
+            strict_attempts.append(envelope.message_id)
+            raise RuntimeError("boom")
+
+        def patient(envelope):
+            patient_attempts.append(envelope.message_id)
+            raise RuntimeError("boom")
+
+        bus.subscribe("strict", "events.t", strict,
+                      delivery_policy=DeliveryPolicy(max_attempts=1))
+        bus.subscribe("patient", "events.t", patient)
+        bus.publish("events.t", "s", "x")
+        for _ in range(5):
+            bus.dispatch()
+        # The override budget bounds only its own subscription.
+        assert len(strict_attempts) == 1
+        assert len(patient_attempts) == 3
+        assert bus.dead_letter_depth == 2
+
+    def test_override_can_extend_beyond_the_default(self):
+        bus = fresh_bus(max_attempts=1)
+        attempts = []
+
+        def fails(envelope):
+            attempts.append(envelope.message_id)
+            raise RuntimeError("boom")
+
+        bus.subscribe("retrying", "events.t", fails,
+                      delivery_policy=DeliveryPolicy(max_attempts=4))
+        bus.publish("events.t", "s", "x")
+        for _ in range(6):
+            bus.dispatch()
+        assert len(attempts) == 4
+        assert bus.dead_letter_depth == 1
+
+
+class TestDeadLetterReplay:
+    def test_replay_redelivers_through_the_repaired_handler(self):
+        bus = fresh_bus(max_attempts=1)
+        state = {"fail": True}
+        received = []
+
+        def flaky(envelope):
+            if state["fail"]:
+                raise RuntimeError("boom")
+            received.append(envelope)
+
+        subscription = bus.subscribe("c", "events.t", flaky)
+        bus.publish("events.t", "s", "poison")
+        bus.dispatch()
+        assert bus.dead_letter_depth == 1
+        assert received == []
+
+        state["fail"] = False
+        replayed = bus.replay_dead_letters(subscription.subscription_id)
+        bus.dispatch()
+        assert replayed == 1
+        assert [env.body for env in received] == ["poison"]
+        assert bus.dead_letter_depth == 0
+        # Replays are accounted as redeliveries, not fresh publishes.
+        assert subscription.queue.stats.redelivered >= 1
+
+    def test_replay_takes_only_that_subscriptions_letters(self):
+        bus = fresh_bus(max_attempts=1)
+        received = []
+
+        def fails(envelope):
+            raise RuntimeError("boom")
+
+        broken = bus.subscribe("broken", "events.t", fails)
+        other = bus.subscribe("other", "events.t", fails)
+        bus.publish("events.t", "s", "x")
+        bus.dispatch()
+        assert bus.dead_letter_depth == 2
+        broken_redelivered = broken.queue.stats.redelivered
+
+        assert bus.replay_dead_letters(other.subscription_id) == 1
+        bus.dispatch()  # still failing: parks again
+        assert bus.dead_letter_depth == 2
+        # The broken subscription's letter was never touched by the replay.
+        assert broken.queue.stats.redelivered == broken_redelivered
+        assert broken.queue.depth == 0
+
+    def test_replay_with_empty_dead_letter_queue_is_a_noop(self):
+        bus = fresh_bus()
+        subscription = bus.subscribe("c", "events.t", lambda e: None)
+        assert bus.replay_dead_letters(subscription.subscription_id) == 0
+
+    def test_auto_dispatch_replay_delivers_immediately(self):
+        bus = ServiceBus(delivery_policy=DeliveryPolicy(max_attempts=1))
+        bus.declare_topic("events.t")
+        state = {"fail": True}
+        received = []
+
+        def flaky(envelope):
+            if state["fail"]:
+                raise RuntimeError("boom")
+            received.append(envelope)
+
+        subscription = bus.subscribe("c", "events.t", flaky)
+        bus.publish("events.t", "s", "x")
+        assert bus.dead_letter_depth == 1
+        state["fail"] = False
+        bus.replay_dead_letters(subscription.subscription_id)
+        assert len(received) == 1
+        assert bus.dead_letter_depth == 0

@@ -70,6 +70,30 @@ class TestInspectCommand:
             run_cli("inspect", str(tmp_path / "nothing"))
 
 
+class TestFederateCommand:
+    def test_runs_a_sharded_deployment(self):
+        code, output = run_cli("federate", "--nodes", "2", "--events", "60",
+                               "--patients", "12", "--seed", "5")
+        assert code == 0
+        assert "FEDERATED CSS SCENARIO REPORT" in output
+        assert "nodes:                   2" in output
+        assert "federated audit:" in output
+        assert "2 verified chains" in output
+
+    def test_rebalance_option_reports_the_new_node(self):
+        code, output = run_cli("federate", "--nodes", "2", "--events", "40",
+                               "--patients", "10", "--rebalance")
+        assert code == 0
+        assert "rebalance: added node-2" in output
+
+    def test_telemetry_federated_scenario(self):
+        code, output = run_cli("telemetry", "--scenario", "federated",
+                               "--nodes", "2", "--events", "40",
+                               "--patients", "10")
+        assert code == 0
+        assert "federation.hops_total" in output
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,87 @@
+"""Tests for the federated guarantor inquiry (cross-node audit merge)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exceptions import TamperedLogError
+from tests.conftest import build_federation
+
+
+def active_federation():
+    """A 2-node deployment with audited activity on both nodes."""
+    deployment = build_federation()
+    platform = deployment.platform
+    platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+    notifications = [
+        deployment.publish_blood_test(subject_id=f"pat-{i}") for i in range(4)
+    ]
+    platform.dispatch_all()
+    platform.request_details(
+        "FamilyDoctors/Dr-Rossi", "BloodTest", notifications[0].event_id,
+        "healthcare-treatment",
+    )
+    return deployment
+
+
+class TestGuarantorInquiry:
+    def test_merged_trail_covers_every_node_completely(self):
+        platform = active_federation().platform
+        trail = platform.guarantor_inquiry()
+        per_node_total = sum(
+            len(platform.controller_of(node_id).audit_log.records())
+            for node_id in platform.membership.node_ids
+        )
+        assert len(trail) == per_node_total
+        assert {entry.node_id for entry in trail.entries} == {"node-0", "node-1"}
+
+    def test_trail_is_total_ordered(self):
+        trail = active_federation().platform.guarantor_inquiry()
+        keys = [
+            (e.record.timestamp, e.node_id, e.record.record_id)
+            for e in trail.entries
+        ]
+        assert keys == sorted(keys)
+
+    def test_heads_match_each_node_chain(self):
+        platform = active_federation().platform
+        trail = platform.guarantor_inquiry()
+        for node_id in platform.membership.node_ids:
+            expected = platform.controller_of(node_id).audit_log.head_digest
+            assert trail.heads[node_id] == expected
+
+    def test_any_node_can_coordinate(self):
+        platform = active_federation().platform
+        from_zero = platform.guarantor_inquiry(coordinator_id="node-0")
+        from_one = platform.guarantor_inquiry(coordinator_id="node-1")
+        assert len(from_zero) == len(from_one)
+        assert from_zero.heads == from_one.heads
+
+    def test_event_type_filter_applies_on_every_node(self):
+        platform = active_federation().platform
+        trail = platform.guarantor_inquiry(event_type="BloodTest")
+        assert len(trail) > 0
+        assert all(e.record.event_type == "BloodTest" for e in trail.entries)
+
+    def test_to_text_mentions_every_head(self):
+        trail = active_federation().platform.guarantor_inquiry()
+        text = trail.to_text()
+        assert "node-0 head=" in text
+        assert "node-1 head=" in text
+        assert f"{len(trail)} record(s)" in text
+
+
+class TestTamperEvidence:
+    def test_tampered_peer_chain_fails_the_inquiry(self):
+        platform = active_federation().platform
+        log = platform.controller_of("node-1").audit_log
+        log._records[0] = replace(log._records[0], detail="forged")  # noqa: SLF001
+        with pytest.raises(TamperedLogError):
+            platform.guarantor_inquiry(coordinator_id="node-0")
+
+    def test_tampered_coordinator_chain_fails_too(self):
+        platform = active_federation().platform
+        log = platform.controller_of("node-0").audit_log
+        log._records[0] = replace(log._records[0], detail="forged")  # noqa: SLF001
+        with pytest.raises(TamperedLogError):
+            platform.guarantor_inquiry(coordinator_id="node-0")

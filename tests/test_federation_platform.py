@@ -1,0 +1,204 @@
+"""End-to-end tests for the sharded multi-controller platform."""
+
+import pytest
+
+from repro.bus.delivery import DeliveryPolicy
+from repro.exceptions import FederationError, LinkFailureError, UnknownEventError
+from tests.conftest import build_federation
+
+
+def subject_owned_by(platform, node_id: str) -> str:
+    """A subject id whose index entry the ring assigns to ``node_id``."""
+    for i in range(200):
+        subject_id = f"pat-{i}"
+        if platform.membership.owner_of_subject(subject_id) == node_id:
+            return subject_id
+    raise AssertionError(f"no probe subject hashed onto {node_id}")
+
+
+class TestShardPlacement:
+    def test_entry_lands_on_the_owner_shard_only(self, federation_two):
+        platform = federation_two.platform
+        for node_id in ("node-0", "node-1"):
+            subject = subject_owned_by(platform, node_id)
+            notification = federation_two.publish_blood_test(
+                subject_id=subject, name="Mario Bianchi"
+            )
+            owner_index = platform.controller_of(node_id).index
+            assert notification.event_id in owner_index
+            for other in platform.membership.node_ids:
+                if other != node_id:
+                    assert notification.event_id not in (
+                        platform.controller_of(other).index
+                    )
+
+    def test_remote_store_crosses_exactly_one_link(self, federation_two):
+        platform = federation_two.platform
+        subject = subject_owned_by(platform, "node-1")
+        before = platform.total_hops()
+        federation_two.publish_blood_test(subject_id=subject)
+        assert platform.total_hops() == before + 1
+
+    def test_get_resolves_from_any_node(self, federation_two):
+        platform = federation_two.platform
+        subject = subject_owned_by(platform, "node-1")
+        notification = federation_two.publish_blood_test(subject_id=subject)
+        for node_id in platform.membership.node_ids:
+            found = platform.controller_of(node_id).index.get(
+                notification.event_id
+            )
+            assert found.event_id == notification.event_id
+            assert found.subject_ref == subject  # opened locally, intact
+
+    def test_get_unknown_event_raises(self, federation_two):
+        with pytest.raises(UnknownEventError):
+            federation_two.platform.controller_of("node-0").index.get("ev-nope")
+
+    def test_inquire_fans_out_across_shards(self, federation_two):
+        platform = federation_two.platform
+        published = {
+            federation_two.publish_blood_test(subject_id=f"pat-{i}").event_id
+            for i in range(8)
+        }
+        for node_id in platform.membership.node_ids:
+            results = platform.controller_of(node_id).index.inquire(["BloodTest"])
+            assert {n.event_id for n in results} == published
+
+    def test_count_for_type_is_cluster_wide(self, federation_two):
+        platform = federation_two.platform
+        for i in range(6):
+            federation_two.publish_blood_test(subject_id=f"pat-{i}")
+        for node_id in platform.membership.node_ids:
+            index = platform.controller_of(node_id).index
+            assert index.count_for_type("BloodTest") == 6
+
+
+class TestCrossNodeSubscription:
+    def test_remote_subscription_delivers_to_the_consumer_inbox(
+        self, federation_two
+    ):
+        platform = federation_two.platform
+        platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+        notification = federation_two.publish_blood_test()
+        platform.dispatch_all()
+        doctor = platform.consumer("FamilyDoctors/Dr-Rossi")
+        assert [n.event_id for n in doctor.inbox] == [notification.event_id]
+        # The relay crossed at least one link.
+        assert platform.total_hops() >= 1
+
+    def test_one_relay_is_shared_per_peer_and_topic(self, federation_two):
+        platform = federation_two.platform
+        platform.add_consumer(
+            "FamilyDoctors/Dr-Verdi", "Dr. Verdi", role="family-doctor",
+            node_id="node-1",
+        )
+        federation_two.platform.producer("Hospital-S-Maria").define_policy(
+            event_type="BloodTest",
+            fields=["Hemoglobin"],
+            consumers=[("FamilyDoctors/Dr-Verdi", "unit")],
+            purposes=["healthcare-treatment"],
+        )
+        platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+        platform.subscribe("FamilyDoctors/Dr-Verdi", "BloodTest")
+        home = platform.node("node-0")
+        assert len(home._relays) == 1  # noqa: SLF001 - inspecting relay table
+        federation_two.publish_blood_test()
+        platform.dispatch_all()
+        assert len(platform.consumer("FamilyDoctors/Dr-Rossi").inbox) == 1
+        assert len(platform.consumer("FamilyDoctors/Dr-Verdi").inbox) == 1
+
+
+class TestLinkFailures:
+    def test_scripted_drops_are_retried_within_the_policy_budget(self):
+        deployment = build_federation(
+            link_policy=DeliveryPolicy(max_attempts=3)
+        )
+        platform = deployment.platform
+        subject = subject_owned_by(platform, "node-1")
+        link = platform.membership.link("node-0", "node-1")
+        link.fail_next(2)
+        notification = deployment.publish_blood_test(subject_id=subject)
+        assert notification is not None
+        assert notification.event_id in platform.controller_of("node-1").index
+        assert link.stats.retries >= 2
+        assert link.stats.failed_attempts == 2
+
+    def test_exhausted_budget_raises_link_failure(self):
+        deployment = build_federation(
+            link_policy=DeliveryPolicy(max_attempts=2)
+        )
+        platform = deployment.platform
+        subject = subject_owned_by(platform, "node-1")
+        link = platform.membership.link("node-0", "node-1")
+        link.fail_next(2)
+        with pytest.raises(LinkFailureError):
+            deployment.publish_blood_test(subject_id=subject)
+
+    def test_server_side_errors_are_not_retried(self, federation_two):
+        platform = federation_two.platform
+        link = platform.membership.link("node-1", "node-0")
+        response = link.call("nonsense.op", {})
+        assert response["error"] == "unknown-operation"
+        assert link.stats.retries == 0
+
+
+class TestRebalance:
+    def test_add_node_conserves_entries_without_duplicates(self, federation_two):
+        platform = federation_two.platform
+        published = {
+            federation_two.publish_blood_test(subject_id=f"pat-{i}").event_id
+            for i in range(20)
+        }
+        report = platform.add_node()
+        assert report.node_id == "node-2"
+        assert report.entries_moved >= 0
+        results = platform.controller_of("node-0").index.inquire(["BloodTest"])
+        assert {n.event_id for n in results} == published
+        assert len(results) == len(published)  # withdrawn copies stay hidden
+        # Every live entry sits on its (new) ring owner.
+        live_total = sum(
+            len(platform.controller_of(node_id).index)
+            for node_id in platform.membership.node_ids
+        )
+        assert live_total == len(published)
+
+    def test_moved_entries_land_on_their_new_owner(self, federation_two):
+        platform = federation_two.platform
+        notifications = [
+            federation_two.publish_blood_test(subject_id=f"pat-{i}")
+            for i in range(20)
+        ]
+        platform.add_node()
+        for notification in notifications:
+            owner = platform.membership.owner_of_subject(notification.subject_ref)
+            assert notification.event_id in platform.controller_of(owner).index
+
+    def test_new_node_can_serve_detail_capable_queries(self, federation_two):
+        platform = federation_two.platform
+        notification = federation_two.publish_blood_test(subject_id="pat-1")
+        platform.add_node()
+        found = platform.controller_of("node-2").index.get(notification.event_id)
+        assert found.subject_ref == "pat-1"
+
+
+class TestHoming:
+    def test_rehoming_a_party_is_rejected(self, federation_two):
+        platform = federation_two.platform
+        with pytest.raises(FederationError):
+            platform.add_producer("Hospital-S-Maria", "again", node_id="node-1")
+        with pytest.raises(FederationError):
+            platform.add_consumer("FamilyDoctors/Dr-Rossi", "again")
+
+    def test_unknown_home_node_is_rejected(self, federation_two):
+        with pytest.raises(FederationError):
+            federation_two.platform.add_producer("p2", "P2", node_id="node-9")
+
+    def test_undeclared_class_has_no_home(self, federation_two):
+        with pytest.raises(FederationError):
+            federation_two.platform.home_of_class("XRay")
+
+    def test_home_accessors(self, federation_two):
+        platform = federation_two.platform
+        assert platform.home_of_producer("Hospital-S-Maria") == "node-0"
+        assert platform.home_of_consumer("FamilyDoctors/Dr-Rossi") == "node-1"
+        assert platform.home_of_class("BloodTest") == "node-0"

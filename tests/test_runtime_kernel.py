@@ -49,12 +49,13 @@ class TestKernelRegistry:
     def test_default_wiring_table(self):
         kernel = default_kernel()
         wiring = kernel.wiring()
-        assert wiring["index"] == ("jsonl", "memory")
+        assert wiring["index"] == ("federated", "jsonl", "memory")
         assert wiring["audit"] == ("jsonl", "memory")
         assert wiring["fetcher"] == ("direct", "endpoint")
-        assert wiring["telemetry"] == ("inmemory", "noop")
-        assert set(wiring) == {"audit", "cipher", "fetcher", "index", "pdp",
-                               "telemetry", "transport"}
+        assert wiring["telemetry"] == ("inmemory", "noop", "shared")
+        assert wiring["federation"] == ("none", "static")
+        assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
+                               "index", "pdp", "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()
@@ -66,7 +67,7 @@ class TestKernelRegistry:
     def test_unknown_name_error_lists_implementations_and_suggests(self):
         kernel = default_kernel()
         with pytest.raises(ConfigurationError,
-                           match=r"available: jsonl, memory") as excinfo:
+                           match=r"available: federated, jsonl, memory") as excinfo:
             kernel.create("index", "jsonll")
         assert "did you mean 'jsonl'?" in str(excinfo.value)
         with pytest.raises(ConfigurationError,
