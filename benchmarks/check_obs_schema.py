@@ -1,9 +1,11 @@
 #!/usr/bin/env python
-"""Schema check for ``BENCH_obs.json`` (schema ``css-bench-obs/1``).
+"""Schema check for ``BENCH_obs.json`` (schema ``css-bench-obs/2``).
 
 CI runs the scenario with telemetry enabled, then this script; a missing
 or malformed summary fails the build so the perf trajectory can never
-silently rot.  Usage::
+silently rot.  Schema /2 adds two *optional* sections: ``slo`` (the
+evaluated objective report) and ``stitched_trace`` (the federated
+stitch summary).  Usage::
 
     python benchmarks/check_obs_schema.py BENCH_obs.json
 
@@ -17,7 +19,7 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA_ID = "css-bench-obs/1"
+SCHEMA_ID = "css-bench-obs/2"
 LATENCY_KEYS = ("p50", "p95", "p99", "mean", "min", "max")
 
 
@@ -70,6 +72,58 @@ def validate(payload: object) -> list[str]:
         for name, value in counters.items():
             if not _number(value):
                 problems.append(f"counters[{name!r}] must be a number")
+    if "slo" in payload:
+        problems.extend(_validate_slo(payload["slo"]))
+    if "stitched_trace" in payload:
+        problems.extend(_validate_stitched(payload["stitched_trace"]))
+    return problems
+
+
+def _validate_slo(section: object) -> list[str]:
+    """Violations in the optional ``slo`` section (an SLOReport payload)."""
+    problems: list[str] = []
+    if not isinstance(section, dict):
+        return ["slo must be an object when present"]
+    evaluated_at = section.get("evaluated_at")
+    if not _number(evaluated_at) or evaluated_at < 0:
+        problems.append("slo.evaluated_at must be a non-negative number")
+    breaches = section.get("breaches")
+    if not isinstance(breaches, int) or isinstance(breaches, bool) or breaches < 0:
+        problems.append("slo.breaches must be a non-negative integer")
+    objectives = section.get("objectives")
+    if not isinstance(objectives, list):
+        return problems + ["slo.objectives must be a list"]
+    for index, entry in enumerate(objectives):
+        where = f"slo.objectives[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        target = entry.get("target")
+        if not _number(target) or not 0.0 <= target <= 1.0:
+            problems.append(f"{where}.target must be a number within [0, 1]")
+        if not _number(entry.get("attainment")):
+            problems.append(f"{where}.attainment must be a number")
+        if not isinstance(entry.get("breached"), bool):
+            problems.append(f"{where}.breached must be a boolean")
+        burn_rate = entry.get("burn_rate")
+        if not _number(burn_rate) or burn_rate < 0:
+            problems.append(f"{where}.burn_rate must be a non-negative number")
+    return problems
+
+
+def _validate_stitched(section: object) -> list[str]:
+    """Violations in the optional ``stitched_trace`` summary section."""
+    problems: list[str] = []
+    if not isinstance(section, dict):
+        return ["stitched_trace must be an object when present"]
+    for key in ("traces", "spans", "cross_node_traces", "orphan_spans"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                f"stitched_trace.{key} must be a non-negative integer"
+            )
     return problems
 
 

@@ -160,6 +160,9 @@ class ServiceBus:
         report = self._engine.dispatch_all(self._subscriptions.all_subscriptions())
         if self._telemetry is not None:
             self._telemetry.count("bus.dispatch_rounds_total")
+            if report.dead_lettered:
+                self._telemetry.count("bus.deadletter_total",
+                                      report.dead_lettered)
             self._telemetry.gauge("bus.queue.depth", self.queue_depth)
         return report
 

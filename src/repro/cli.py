@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, all built on the public API::
+Nine subcommands, all built on the public API::
 
     python -m repro scenario  [--events N] [--patients N] [--rate R]
                               [--seed S] [--archive DIR] [--durable DIR]
@@ -10,8 +10,13 @@ Seven subcommands, all built on the public API::
                               [--events N] [--seed S]
                               [--guard hash|reject] [--trace-out FILE]
                               [--metrics-out FILE] [--bench-out FILE]
+                              [--profile] [--slo-out FILE]
     python -m repro federate  [--nodes N] [--events N] [--seed S]
-                              [--rebalance]
+                              [--rebalance] [--slo-out FILE]
+    python -m repro slo       [--scenario default|federated] [--nodes N]
+                              [--drops K] [--slo-out FILE]
+    python -m repro trace     [--scenario default|federated] [--nodes N]
+                              [--stitch] [--out FILE]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -22,11 +27,17 @@ on the JSONL-backed index/audit kernel backends writing into DIR);
 governing body's aggregated view; ``telemetry`` reruns the scenario on
 the in-memory telemetry backend and prints per-stage latency percentiles
 and counters (JSONL trace/metric exports and a ``BENCH_obs.json``-style
-summary on request); ``federate`` runs the same workload sharded over an
-N-node federation and prints per-node figures, the federated guarantor
-inquiry and, with ``--rebalance``, a live add-node rebalance; ``inspect``
-restores an archive and prints its audit summary (verifying the hash
-chain in the process); ``kernel`` prints the service-kernel wiring table.
+summary on request; ``--profile`` attaches the sampling profiler and
+prints where simulated time went); ``federate`` runs the same workload
+sharded over an N-node federation and prints per-node figures, the
+federated guarantor inquiry and, with ``--rebalance``, a live add-node
+rebalance; ``slo`` evaluates the stock service-level objectives over a
+run (``--drops`` scripts link-level degradation so the link-delivery
+objective demonstrably breaches); ``trace`` runs a federation with
+per-node telemetry and stitches the per-node span exports into
+federated traces; ``inspect`` restores an archive and prints its audit
+summary (verifying the hash chain in the process); ``kernel`` prints
+the service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -44,7 +55,7 @@ from repro.baselines import (
     WarehouseBaseline,
 )
 from repro.clock import DAY
-from repro.runtime.kernel import RuntimeConfig, default_kernel
+from repro.runtime.kernel import RuntimeConfig, default_kernel, suggest
 from repro.sim.scenario import (
     DEFAULT_CONSUMERS,
     DEFAULT_PRODUCER_ASSIGNMENT,
@@ -96,6 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="write the metrics snapshot as JSONL to FILE")
     telemetry.add_argument("--bench-out", metavar="FILE",
                            help="write a BENCH_obs.json-style summary to FILE")
+    telemetry.add_argument("--profile", action="store_true",
+                           help="attach the sampling profiler and print "
+                                "where simulated time went")
+    telemetry.add_argument("--slo-out", metavar="FILE",
+                           help="evaluate the stock SLOs and write the "
+                                "report payload as JSON to FILE")
 
     federate = sub.add_parser(
         "federate", help="run the scenario sharded over an N-node federation"
@@ -106,6 +123,39 @@ def _build_parser() -> argparse.ArgumentParser:
     federate.add_argument("--rebalance", action="store_true",
                           help="add a node after the run and re-home the "
                                "moved index entries")
+    federate.add_argument("--slo-out", metavar="FILE",
+                          help="enable telemetry, evaluate the stock SLOs "
+                               "and write the report payload as JSON to FILE")
+
+    slo = sub.add_parser(
+        "slo", help="evaluate service-level objectives over a scenario run"
+    )
+    slo.add_argument("--scenario", default="federated",
+                     help="named scenario preset (default or federated)")
+    slo.add_argument("--nodes", type=int, default=2,
+                     help="federation size for --scenario federated (default 2)")
+    _scenario_options(slo)
+    slo.add_argument("--guard", default="hash", choices=["hash", "reject"],
+                     help="privacy-guard mode for labels/attributes")
+    slo.add_argument("--drops", type=int, default=0,
+                     help="script this many link-level first-attempt drops "
+                          "(federated only; degrades link-delivery)")
+    slo.add_argument("--slo-out", metavar="FILE",
+                     help="write the SLO report payload as JSON to FILE")
+
+    trace = sub.add_parser(
+        "trace", help="distributed tracing: stitch per-node span exports"
+    )
+    trace.add_argument("--scenario", default="federated",
+                       help="named scenario preset (default or federated)")
+    trace.add_argument("--nodes", type=int, default=2,
+                       help="federation size for --scenario federated "
+                            "(default 2)")
+    _scenario_options(trace)
+    trace.add_argument("--stitch", action="store_true",
+                       help="print the stitched federated traces as a table")
+    trace.add_argument("--out", metavar="FILE",
+                       help="write the stitched trace as JSONL to FILE")
 
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
@@ -163,9 +213,31 @@ def _cmd_scenario(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_SCENARIOS = ("default", "federated")
+
+
+def _check_scenario(command: str, name: str) -> None:
+    """Reject unknown scenario presets the way the kernel rejects names."""
+    if name not in _SCENARIOS:
+        raise SystemExit(
+            f"repro {command}: unknown scenario {name!r};"
+            f"{suggest(name, _SCENARIOS)} "
+            f"available: {', '.join(_SCENARIOS)}"
+        )
+
+
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 def _cmd_telemetry(args: argparse.Namespace, out) -> int:
     from repro.obs.benchreport import scenario_summary, write_summary
     from repro.obs.exporters import render_latency_table, render_metrics_table
+    from repro.obs.profiling import SamplingProfiler
     from repro.obs.telemetry import PIPELINE_DURATION, STAGE_DURATION
 
     if args.scenario == "federated":
@@ -176,10 +248,16 @@ def _cmd_telemetry(args: argparse.Namespace, out) -> int:
             detail_request_rate=args.rate, seed=args.seed,
             telemetry_guard=args.guard,
         ))
-        report = scenario.run()
         telemetry = scenario.telemetry
+        if args.profile:
+            telemetry.attach_profiler(
+                SamplingProfiler(clock=telemetry.clock, guard=telemetry.guard))
+        report = scenario.run()
     else:
-        runtime = RuntimeConfig(telemetry="inmemory", telemetry_guard=args.guard)
+        runtime = RuntimeConfig(
+            telemetry="inmemory", telemetry_guard=args.guard,
+            profiling="sampling" if args.profile else "noop",
+        )
         config = ScenarioConfig(
             n_patients=args.patients, n_events=args.events,
             detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
@@ -199,12 +277,21 @@ def _cmd_telemetry(args: argparse.Namespace, out) -> int:
                                unit="simulated s"), file=out)
     print(render_metrics_table(telemetry.metrics), file=out)
     print(f"finished spans: {len(telemetry.tracer.finished_spans())}", file=out)
+    if args.profile and telemetry.profiler is not None:
+        print(telemetry.profiler.to_table(), file=out)
 
     if args.trace_out or args.metrics_out:
         telemetry.dump(trace_path=args.trace_out, metrics_path=args.metrics_out)
         for path in (args.trace_out, args.metrics_out):
             if path:
                 print(f"wrote {path}", file=out)
+    if args.slo_out:
+        from repro.obs.slo import SLOEngine
+
+        report_payload = SLOEngine(telemetry).evaluate().to_payload()
+        _write_json(args.slo_out, report_payload)
+        print(f"wrote {args.slo_out} ({report_payload['breaches']} breaches)",
+              file=out)
     if args.bench_out:
         write_summary(args.bench_out, scenario_summary(
             telemetry, source=f"repro telemetry --scenario {args.scenario} "
@@ -219,6 +306,8 @@ def _cmd_federate(args: argparse.Namespace, out) -> int:
     scenario = FederatedScenario(FederatedScenarioConfig(
         nodes=args.nodes, n_patients=args.patients, n_events=args.events,
         detail_request_rate=args.rate, seed=args.seed,
+        # SLO evaluation needs metric series, so --slo-out turns telemetry on.
+        telemetry_guard="hash" if args.slo_out else None,
     ))
     report = scenario.run()
     print(report.to_text(), file=out)
@@ -229,6 +318,91 @@ def _cmd_federate(args: argparse.Namespace, out) -> int:
         rebalance = scenario.platform.add_node()
         print(f"rebalance: added {rebalance.node_id}, re-homed "
               f"{rebalance.entries_moved} index entries", file=out)
+    if args.slo_out:
+        slo_payload = scenario.slo_report().to_payload()
+        _write_json(args.slo_out, slo_payload)
+        print(f"wrote {args.slo_out} ({slo_payload['breaches']} breaches)",
+              file=out)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace, out) -> int:
+    from repro.obs.slo import SLO_ALERT_TOPIC, SLOEngine
+
+    _check_scenario("slo", args.scenario)
+    if args.scenario == "federated":
+        from repro.federation import FederatedScenario, FederatedScenarioConfig
+
+        scenario = FederatedScenario(FederatedScenarioConfig(
+            nodes=args.nodes, n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed,
+            telemetry_guard=args.guard, scripted_drops=args.drops,
+        ))
+        scenario.run()
+        report = scenario.slo_report()
+    else:
+        runtime = RuntimeConfig(telemetry="inmemory",
+                                telemetry_guard=args.guard, slo="default")
+        config = ScenarioConfig(
+            n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
+        )
+        scenario = CssScenario(config)
+        scenario.run(scenario.generate_workload())
+        controller = scenario.controller
+        report = controller.slo.evaluate()
+        controller.slo.alert(controller.bus, report)
+    print(report.to_text(), file=out)
+    print(f"alerts: {len(report.breaches())} published on {SLO_ALERT_TOPIC}",
+          file=out)
+    if args.slo_out:
+        _write_json(args.slo_out, report.to_payload())
+        print(f"wrote {args.slo_out}", file=out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.obs.exporters import write_jsonl
+    from repro.obs.stitch import (
+        render_stitch_table,
+        stitch,
+        stitch_summary,
+        stitched_lines,
+    )
+
+    _check_scenario("trace", args.scenario)
+    if args.scenario == "federated":
+        from repro.federation import FederatedScenario, FederatedScenarioConfig
+
+        scenario = FederatedScenario(FederatedScenarioConfig(
+            nodes=args.nodes, n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed,
+            telemetry_guard="hash", per_node_telemetry=True,
+        ))
+        scenario.run()
+        exports = scenario.platform.trace_exports()
+        traces = scenario.platform.stitched_trace()
+        rendered = ", ".join(
+            f"{node}={len(lines)}" for node, lines in exports.items())
+        print(f"per-node span exports: {rendered}", file=out)
+    else:
+        runtime = RuntimeConfig(telemetry="inmemory")
+        config = ScenarioConfig(
+            n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
+        )
+        scenario = CssScenario(config)
+        scenario.run(scenario.generate_workload())
+        traces = stitch({"local": scenario.controller.telemetry.trace_export()})
+    summary = stitch_summary(traces)
+    print(f"stitched: {summary['traces']} traces / {summary['spans']} spans "
+          f"({summary['cross_node_traces']} cross-node, "
+          f"{summary['orphan_spans']} orphans)", file=out)
+    if args.stitch:
+        print(render_stitch_table(traces), file=out)
+    if args.out:
+        write_jsonl(args.out, stitched_lines(traces))
+        print(f"wrote {args.out}", file=out)
     return 0
 
 
@@ -241,6 +415,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "index": defaults.index_store, "audit": defaults.audit_sink,
         "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
         "telemetry": defaults.telemetry, "federation": defaults.federation,
+        "slo": defaults.slo, "profiling": defaults.profiling,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -304,6 +479,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "monitor": _cmd_monitor,
         "telemetry": _cmd_telemetry,
         "federate": _cmd_federate,
+        "slo": _cmd_slo,
+        "trace": _cmd_trace,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

@@ -71,6 +71,8 @@ from repro.runtime.kernel import (
     KIND_FETCHER,
     KIND_INDEX,
     KIND_PDP,
+    KIND_PROFILING,
+    KIND_SLO,
     KIND_TELEMETRY,
     KIND_TRANSPORT,
     RuntimeConfig,
@@ -117,6 +119,15 @@ class DataController:
             KIND_TELEMETRY, self.runtime.telemetry,
             clock=self.clock, master_secret=master_secret,
             telemetry_guard=self.runtime.telemetry_guard,
+        )
+        self.profiler = self._create(
+            KIND_PROFILING, self.runtime.profiling,
+            clock=self.clock, telemetry=self.telemetry,
+        )
+        self.telemetry.attach_profiler(self.profiler)
+        self.slo = self._create(
+            KIND_SLO, self.runtime.slo,
+            clock=self.clock, telemetry=self.telemetry,
         )
         self.bus = self._create(
             KIND_TRANSPORT, self.runtime.transport,

@@ -21,6 +21,7 @@ transmission drops, never decisions.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -28,12 +29,18 @@ from repro.bus.delivery import DeliveryPolicy
 from repro.clock import Clock
 from repro.crypto.hashing import canonical_json
 from repro.exceptions import LinkFailureError
+from repro.obs.context import WIRE_KEY, TraceContext
+from repro.obs.profiling import SECTION_LINK_HOP
 
 if TYPE_CHECKING:
     from repro.federation.node import FederationNode
 
 #: Counter of cross-node calls, labelled with guard-hashed node ids.
 HOP_COUNTER = "federation.hops_total"
+#: Counter of transmission attempts (including retried ones).
+LINK_ATTEMPTS = "federation.link.attempts_total"
+#: Counter of dropped transmission attempts (scripted or hooked failures).
+LINK_DROPS = "federation.link.drops_total"
 
 
 @dataclass
@@ -103,33 +110,61 @@ class Link:
         raises :class:`~repro.exceptions.LinkFailureError` once the budget
         is exhausted.  Every wire message (request and response) is
         appended to :attr:`transcript` as canonical JSON.
+
+        With telemetry enabled on the source side the hop runs inside a
+        ``link.call`` span and the wire message carries that span's
+        :class:`~repro.obs.context.TraceContext` — only the two counter-
+        minted ids, never content — so the server side can parent its
+        spans into the caller's trace.
         """
         self.stats.calls += 1
-        wire = canonical_json({"op": operation, "payload": payload})
-        self.transcript.append(wire)
-        self.stats.bytes_carried += len(wire)
-        last_error: LinkFailureError | None = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            if attempt > 1:
-                self.stats.retries += 1
-            self._clock.advance(self.latency)
-            if self._should_fail(operation, payload):
-                self.stats.failed_attempts += 1
-                last_error = LinkFailureError(
-                    f"link {self.source}->{self.target.node_id} dropped "
-                    f"{operation!r} (attempt {attempt}/{self.policy.max_attempts})"
-                )
-                continue
-            response = self.target.handle(operation, payload)
-            response_wire = canonical_json(response)
-            self.transcript.append(response_wire)
-            self.stats.bytes_carried += len(response_wire)
-            self.stats.delivered += 1
-            if self._telemetry is not None:
-                self._telemetry.count(
-                    HOP_COUNTER, source=self._source_label,
-                    target=self._target_label, op=operation,
-                )
-            return response
-        assert last_error is not None
-        raise last_error
+        telemetry = self._telemetry
+        span_scope = (
+            telemetry.span("link.call", op=operation,
+                           source=self._source_label, target=self._target_label)
+            if telemetry is not None else nullcontext()
+        )
+        with span_scope:
+            context = telemetry.current_context() if telemetry is not None else None
+            message: dict[str, object] = {"op": operation, "payload": payload}
+            if context is not None:
+                message[WIRE_KEY] = context.to_wire()
+            wire = canonical_json(message)
+            self.transcript.append(wire)
+            self.stats.bytes_carried += len(wire)
+            started = self._clock.now()
+            last_error: LinkFailureError | None = None
+            for attempt in range(1, self.policy.max_attempts + 1):
+                if attempt > 1:
+                    self.stats.retries += 1
+                self._clock.advance(self.latency)
+                if telemetry is not None:
+                    telemetry.count(LINK_ATTEMPTS, source=self._source_label,
+                                    target=self._target_label)
+                if self._should_fail(operation, payload):
+                    self.stats.failed_attempts += 1
+                    if telemetry is not None:
+                        telemetry.count(LINK_DROPS, source=self._source_label,
+                                        target=self._target_label)
+                    last_error = LinkFailureError(
+                        f"link {self.source}->{self.target.node_id} dropped "
+                        f"{operation!r} (attempt {attempt}/{self.policy.max_attempts})"
+                    )
+                    continue
+                response = self.target.handle(operation, payload, trace=context)
+                response_wire = canonical_json(response)
+                self.transcript.append(response_wire)
+                self.stats.bytes_carried += len(response_wire)
+                self.stats.delivered += 1
+                if telemetry is not None:
+                    telemetry.count(
+                        HOP_COUNTER, source=self._source_label,
+                        target=self._target_label, op=operation,
+                    )
+                    telemetry.profile(
+                        SECTION_LINK_HOP, self._clock.now() - started,
+                        source=self._source_label, target=self._target_label,
+                    )
+                return response
+            assert last_error is not None
+            raise last_error

@@ -46,6 +46,7 @@ class StaticMembership:
         link_latency: float = 0.005,
         link_policy: DeliveryPolicy | None = None,
         telemetry=None,
+        label_guard=None,
     ) -> None:
         if shards < 1:
             raise ConfigurationError("federation needs at least one shard")
@@ -55,6 +56,9 @@ class StaticMembership:
         self.link_policy = link_policy or DeliveryPolicy()
         self._secret = master_secret
         self._telemetry = telemetry
+        # Node-label hashing guard for per-node telemetry deployments,
+        # where no single shared telemetry carries the guard.
+        self._label_guard = label_guard
         self._nodes: dict[str, FederationNode] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._next_shard = 0
@@ -126,11 +130,22 @@ class StaticMembership:
                 clock=self.clock,
                 latency=self.link_latency,
                 policy=self.link_policy,
-                telemetry=self._telemetry,
+                telemetry=self._link_telemetry(source_id),
                 source_label=self.node_label(source_id),
                 target_label=self.node_label(target_id),
             )
         return self._links[key]
+
+    def _link_telemetry(self, source_id: str):
+        """The telemetry a link records against: the *source* node's own
+        backend when it has an enabled one (per-node deployments), else
+        the membership-wide instance (shared deployments, or None)."""
+        node = self._nodes.get(source_id)
+        if node is not None:
+            telemetry = node.controller.telemetry
+            if telemetry is not None and getattr(telemetry, "enabled", False):
+                return telemetry
+        return self._telemetry
 
     def links(self) -> tuple[Link, ...]:
         """Every link created so far (for stats and privacy transcripts)."""
@@ -142,8 +157,9 @@ class StaticMembership:
         """The node id as it may appear in telemetry labels.
 
         Hashed through the telemetry's :class:`~repro.obs.guard.PrivacyGuard`
-        when one is attached, so even infrastructure topology stays
-        pseudonymous in exported metrics.
+        (or the explicit label guard of per-node deployments) when one is
+        attached, so even infrastructure topology stays pseudonymous in
+        exported metrics.
         """
-        guard = getattr(self._telemetry, "guard", None)
+        guard = self._label_guard or getattr(self._telemetry, "guard", None)
         return guard.hash_value(node_id) if guard is not None else node_id

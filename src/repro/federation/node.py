@@ -29,6 +29,7 @@ makespan — and therefore routing throughput — from the busiest node.
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -43,6 +44,8 @@ from repro.exceptions import (
     UnknownEventClassError,
     UnknownEventError,
 )
+from repro.obs.context import TraceContext
+from repro.obs.profiling import SECTION_OPEN, SECTION_SEAL
 
 if TYPE_CHECKING:
     from repro.core.controller import DataController
@@ -122,6 +125,7 @@ class FederationNode:
         token = self.controller.keystore.seal(
             self._channel_key, canonical_json(payload), self._channel_seq
         )
+        self._profile(SECTION_SEAL)
         return {"from": self.node_id, "token": token}
 
     def open_channel(self, sealed: dict) -> dict:
@@ -129,16 +133,47 @@ class FederationNode:
         name = CHANNEL_KEY_PREFIX + sealed["from"]
         keystore = self.controller.keystore
         keystore.create(name)  # deterministic derivation: no key exchange
-        return json.loads(keystore.open_(name, sealed["token"]))
+        opened = json.loads(keystore.open_(name, sealed["token"]))
+        self._profile(SECTION_OPEN)
+        return opened
+
+    def _profile(self, section: str) -> None:
+        # Seal/open is pure computation: the cost model charges no
+        # simulated time, so the profiler records the sample at zero
+        # seconds — crossing counts, not durations.
+        telemetry = self.controller.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.profile(section, 0.0, node=self.label)
 
     # -- server dispatch ---------------------------------------------------
 
-    def handle(self, operation: str, payload: dict) -> dict:
-        """Serve one remote call; domain failures become error responses."""
+    def handle(self, operation: str, payload: dict,
+               trace: TraceContext | None = None) -> dict:
+        """Serve one remote call; domain failures become error responses.
+
+        ``trace`` is the caller's link-span context.  With telemetry
+        enabled the whole operation runs inside a ``federation.<op>``
+        server span parented (possibly remotely) under it, so home-node
+        pipeline and PDP spans nest into the originating trace.
+        """
         handler = self._handlers.get(operation)
         if handler is None:
             return {"error": "unknown-operation", "message": operation}
         self.hops_in += 1
+        telemetry = self.controller.telemetry
+        span_scope = (
+            telemetry.span(f"federation.{operation}", remote_parent=trace,
+                           node=self.label)
+            if telemetry is not None and telemetry.enabled else nullcontext()
+        )
+        with span_scope as span:
+            response = self._dispatch(handler, payload)
+            if span is not None and "error" in response:
+                span.set_attribute(telemetry.guard, "outcome",
+                                   response["error"])
+            return response
+
+    def _dispatch(self, handler: Callable[[dict], dict], payload: dict) -> dict:
         try:
             return handler(payload)
         except AccessDeniedError as exc:

@@ -22,6 +22,7 @@ logical CSS platform:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 from repro.audit.log import AuditAction, AuditOutcome
@@ -37,7 +38,9 @@ from repro.exceptions import AccessDeniedError, FederationError
 from repro.federation.audit import FederatedAuditTrail, guarantor_inquiry
 from repro.federation.node import INDEX_COST, PUBLISH_COST, FederationNode
 from repro.federation.router import FederationRouter
-from repro.obs.telemetry import NoopTelemetry
+from repro.obs.guard import PrivacyGuard
+from repro.obs.stitch import StitchedTrace, stitch
+from repro.obs.telemetry import InMemoryTelemetry, NoopTelemetry
 from repro.runtime.kernel import (
     KIND_FEDERATION,
     RuntimeConfig,
@@ -70,6 +73,8 @@ class FederatedPlatform:
         telemetry=None,
         link_latency: float = 0.005,
         link_policy: DeliveryPolicy | None = None,
+        per_node_telemetry: bool = False,
+        telemetry_guard: str = "hash",
     ) -> None:
         self.clock = clock or Clock()
         self.kernel = kernel or default_kernel()
@@ -78,11 +83,24 @@ class FederatedPlatform:
         self._seed = seed
         self._encrypt_identity = encrypt_identity
         self._base_runtime = runtime or RuntimeConfig()
+        # Per-node telemetry: each node controller records into its own
+        # backend (site-prefixed span ids), all sharing one clock and one
+        # privacy guard so labels hash identically federation-wide; the
+        # platform-level ``telemetry`` then stays a noop and the stitch
+        # module reassembles the distributed trace from the per-node
+        # exports.
+        self.per_node_telemetry = per_node_telemetry
+        self.node_telemetry: dict[str, InMemoryTelemetry] = {}
+        self._node_guard = (
+            PrivacyGuard(mode=telemetry_guard, secret=master_secret)
+            if per_node_telemetry else getattr(self.telemetry, "guard", None)
+        )
         self.membership = self.kernel.create(
             KIND_FEDERATION, "static",
             shards=shards, clock=self.clock, master_secret=master_secret,
             link_latency=link_latency, link_policy=link_policy,
             telemetry=self.telemetry,
+            label_guard=self._node_guard if per_node_telemetry else None,
         )
         self._routers: dict[str, FederationRouter] = {}
         self._producers: dict[str, DataProducer] = {}
@@ -104,6 +122,18 @@ class FederatedPlatform:
             federation="static",
             shards=self.membership.shards,
         )
+        if self.per_node_telemetry:
+            # One backend per node, sharing the federation clock and guard;
+            # the site prefix keeps span ids globally unique so stitched
+            # traces can attribute each span to its node.
+            node_telemetry = InMemoryTelemetry(
+                clock=self.clock,
+                guard=self._node_guard,
+                site=self.membership.node_label(node_id),
+            )
+            self.node_telemetry[node_id] = node_telemetry
+        else:
+            node_telemetry = self.telemetry
         controller = DataController(
             clock=self.clock,
             master_secret=self._master_secret,
@@ -116,7 +146,7 @@ class FederatedPlatform:
             services_context={
                 "membership": self.membership,
                 "node_id": node_id,
-                "shared_telemetry": self.telemetry,
+                "shared_telemetry": node_telemetry,
             },
         )
         node = FederationNode(node_id, controller, self.membership)
@@ -134,6 +164,29 @@ class FederatedPlatform:
     def controller_of(self, node_id: str) -> DataController:
         """The data controller behind one node."""
         return self.membership.node(node_id).controller
+
+    def _node_telemetry(self, node_id: str):
+        """The enabled telemetry a node records into, or ``None``."""
+        telemetry = self.controller_of(node_id).telemetry
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            return telemetry
+        return None
+
+    def _federation_span(self, node_id: str, name: str, home: str):
+        """A consumer-side root span for one cross-node operation.
+
+        Opened on the *origin* node's telemetry so everything downstream —
+        the link hop, the home node's server span, its PDP pipeline —
+        parents under it, labelled only with guard-hashed node ids.
+        """
+        telemetry = self._node_telemetry(node_id)
+        if telemetry is None:
+            return nullcontext()
+        return telemetry.span(
+            name,
+            origin=self.membership.node_label(node_id),
+            home=self.membership.node_label(home),
+        )
 
     def _next_home(self, node_id: str | None) -> str:
         if node_id is not None:
@@ -280,9 +333,12 @@ class FederatedPlatform:
             if handler is not None:
                 handler(notification)
 
-        subscription_id = self._routers[consumer_home].subscribe_remote(
-            class_home, consumer.actor, event_type, deliver
-        )
+        with self._federation_span(
+            consumer_home, "federation.subscribe", class_home
+        ):
+            subscription_id = self._routers[consumer_home].subscribe_remote(
+                class_home, consumer.actor, event_type, deliver
+            )
         consumer._subscription_ids[event_type] = subscription_id  # noqa: SLF001
         return subscription_id
 
@@ -315,9 +371,12 @@ class FederatedPlatform:
             purpose=purpose,
         )
         try:
-            detail = self._routers[consumer_home].request_remote_details(
-                class_home, request
-            )
+            with self._federation_span(
+                consumer_home, "federation.request_details", class_home
+            ):
+                detail = self._routers[consumer_home].request_remote_details(
+                    class_home, request
+                )
         except AccessDeniedError:
             controller._record(  # noqa: SLF001
                 consumer_id, AuditAction.DETAIL_REQUEST, AuditOutcome.DENY,
@@ -395,3 +454,25 @@ class FederatedPlatform:
         """Refresh every node's queue-depth gauge."""
         for node in self.nodes():
             node.record_queue_depth()
+
+    # -- distributed tracing ---------------------------------------------------
+
+    def trace_exports(self) -> dict[str, list[str]]:
+        """Per-node span exports, keyed by node id (sorted iteration order).
+
+        With per-node telemetry each node contributes its own JSONL lines;
+        with one shared enabled backend everything appears under
+        ``"shared"``; with telemetry disabled the dict is empty.
+        """
+        if self.per_node_telemetry:
+            return {
+                node_id: self.node_telemetry[node_id].trace_export()
+                for node_id in sorted(self.node_telemetry)
+            }
+        if getattr(self.telemetry, "enabled", False):
+            return {"shared": self.telemetry.trace_export()}
+        return {}
+
+    def stitched_trace(self) -> tuple[StitchedTrace, ...]:
+        """The per-node exports merged into total-ordered federated traces."""
+        return stitch(self.trace_exports())

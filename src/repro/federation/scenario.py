@@ -21,6 +21,7 @@ from repro.clock import Clock
 from repro.core.events import EventClass
 from repro.exceptions import AccessDeniedError, ConfigurationError
 from repro.federation.platform import FederatedPlatform
+from repro.obs.slo import SLOEngine, SLOReport
 from repro.obs.telemetry import InMemoryTelemetry
 from repro.sim.generators import (
     SyntheticPopulation,
@@ -49,6 +50,13 @@ class FederatedScenarioConfig:
     #: Privacy-guard mode for a shared in-memory telemetry backend
     #: (None runs without telemetry).
     telemetry_guard: str | None = None
+    #: One telemetry backend per node (site-prefixed span ids) instead of
+    #: a shared one — the mode distributed-trace stitching runs in.
+    per_node_telemetry: bool = False
+    #: Drop the first transmission attempt of this many cross-node calls
+    #: (the retry budget redelivers them) — degrades the link-delivery SLO
+    #: without failing any call.
+    scripted_drops: int = 0
     consumers: tuple[tuple[str, str], ...] = DEFAULT_CONSUMERS
     producer_assignment: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_PRODUCER_ASSIGNMENT)
@@ -59,6 +67,8 @@ class FederatedScenarioConfig:
             raise ConfigurationError("a federation needs at least one node")
         if not 0.0 <= self.detail_request_rate <= 1.0:
             raise ConfigurationError("detail_request_rate must be within [0, 1]")
+        if self.scripted_drops < 0:
+            raise ConfigurationError("scripted_drops must be non-negative")
 
 
 @dataclass
@@ -121,7 +131,10 @@ class FederatedScenario:
         self.config = config or FederatedScenarioConfig()
         self.clock = Clock()
         self.telemetry = None
-        if self.config.telemetry_guard is not None:
+        if (
+            self.config.telemetry_guard is not None
+            and not self.config.per_node_telemetry
+        ):
             self.telemetry = InMemoryTelemetry(
                 clock=self.clock,
                 guard_mode=self.config.telemetry_guard,
@@ -133,6 +146,8 @@ class FederatedScenario:
             seed=f"fedsc-{self.config.seed}",
             telemetry=self.telemetry,
             link_latency=self.config.link_latency,
+            per_node_telemetry=self.config.per_node_telemetry,
+            telemetry_guard=self.config.telemetry_guard or "hash",
         )
         self.templates = standard_event_templates()
         self.population = SyntheticPopulation(
@@ -195,10 +210,37 @@ class FederatedScenario:
             mean_interarrival=self.config.mean_interarrival,
         )
 
+    def _install_scripted_drops(self) -> None:
+        """Arm every link to drop the first attempt of the next
+        ``scripted_drops`` cross-node calls.  The shared toggle means the
+        immediate retry of a dropped call always delivers, so the workload
+        completes while the drop counters — and the link-delivery SLO —
+        record the degradation deterministically."""
+        state = {"budget": self.config.scripted_drops, "drop_next": True}
+
+        def hook(operation: str, payload: dict) -> bool:
+            if state["budget"] <= 0:
+                return False
+            if state["drop_next"]:
+                state["drop_next"] = False
+                state["budget"] -= 1
+                return True
+            state["drop_next"] = True
+            return False
+
+        node_ids = self.platform.membership.node_ids
+        for source in node_ids:
+            for target in node_ids:
+                if source != target:
+                    link = self.platform.membership.link(source, target)
+                    link.set_failure_hook(hook)
+
     def run(self, workload: list[WorkloadItem] | None = None) -> FederatedScenarioReport:
         """Publish the workload, issue detail requests, collect figures."""
         config = self.config
         platform = self.platform
+        if config.scripted_drops and config.nodes > 1:
+            self._install_scripted_drops()
         items = workload if workload is not None else self.generate_workload()
         published = blocked = 0
         requests = permits = denies = 0
@@ -271,3 +313,24 @@ class FederatedScenario:
             audit_chains_verified=True,
             node_reports=node_reports,
         )
+
+    # -- service levels ------------------------------------------------------
+
+    def slo_report(self, alert: bool = True) -> SLOReport:
+        """Evaluate the stock objectives over this run's shared telemetry.
+
+        With ``alert`` the breaches are also published as events on
+        node-0's bus (topic ``platform.slo.alerts``), carrying objective
+        names and thresholds only.
+        """
+        if self.telemetry is None:
+            raise ConfigurationError(
+                "slo_report needs the shared telemetry backend: set "
+                "telemetry_guard and leave per_node_telemetry off"
+            )
+        engine = SLOEngine(self.telemetry)
+        report = engine.evaluate()
+        if alert:
+            node_0 = self.platform.membership.node_ids[0]
+            engine.alert(self.platform.controller_of(node_0).bus, report)
+        return report

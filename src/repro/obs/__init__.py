@@ -2,10 +2,14 @@
 
 See :mod:`repro.obs.telemetry` for the kernel-resolved facade,
 :mod:`repro.obs.guard` for the privacy guard that keeps telemetry from
-becoming a side channel, and ``docs/OBSERVABILITY.md`` for the naming
+becoming a side channel, :mod:`repro.obs.context` /
+:mod:`repro.obs.stitch` for cross-node trace propagation and stitching,
+:mod:`repro.obs.slo` for the SLO engine, :mod:`repro.obs.profiling` for
+the deterministic profiler, and ``docs/OBSERVABILITY.md`` for the naming
 scheme and exporter formats.
 """
 
+from repro.obs.context import TraceContext
 from repro.obs.exporters import (
     metric_lines,
     render_latency_table,
@@ -26,6 +30,22 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiling import NoopProfiler, SamplingProfiler
+from repro.obs.slo import (
+    SLO_ALERT_TOPIC,
+    NoopSLOEngine,
+    SLObjective,
+    SLOEngine,
+    SLOReport,
+    SLOStatus,
+    default_objectives,
+)
+from repro.obs.stitch import (
+    StitchedTrace,
+    stitch,
+    stitch_summary,
+    stitched_lines,
+)
 from repro.obs.telemetry import (
     PIPELINE_DURATION,
     PIPELINE_OUTCOMES,
@@ -44,17 +64,31 @@ __all__ = [
     "MODE_HASH",
     "MODE_REJECT",
     "MetricsRegistry",
+    "NoopProfiler",
+    "NoopSLOEngine",
     "NoopTelemetry",
     "PIPELINE_DURATION",
     "PIPELINE_OUTCOMES",
     "PrivacyGuard",
+    "SLO_ALERT_TOPIC",
+    "SLOEngine",
+    "SLOReport",
+    "SLOStatus",
+    "SLObjective",
     "STAGE_DURATION",
+    "SamplingProfiler",
     "Span",
+    "StitchedTrace",
     "TelemetryPrivacyError",
+    "TraceContext",
     "Tracer",
+    "default_objectives",
     "metric_lines",
     "render_latency_table",
     "render_metrics_table",
     "span_lines",
+    "stitch",
+    "stitch_summary",
+    "stitched_lines",
     "write_jsonl",
 ]

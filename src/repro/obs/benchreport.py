@@ -13,16 +13,23 @@ import json
 from pathlib import Path
 
 #: Schema identifier all writers stamp and the checker requires.
-SCHEMA_ID = "css-bench-obs/1"
+#: /2 adds the optional ``slo`` and ``stitched_trace`` sections.
+SCHEMA_ID = "css-bench-obs/2"
 
 #: The latency keys every benchmark entry must carry.
 LATENCY_KEYS = ("p50", "p95", "p99", "mean", "min", "max")
 
 
 def latency_summary(sorted_seconds: list[float]) -> dict[str, float]:
-    """p50/p95/p99 + mean/min/max from pre-sorted raw timings."""
+    """p50/p95/p99 + mean/min/max from pre-sorted raw timings.
+
+    Degenerate series are exact: empty input reports all-zero, a single
+    observation reports the lone value at every key.
+    """
     if not sorted_seconds:
         return {key: 0.0 for key in LATENCY_KEYS}
+    if len(sorted_seconds) == 1:
+        return {key: sorted_seconds[0] for key in LATENCY_KEYS}
 
     def pct(q: float) -> float:
         index = min(len(sorted_seconds) - 1, int(q * len(sorted_seconds)))
@@ -47,11 +54,15 @@ def benchmark_entry(name: str, figure: str, ops_per_second: float,
     }
 
 
-def scenario_summary(telemetry, source: str) -> dict:
+def scenario_summary(telemetry, source: str, slo_report=None,
+                     stitched=None) -> dict:
     """Summarise an :class:`~repro.obs.telemetry.InMemoryTelemetry` run.
 
     One entry per pipeline (simulated-clock latencies); throughput is
-    executions over elapsed simulated time.
+    executions over elapsed simulated time.  ``slo_report`` (an
+    :class:`~repro.obs.slo.SLOReport`) and ``stitched`` (the
+    :func:`~repro.obs.stitch.stitch_summary` dict) fill the optional
+    schema-/2 sections.
     """
     from repro.obs.telemetry import PIPELINE_DURATION
 
@@ -71,12 +82,17 @@ def scenario_summary(telemetry, source: str) -> dict:
         for row in telemetry.metrics.snapshot()
         if row["type"] == "counter"
     }
-    return {
+    summary = {
         "schema": SCHEMA_ID,
         "source": source,
         "benchmarks": entries,
         "counters": counters,
     }
+    if slo_report is not None:
+        summary["slo"] = slo_report.to_payload()
+    if stitched is not None:
+        summary["stitched_trace"] = dict(stitched)
+    return summary
 
 
 def write_summary(path: str | Path, payload: dict) -> Path:

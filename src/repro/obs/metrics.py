@@ -80,11 +80,18 @@ class Histogram:
         self.sum += value
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the ``q``-quantile from bucket counts."""
+        """Upper-bound estimate of the ``q``-quantile from bucket counts.
+
+        Degenerate series are exact, not estimated: an empty histogram
+        reports 0.0 for every quantile and a single-observation one
+        reports the lone value — no bucket arithmetic, no index errors.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         if self.count == 0:
             return 0.0
+        if self.count == 1:
+            return self.max
         rank = q * self.count
         seen = 0
         for index, bucket_count in enumerate(self.counts):
@@ -144,17 +151,22 @@ class MetricsRegistry:
     # -- snapshot ----------------------------------------------------------
 
     def snapshot(self) -> list[dict]:
-        """Every series as a plain dict row, deterministically ordered."""
+        """Every series as a plain dict row, deterministically ordered.
+
+        Labels are emitted in sorted key order (the guard already sorts
+        on sanitise; ``sorted`` here makes the wire contract explicit),
+        so merging snapshots from several federation nodes is byte-stable.
+        """
         rows: list[dict] = []
         for (name, labels), counter in self._counters.items():
             rows.append({"type": "counter", "name": name,
-                         "labels": dict(labels), "value": counter.value})
+                         "labels": dict(sorted(labels)), "value": counter.value})
         for (name, labels), gauge in self._gauges.items():
             rows.append({"type": "gauge", "name": name,
-                         "labels": dict(labels), "value": gauge.value})
+                         "labels": dict(sorted(labels)), "value": gauge.value})
         for (name, labels), histogram in self._histograms.items():
             rows.append({"type": "histogram", "name": name,
-                         "labels": dict(labels), **histogram.summary()})
+                         "labels": dict(sorted(labels)), **histogram.summary()})
         rows.sort(key=lambda row: (row["name"], sorted(row["labels"].items()),
                                    row["type"]))
         return rows
@@ -162,7 +174,39 @@ class MetricsRegistry:
     def histogram_summaries(self, name: str) -> list[tuple[dict[str, str], dict]]:
         """``(labels, summary)`` per series of histogram ``name``, sorted."""
         found = [
-            (dict(labels), histogram.summary())
+            (dict(sorted(labels)), histogram.summary())
+            for (series, labels), histogram in self._histograms.items()
+            if series == name
+        ]
+        found.sort(key=lambda pair: sorted(pair[0].items()))
+        return found
+
+    # -- series iteration (the SLO engine's read surface) --------------------
+
+    def counter_series(self, name: str) -> list[tuple[dict[str, str], Counter]]:
+        """``(labels, counter)`` per series of counter ``name``, sorted."""
+        found = [
+            (dict(sorted(labels)), counter)
+            for (series, labels), counter in self._counters.items()
+            if series == name
+        ]
+        found.sort(key=lambda pair: sorted(pair[0].items()))
+        return found
+
+    def gauge_series(self, name: str) -> list[tuple[dict[str, str], Gauge]]:
+        """``(labels, gauge)`` per series of gauge ``name``, sorted."""
+        found = [
+            (dict(sorted(labels)), gauge)
+            for (series, labels), gauge in self._gauges.items()
+            if series == name
+        ]
+        found.sort(key=lambda pair: sorted(pair[0].items()))
+        return found
+
+    def histogram_series(self, name: str) -> list[tuple[dict[str, str], Histogram]]:
+        """``(labels, histogram)`` per series of histogram ``name``, sorted."""
+        found = [
+            (dict(sorted(labels)), histogram)
             for (series, labels), histogram in self._histograms.items()
             if series == name
         ]

@@ -1,0 +1,147 @@
+"""Stitching per-node span exports into federated traces.
+
+Each federation node exports its own JSONL span trace (one canonical-JSON
+line per finished span).  Because every tracer mints ids under its
+guard-hashed site prefix and remote spans adopt the caller's trace id via
+:class:`~repro.obs.context.TraceContext`, the union of all exports
+already forms coherent trees — this module just merges them, the same
+total-ordering discipline the federated guarantor inquiry applies to
+audit records: deterministic sort keys, no wall clock, byte-identical
+output for byte-identical inputs.
+
+Spans inside a trace are ordered by ``(start, span_id)``; traces by the
+earliest span's start, then trace id.  A parent referenced by a span but
+missing from the merged set (a node's export was not collected) makes
+the span an *orphan* — counted, never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.crypto.hashing import canonical_json
+
+
+def _site_of(span_id: str) -> str:
+    """The site prefix a tracer stamped into an id ('' when unprefixed)."""
+    head, sep, _ = span_id.rpartition("/")
+    return head if sep else ""
+
+
+@dataclass(frozen=True)
+class StitchedTrace:
+    """One federated trace: every node's spans, totally ordered."""
+
+    trace_id: str
+    spans: tuple[dict, ...]
+
+    @property
+    def root(self) -> dict | None:
+        """The span every other span (transitively) parents into, if present."""
+        known = {span["span_id"] for span in self.spans}
+        for span in self.spans:
+            if span["parent_id"] is None or span["parent_id"] not in known:
+                return span
+        return None
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Distinct (hashed) site prefixes contributing spans, sorted."""
+        return tuple(sorted({_site_of(span["span_id"]) for span in self.spans}))
+
+    @property
+    def is_cross_node(self) -> bool:
+        """Whether spans from more than one site joined this trace."""
+        return len(self.sites) > 1
+
+    def orphan_spans(self) -> tuple[dict, ...]:
+        """Spans whose parent is named but absent from the merged set."""
+        known = {span["span_id"] for span in self.spans}
+        return tuple(
+            span for span in self.spans
+            if span["parent_id"] is not None and span["parent_id"] not in known
+        )
+
+    def span_named(self, name: str) -> dict | None:
+        """The first span with the given name, in trace order."""
+        for span in self.spans:
+            if span["name"] == name:
+                return span
+        return None
+
+
+def parse_span_lines(lines: Iterable[str]) -> list[dict]:
+    """JSONL span-export lines back into span dicts."""
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def stitch(
+    exports: Mapping[str, Iterable[str]] | Iterable[str],
+) -> list[StitchedTrace]:
+    """Merge span exports into total-ordered federated traces.
+
+    ``exports`` is either one JSONL export or a mapping of node id →
+    export (the shape :meth:`FederatedPlatform.trace_exports` returns);
+    the mapping keys only scope iteration — ordering and identity come
+    entirely from the span ids, so collection order cannot change the
+    result.
+    """
+    if isinstance(exports, Mapping):
+        spans = [
+            span
+            for key in sorted(exports)
+            for span in parse_span_lines(exports[key])
+        ]
+    else:
+        spans = parse_span_lines(exports)
+
+    by_trace: dict[str, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+
+    traces = []
+    for trace_id, members in by_trace.items():
+        members.sort(key=lambda span: (span["start"], span["span_id"]))
+        traces.append(StitchedTrace(trace_id=trace_id, spans=tuple(members)))
+    traces.sort(key=lambda trace: (trace.spans[0]["start"], trace.trace_id))
+    return traces
+
+
+def stitched_lines(traces: Iterable[StitchedTrace]) -> list[str]:
+    """One canonical-JSON line per span, grouped in stitched trace order."""
+    return [
+        canonical_json(span) for trace in traces for span in trace.spans
+    ]
+
+
+def stitch_summary(traces: list[StitchedTrace]) -> dict:
+    """The ``stitched_trace`` section of a BENCH_obs summary."""
+    return {
+        "traces": len(traces),
+        "spans": sum(len(trace.spans) for trace in traces),
+        "cross_node_traces": sum(1 for trace in traces if trace.is_cross_node),
+        "orphan_spans": sum(len(trace.orphan_spans()) for trace in traces),
+    }
+
+
+def render_stitch_table(traces: list[StitchedTrace], limit: int = 10) -> str:
+    """Console summary of the largest stitched traces."""
+    if not traces:
+        return "(no spans to stitch)"
+    summary = stitch_summary(traces)
+    rendered = [
+        f"stitched {summary['traces']} traces / {summary['spans']} spans "
+        f"({summary['cross_node_traces']} cross-node, "
+        f"{summary['orphan_spans']} orphan spans)",
+        f"  {'trace':<24} {'spans':>5} {'sites':>5}  root",
+    ]
+    largest = sorted(traces, key=lambda t: (-len(t.spans), t.trace_id))[:limit]
+    for trace in largest:
+        root = trace.root
+        rendered.append(
+            f"  {trace.trace_id:<24} {len(trace.spans):>5} "
+            f"{len(trace.sites):>5}  {root['name'] if root else '?'}"
+        )
+    return "\n".join(rendered)

@@ -22,9 +22,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.clock import Clock
+from repro.obs.context import TraceContext
 from repro.obs.exporters import metric_lines, span_lines, write_jsonl
 from repro.obs.guard import MODE_HASH, PrivacyGuard
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import SECTION_STAGE
 from repro.obs.tracing import Tracer
 
 #: Histogram recording per-stage pipeline latency (simulated seconds).
@@ -39,6 +41,7 @@ class NoopTelemetry:
     """The do-nothing backend (telemetry disabled)."""
 
     enabled = False
+    profiler = None
 
     def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
         """No-op."""
@@ -53,12 +56,22 @@ class NoopTelemetry:
         """No-op."""
 
     @contextmanager
-    def span(self, name: str, **attributes: object):
+    def span(self, name: str, remote_parent=None, **attributes: object):
         yield None
 
     @contextmanager
     def stage_span(self, pipeline: str, stage: str):
         yield None
+
+    def current_context(self) -> None:
+        """No open span, ever."""
+        return None
+
+    def attach_profiler(self, profiler) -> None:
+        """No-op — an un-instrumented platform profiles nothing."""
+
+    def profile(self, section: str, seconds: float, **labels: object) -> None:
+        """No-op."""
 
 
 class InMemoryTelemetry:
@@ -72,11 +85,13 @@ class InMemoryTelemetry:
         guard: PrivacyGuard | None = None,
         guard_mode: str = MODE_HASH,
         secret: str = "css-telemetry",
+        site: str = "",
     ) -> None:
         self.clock = clock or Clock()
         self.guard = guard or PrivacyGuard(mode=guard_mode, secret=secret)
         self.metrics = MetricsRegistry(self.guard)
-        self.tracer = Tracer(self.clock, self.guard)
+        self.tracer = Tracer(self.clock, self.guard, site=site)
+        self.profiler = None
 
     # -- metrics -----------------------------------------------------------
 
@@ -98,9 +113,18 @@ class InMemoryTelemetry:
 
     # -- tracing -----------------------------------------------------------
 
-    def span(self, name: str, **attributes: object):
-        """Open a span (child of the current one, or the root of a trace)."""
-        return self.tracer.span(name, **attributes)
+    def span(self, name: str, remote_parent: TraceContext | None = None,
+             **attributes: object):
+        """Open a span (child of the current one, or the root of a trace).
+
+        ``remote_parent`` — a context carried over a federation link —
+        joins the caller's trace when no local span is open.
+        """
+        return self.tracer.span(name, remote_parent=remote_parent, **attributes)
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span as a wire-portable trace context."""
+        return self.tracer.current_context()
 
     @contextmanager
     def stage_span(self, pipeline: str, stage: str):
@@ -113,6 +137,28 @@ class InMemoryTelemetry:
                 span.end = self.clock.now()
                 self.observe(STAGE_DURATION, span.duration,
                              pipeline=pipeline, stage=stage)
+                if self.profiler is not None and self.profiler.enabled:
+                    self.profiler.record(SECTION_STAGE, span.duration,
+                                         pipeline=pipeline, stage=stage)
+
+    # -- profiling ---------------------------------------------------------
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a profiler; an enabled one is never clobbered by a noop.
+
+        The federated platform routes every node controller's kernel-made
+        profiler through here against one shared telemetry, so a sampling
+        profiler attached once must survive later noop attachments.
+        """
+        if profiler is None:
+            return
+        if getattr(profiler, "enabled", False) or self.profiler is None:
+            self.profiler = profiler
+
+    def profile(self, section: str, seconds: float, **labels: object) -> None:
+        """Record one profile sample if an enabled profiler is attached."""
+        if self.profiler is not None and self.profiler.enabled:
+            self.profiler.record(section, seconds, **labels)
 
     # -- export ------------------------------------------------------------
 

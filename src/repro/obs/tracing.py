@@ -9,6 +9,11 @@ the trace-determinism tests diff the JSONL export byte for byte.
 Span attributes pass through the :class:`~repro.obs.guard.PrivacyGuard`
 exactly like metric labels: a span can say *which stage* denied *which
 event type*, never *whose* event it was.
+
+Federation support: a tracer built with a ``site`` prefix (the node's
+guard-hashed label) mints globally unique ids, and ``span(...,
+remote_parent=ctx)`` joins a trace started on another node — the wire
+carries only a :class:`~repro.obs.context.TraceContext`, never content.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.clock import Clock
+from repro.obs.context import TraceContext
 from repro.obs.guard import PrivacyGuard
 
 #: Span status values.
@@ -83,29 +89,47 @@ class _SpanContext:
 class Tracer:
     """Produces spans; propagates parent/child context via an open-span stack."""
 
-    def __init__(self, clock: Clock, guard: PrivacyGuard | None = None) -> None:
+    def __init__(self, clock: Clock, guard: PrivacyGuard | None = None,
+                 site: str = "") -> None:
         self._clock = clock
         self.guard = guard or PrivacyGuard()
+        #: Id prefix distinguishing this tracer's spans across a federation.
+        #: Pass the node's guard-hashed label so exports stay pseudonymous.
+        self.site = site
         self._finished: list[Span] = []
         self._stack: list[Span] = []
         self._trace_counter = 0
         self._span_counter = 0
 
+    def _prefixed(self, body: str) -> str:
+        return f"{self.site}/{body}" if self.site else body
+
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name: str, **attributes: object) -> _SpanContext:
-        """Open a span as a child of the innermost open span (or a new trace)."""
+    def span(self, name: str, remote_parent: TraceContext | None = None,
+             **attributes: object) -> _SpanContext:
+        """Open a span as a child of the innermost open span (or a new trace).
+
+        With no open span, ``remote_parent`` — a context that crossed a
+        federation link — adopts the caller's trace instead of starting a
+        new one; the local stack always wins when non-empty.
+        """
         parent = self._stack[-1] if self._stack else None
-        if parent is None:
-            self._trace_counter += 1
-            trace_id = f"tr-{self._trace_counter:06d}"
-        else:
+        if parent is not None:
             trace_id = parent.trace_id
+            parent_id = parent.span_id
+        elif remote_parent is not None:
+            trace_id = remote_parent.trace_id
+            parent_id = remote_parent.span_id
+        else:
+            self._trace_counter += 1
+            trace_id = self._prefixed(f"tr-{self._trace_counter:06d}")
+            parent_id = None
         self._span_counter += 1
         span = Span(
             trace_id=trace_id,
-            span_id=f"sp-{self._span_counter:06d}",
-            parent_id=parent.span_id if parent else None,
+            span_id=self._prefixed(f"sp-{self._span_counter:06d}"),
+            parent_id=parent_id,
             name=name,
             start=self._clock.now(),
             attributes=dict(self.guard.sanitize(attributes)),
@@ -126,6 +150,13 @@ class Tracer:
     def current_span(self) -> Span | None:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span as a wire-portable context."""
+        span = self.current_span
+        if span is None:
+            return None
+        return TraceContext(trace_id=span.trace_id, span_id=span.span_id)
 
     def finished_spans(self) -> tuple[Span, ...]:
         """Completed spans, in finish order (children before parents)."""

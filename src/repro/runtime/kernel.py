@@ -38,6 +38,8 @@ KIND_PDP = "pdp"
 KIND_FETCHER = "fetcher"
 KIND_TELEMETRY = "telemetry"
 KIND_FEDERATION = "federation"
+KIND_SLO = "slo"
+KIND_PROFILING = "profiling"
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,12 @@ class RuntimeConfig:
     telemetry: str = "noop"
     #: Privacy-guard mode for the telemetry backend ("hash" or "reject").
     telemetry_guard: str = "hash"
+    #: SLO engine: "noop" (default) or "default" (stock objectives over
+    #: the telemetry backend, which must then be enabled).
+    slo: str = "noop"
+    #: Profiler: "noop" (default) or "sampling" (deterministic section
+    #: profiler over the simulated clock, labels guard-hashed).
+    profiling: str = "noop"
     #: Federation topology: "none" (single controller) or "static"
     #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
     federation: str = "none"
@@ -114,9 +122,19 @@ class ServiceKernel:
         return {kind: self.implementations(kind) for kind in self.kinds()}
 
 
-def _suggest(typo: str, known) -> str:
+def suggest(typo: str, known) -> str:
+    """A did-you-mean fragment for error messages (empty if no close match).
+
+    Public because the CLI reuses the kernel's suggestion discipline for
+    its own enumerations (scenario names, ...), so every "unknown X"
+    error in the platform reads the same way.
+    """
     matches = get_close_matches(typo, list(known), n=1)
     return f" did you mean {matches[0]!r}?" if matches else ""
+
+
+#: Backwards-compatible private alias (pre-dating the public helper).
+_suggest = suggest
 
 
 def _data_file(context: dict, filename: str) -> Path:
@@ -227,6 +245,7 @@ def _static_federation(**context: Any) -> Any:
         link_latency=context.get("link_latency", 0.005),
         link_policy=context.get("link_policy"),
         telemetry=context.get("telemetry"),
+        label_guard=context.get("label_guard"),
     )
 
 
@@ -242,6 +261,37 @@ def _federated_index(**context: Any) -> Any:
         local=local,
         membership=context["membership"],
         node_id=context["node_id"],
+    )
+
+
+def _noop_slo(**context: Any) -> Any:
+    from repro.obs.slo import NoopSLOEngine
+
+    return NoopSLOEngine()
+
+
+def _default_slo(**context: Any) -> Any:
+    from repro.obs.slo import SLOEngine
+
+    return SLOEngine(
+        telemetry=context["telemetry"],
+        objectives=context.get("objectives"),
+    )
+
+
+def _noop_profiler(**context: Any) -> Any:
+    from repro.obs.profiling import NoopProfiler
+
+    return NoopProfiler()
+
+
+def _sampling_profiler(**context: Any) -> Any:
+    from repro.obs.profiling import SamplingProfiler
+
+    telemetry = context.get("telemetry")
+    return SamplingProfiler(
+        clock=context["clock"],
+        guard=getattr(telemetry, "guard", None),
     )
 
 
@@ -282,4 +332,8 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_TELEMETRY, "shared", _shared_telemetry)
     kernel.register(KIND_FEDERATION, "none", _no_federation)
     kernel.register(KIND_FEDERATION, "static", _static_federation)
+    kernel.register(KIND_SLO, "noop", _noop_slo)
+    kernel.register(KIND_SLO, "default", _default_slo)
+    kernel.register(KIND_PROFILING, "noop", _noop_profiler)
+    kernel.register(KIND_PROFILING, "sampling", _sampling_profiler)
     return kernel

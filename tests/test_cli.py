@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -92,6 +93,80 @@ class TestFederateCommand:
                                "--patients", "10")
         assert code == 0
         assert "federation.hops_total" in output
+
+    def test_slo_out_writes_report_payload(self, tmp_path):
+        report = tmp_path / "slo.json"
+        code, output = run_cli("federate", "--nodes", "2", "--events", "40",
+                               "--patients", "10", "--slo-out", str(report))
+        assert code == 0
+        payload = json.loads(report.read_text())
+        names = {row["name"] for row in payload["objectives"]}
+        assert "link-delivery" in names and "request-details-latency" in names
+
+
+class TestTelemetryObservability:
+    def test_profile_prints_the_profiler_table(self):
+        code, output = run_cli("telemetry", "--scenario", "default",
+                               "--events", "30", "--profile")
+        assert code == 0
+        assert "pipeline.stage" in output
+        assert "pipeline=publish,stage=crypto" in output
+
+    def test_slo_out_writes_evaluated_objectives(self, tmp_path):
+        report = tmp_path / "slo.json"
+        code, _ = run_cli("telemetry", "--scenario", "default", "--events",
+                          "30", "--slo-out", str(report))
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["breaches"] >= 0
+        assert all(0.0 <= row["target"] <= 1.0
+                   for row in payload["objectives"])
+
+
+class TestSloCommand:
+    def test_scripted_drops_breach_link_delivery(self, tmp_path):
+        report = tmp_path / "slo.json"
+        code, output = run_cli("slo", "--scenario", "federated", "--nodes",
+                               "2", "--events", "60", "--patients", "10",
+                               "--drops", "2", "--slo-out", str(report))
+        assert code == 0
+        assert "link-delivery" in output
+        assert "BREACH" in output
+        assert "platform.slo.alerts" in output
+        payload = json.loads(report.read_text())
+        by_name = {row["name"]: row for row in payload["objectives"]}
+        assert by_name["link-delivery"]["breached"] is True
+
+    def test_default_scenario_evaluates_local_objectives(self):
+        code, output = run_cli("slo", "--scenario", "default",
+                               "--events", "30")
+        assert code == 0
+        assert "request-details-latency" in output
+
+    def test_unknown_scenario_suggests_the_nearest(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("slo", "--scenario", "federatd")
+        assert "did you mean 'federated'?" in str(excinfo.value)
+
+
+class TestTraceCommand:
+    def test_stitches_a_federated_run(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        code, output = run_cli("trace", "--scenario", "federated", "--nodes",
+                               "2", "--events", "30", "--patients", "8",
+                               "--stitch", "--out", str(out))
+        assert code == 0
+        assert "stitched" in output
+        assert "cross-node" in output
+        assert "0 orphan spans" in output
+        lines = out.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["span_id"] for line in lines)
+
+    def test_unknown_scenario_suggests_the_nearest(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("trace", "--scenario", "defalt")
+        assert "did you mean 'default'?" in str(excinfo.value)
 
 
 class TestParser:

@@ -199,3 +199,70 @@ class TestFederationTelemetry:
             assert "node-" not in row["labels"]["source"]
         for row in depths:
             assert row["labels"]["node"].startswith("h:")
+
+
+class TestTraceContextWirePrivacy:
+    def test_untraced_deployments_put_no_trace_key_on_the_wire(
+        self, federation_two
+    ):
+        platform = federation_two.platform
+        platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+        federation_two.publish_blood_test()
+        platform.dispatch_all()
+        for line in platform.link_transcripts():
+            assert '"trace"' not in line
+
+    def test_wire_trace_context_is_two_counter_ids_and_nothing_else(self):
+        import json
+        import re
+
+        deployment = build_federation(per_node_telemetry=True)
+        platform = deployment.platform
+        platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+        notification = deployment.publish_blood_test(
+            subject_id="pat-secret-9", name="Maria Rossi"
+        )
+        platform.dispatch_all()
+        platform.request_details(
+            "FamilyDoctors/Dr-Rossi", "BloodTest", notification.event_id,
+            "healthcare-treatment",
+        )
+
+        # Site prefix = guard-hashed node label; ids are counter-minted.
+        identifier = re.compile(r"^(h:[0-9a-f]+/)?(tr|sp)-\d+$")
+        carried = 0
+        for line in platform.link_transcripts():
+            assert "pat-secret" not in line
+            assert "Maria Rossi" not in line
+            message = json.loads(line)
+            if "trace" not in message:
+                continue
+            carried += 1
+            context = message["trace"]
+            # Exactly two id fields — no baggage slot to smuggle content.
+            assert set(context) == {"trace_id", "span_id"}
+            assert identifier.match(context["trace_id"])
+            assert identifier.match(context["span_id"])
+        assert carried > 0
+
+    def test_per_node_span_exports_stay_pseudonymous(self):
+        deployment = build_federation(per_node_telemetry=True)
+        platform = deployment.platform
+        platform.subscribe("FamilyDoctors/Dr-Rossi", "BloodTest")
+        notification = deployment.publish_blood_test(
+            subject_id="pat-secret-3", name="Maria Rossi"
+        )
+        platform.dispatch_all()
+        platform.request_details(
+            "FamilyDoctors/Dr-Rossi", "BloodTest", notification.event_id,
+            "healthcare-treatment",
+        )
+        exports = platform.trace_exports()
+        assert set(exports) == {"node-0", "node-1"}
+        everything = "\n".join(line for lines in exports.values()
+                               for line in lines)
+        assert everything
+        assert "pat-secret" not in everything
+        assert "Maria Rossi" not in everything
+        # Even node ids appear only as guard hashes in span ids/labels.
+        assert "node-0" not in everything and "node-1" not in everything

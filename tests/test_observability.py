@@ -370,3 +370,386 @@ class TestExporters:
         assert "bus.published_total{topic=t}" in metrics_table
         assert "p95" in latency_table
         assert "pipeline=publish,stage=crypto" in latency_table
+
+
+# ---------------------------------------------------------------------------
+# Histogram / latency-summary edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramEdgeCases:
+    def test_quantile_of_empty_histogram_is_zero(self):
+        histogram = Histogram()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+        assert histogram.summary()["p95"] == 0.0
+
+    def test_quantile_of_single_observation_is_that_value(self):
+        histogram = Histogram(boundaries=(0.1, 0.5, 1.0))
+        histogram.observe(0.3)
+        # One observation: every quantile is the lone value, not the
+        # bucket's upper bound (0.5) the count-based estimate would give.
+        for q in (0.5, 0.95, 0.99):
+            assert histogram.quantile(q) == 0.3
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p99"] == 0.3
+
+    def test_latency_summary_empty_and_single(self):
+        from repro.obs.benchreport import LATENCY_KEYS, latency_summary
+
+        assert latency_summary([]) == {key: 0.0 for key in LATENCY_KEYS}
+        single = latency_summary([0.042])
+        assert single == {key: 0.042 for key in LATENCY_KEYS}
+
+
+# ---------------------------------------------------------------------------
+# Trace context (wire propagation)
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        from repro.obs.context import TraceContext
+
+        context = TraceContext(trace_id="tr-000001", span_id="sp-000002")
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_malformed_wire_payloads_yield_none(self):
+        from repro.obs.context import TraceContext
+
+        for payload in (None, "x", 7, {}, {"trace_id": "tr-1"},
+                        {"trace_id": 3, "span_id": "sp-1"}):
+            assert TraceContext.from_wire(payload) is None
+
+    def test_remote_parent_joins_the_callers_trace(self):
+        from repro.obs.context import TraceContext
+
+        tracer = Tracer(Clock(), site="h:aaa")
+        remote = TraceContext(trace_id="h:bbb/tr-000009",
+                              span_id="h:bbb/sp-000033")
+        with tracer.span("server.op", remote_parent=remote) as span:
+            assert span.trace_id == "h:bbb/tr-000009"
+            assert span.parent_id == "h:bbb/sp-000033"
+            # Children still parent locally, not onto the remote context.
+            with tracer.span("inner") as child:
+                assert child.parent_id == span.span_id
+
+    def test_open_local_span_wins_over_remote_parent(self):
+        from repro.obs.context import TraceContext
+
+        tracer = Tracer(Clock())
+        remote = TraceContext(trace_id="tr-x", span_id="sp-x")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", remote_parent=remote) as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_site_prefix_on_ids(self):
+        tracer = Tracer(Clock(), site="h:abc")
+        with tracer.span("op") as span:
+            assert span.trace_id.startswith("h:abc/tr-")
+            assert span.span_id.startswith("h:abc/sp-")
+
+
+# ---------------------------------------------------------------------------
+# Profiler
+# ---------------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_noop_profiler_is_inert(self):
+        from repro.obs.profiling import NoopProfiler
+
+        profiler = NoopProfiler()
+        assert profiler.enabled is False
+        profiler.record("pipeline.stage", 0.5, pipeline="publish")
+        assert profiler.snapshot() == []
+        assert profiler.profile_lines() == []
+
+    def test_sampling_profiler_attributes_time_per_section(self):
+        from repro.obs.profiling import SamplingProfiler
+
+        profiler = SamplingProfiler(clock=Clock())
+        profiler.record("pipeline.stage", 0.2, stage="decide")
+        profiler.record("pipeline.stage", 0.4, stage="decide")
+        profiler.record("link.hop", 0.1, source="a", target="b")
+        rows = profiler.snapshot()
+        assert len(rows) == 2
+        by_section = {row["section"]: row for row in rows}
+        stage = by_section["pipeline.stage"]
+        assert stage["samples"] == 2
+        assert stage["seconds"] == pytest.approx(0.6)
+        assert stage["mean"] == pytest.approx(0.3)
+        assert profiler.total_seconds() == pytest.approx(0.7)
+
+    def test_profiler_labels_pass_the_guard(self):
+        from repro.obs.profiling import SamplingProfiler
+
+        guard = PrivacyGuard(secret="s")
+        profiler = SamplingProfiler(clock=Clock(), guard=guard)
+        profiler.record("pipeline.stage", 0.1, subject_ref="pat-17")
+        row = profiler.snapshot()[0]
+        assert row["labels"]["subject_ref"].startswith("h:")
+        assert "pat-17" not in json.dumps(profiler.snapshot())
+        assert "pat-17" not in "".join(profiler.profile_lines())
+
+    def test_enabled_profiler_survives_noop_attachments(self):
+        from repro.obs.profiling import NoopProfiler, SamplingProfiler
+
+        telemetry = InMemoryTelemetry(clock=Clock())
+        sampling = SamplingProfiler(clock=telemetry.clock)
+        telemetry.attach_profiler(sampling)
+        telemetry.attach_profiler(NoopProfiler())  # later noop must not clobber
+        assert telemetry.profiler is sampling
+        telemetry.profile("link.hop", 0.2, source="a", target="b")
+        assert sampling.total_seconds() == pytest.approx(0.2)
+
+    def test_stage_spans_feed_the_profiler(self):
+        from repro.obs.profiling import SECTION_STAGE, SamplingProfiler
+
+        controller, hospital, blood, doctor = telemetry_platform()
+        telemetry = controller.telemetry
+        telemetry.attach_profiler(
+            SamplingProfiler(clock=telemetry.clock, guard=telemetry.guard))
+        publish_one(hospital, blood)
+        sections = {row["section"] for row in telemetry.profiler.snapshot()}
+        assert SECTION_STAGE in sections
+
+    def test_kernel_resolves_profiling_backends(self):
+        from repro.obs.profiling import NoopProfiler, SamplingProfiler
+
+        runtime = RuntimeConfig(telemetry="inmemory", profiling="sampling")
+        controller = DataController(seed="prof", runtime=runtime)
+        assert isinstance(controller.profiler, SamplingProfiler)
+        assert controller.telemetry.profiler is controller.profiler
+        noop = DataController(seed="prof2")
+        assert isinstance(noop.profiler, NoopProfiler)
+
+
+# ---------------------------------------------------------------------------
+# SLO engine
+# ---------------------------------------------------------------------------
+
+
+class TestSLOEngine:
+    def make_telemetry(self):
+        return InMemoryTelemetry(clock=Clock())
+
+    def test_objective_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.obs.slo import SLObjective
+
+        with pytest.raises(ConfigurationError, match="unknown SLO kind"):
+            SLObjective(name="x", kind="nope", metric="m", target=0.9)
+        with pytest.raises(ConfigurationError, match="target"):
+            SLObjective(name="x", kind="ratio", metric="m", target=1.5,
+                        bad_metric="b")
+        with pytest.raises(ConfigurationError, match="bad_metric"):
+            SLObjective(name="x", kind="ratio", metric="m", target=0.9)
+
+    def test_engine_requires_enabled_telemetry(self):
+        from repro.exceptions import ConfigurationError
+        from repro.obs.slo import SLOEngine
+
+        with pytest.raises(ConfigurationError, match="enabled telemetry"):
+            SLOEngine(NoopTelemetry())
+
+    def test_noop_engine_is_inert(self):
+        from repro.obs.slo import NoopSLOEngine
+
+        engine = NoopSLOEngine()
+        assert engine.enabled is False
+        report = engine.evaluate()
+        assert report.statuses == () and report.breaches() == ()
+        assert engine.alert(bus=None) == 0
+
+    def test_latency_attainment_counts_bucket_observations(self):
+        from repro.obs.slo import KIND_LATENCY, SLOEngine, SLObjective
+
+        telemetry = self.make_telemetry()
+        for value in (0.01, 0.02, 0.03, 0.2):  # 3 of 4 within 50ms
+            telemetry.observe(PIPELINE_DURATION, value,
+                              pipeline="request-details")
+        objective = SLObjective(
+            name="lat", kind=KIND_LATENCY, metric=PIPELINE_DURATION,
+            labels=(("pipeline", "request-details"),),
+            target=0.95, threshold=0.05,
+        )
+        engine = SLOEngine(telemetry, objectives=(objective,))
+        status = engine.evaluate().statuses[0]
+        assert status.attainment == pytest.approx(0.75)
+        assert status.breached is True
+        assert status.burn_rate == pytest.approx(0.25 / 0.05)
+
+    def test_ratio_attainment_and_breach(self):
+        from repro.obs.slo import KIND_RATIO, SLOEngine, SLObjective
+
+        telemetry = self.make_telemetry()
+        telemetry.count("link.attempts_total", 100)
+        telemetry.count("link.drops_total", 2)
+        objective = SLObjective(
+            name="delivery", kind=KIND_RATIO, metric="link.attempts_total",
+            bad_metric="link.drops_total", target=0.999,
+        )
+        status = SLOEngine(telemetry, objectives=(objective,)) \
+            .evaluate().statuses[0]
+        assert status.attainment == pytest.approx(0.98)
+        assert status.breached is True
+
+    def test_level_objective_checks_every_gauge(self):
+        from repro.obs.slo import KIND_LEVEL, SLOEngine, SLObjective
+
+        telemetry = self.make_telemetry()
+        telemetry.gauge("queue.depth", 0.0, node="a")
+        telemetry.gauge("queue.depth", 3.0, node="b")
+        objective = SLObjective(name="drained", kind=KIND_LEVEL,
+                                metric="queue.depth", target=1.0,
+                                threshold=0.0)
+        status = SLOEngine(telemetry, objectives=(objective,)) \
+            .evaluate().statuses[0]
+        assert status.attainment == 0.0 and status.breached is True
+
+    def test_unmeasured_objectives_are_vacuously_met(self):
+        from repro.obs.slo import SLOEngine, default_objectives
+
+        telemetry = self.make_telemetry()
+        report = SLOEngine(telemetry).evaluate()
+        assert len(report.statuses) == len(default_objectives())
+        assert report.breaches() == ()
+        assert all(s.attainment == 1.0 for s in report.statuses)
+
+    def test_alert_publishes_one_event_per_breach(self):
+        from repro.bus.broker import ServiceBus
+        from repro.obs.slo import (
+            KIND_RATIO,
+            SLO_ALERT_TOPIC,
+            SLOEngine,
+            SLObjective,
+        )
+
+        telemetry = self.make_telemetry()
+        telemetry.count("total", 10)
+        telemetry.count("bad", 5)
+        objective = SLObjective(name="half-bad", kind=KIND_RATIO,
+                                metric="total", bad_metric="bad", target=0.9)
+        engine = SLOEngine(telemetry, objectives=(objective,))
+        bus = ServiceBus(clock=telemetry.clock)
+        received = []
+        bus.declare_topic(SLO_ALERT_TOPIC)
+        bus.subscribe("operator", SLO_ALERT_TOPIC,
+                      lambda envelope: received.append(envelope))
+        assert engine.alert(bus) == 1
+        assert len(received) == 1
+        body = json.loads(received[0].body)
+        assert body["alert"] == "slo-breach"
+        assert body["name"] == "half-bad" and body["breached"] is True
+
+    def test_alert_bodies_carry_only_metric_vocabulary(self):
+        # The privacy contract of alerting: an alert body is exactly the
+        # status row — objective/metric names, thresholds, attainment —
+        # never labels, payloads or anything a guard would have to hash.
+        from repro.bus.broker import ServiceBus
+        from repro.obs.slo import (
+            KIND_RATIO,
+            SLO_ALERT_TOPIC,
+            SLOEngine,
+            SLObjective,
+        )
+
+        telemetry = self.make_telemetry()
+        telemetry.count("total", 4, subject_ref="pat-9")
+        telemetry.count("bad", 4, subject_ref="pat-9")
+        objective = SLObjective(name="all-bad", kind=KIND_RATIO,
+                                metric="total", bad_metric="bad", target=0.5)
+        engine = SLOEngine(telemetry, objectives=(objective,))
+        bus = ServiceBus(clock=telemetry.clock)
+        received = []
+        bus.declare_topic(SLO_ALERT_TOPIC)
+        bus.subscribe("operator", SLO_ALERT_TOPIC,
+                      lambda envelope: received.append(envelope))
+        engine.alert(bus)
+        body = json.loads(received[0].body)
+        assert set(body) == {"alert", "evaluated_at", "name", "kind",
+                             "metric", "target", "threshold", "attainment",
+                             "observed", "breached", "error_budget",
+                             "burn_rate"}
+        assert "pat-9" not in received[0].body
+
+    def test_report_text_and_payload_round_trip(self):
+        from repro.obs.slo import SLOEngine
+
+        telemetry = self.make_telemetry()
+        report = SLOEngine(telemetry).evaluate()
+        assert "SLO REPORT" in report.to_text()
+        payload = report.to_payload()
+        assert payload["breaches"] == 0
+        assert len(payload["objectives"]) == len(report.statuses)
+
+    def test_kernel_resolves_slo_backends(self):
+        from repro.obs.slo import NoopSLOEngine, SLOEngine
+
+        runtime = RuntimeConfig(telemetry="inmemory", slo="default")
+        controller = DataController(seed="slo", runtime=runtime)
+        assert isinstance(controller.slo, SLOEngine)
+        assert isinstance(DataController(seed="slo2").slo, NoopSLOEngine)
+
+
+# ---------------------------------------------------------------------------
+# Stitching
+# ---------------------------------------------------------------------------
+
+
+class TestStitch:
+    def spans_for(self, site: str, clock: Clock, guard=None):
+        return Tracer(clock, guard, site=site)
+
+    def test_stitch_merges_sites_into_one_trace(self):
+        from repro.obs.context import TraceContext
+        from repro.obs.exporters import span_lines
+        from repro.obs.stitch import stitch, stitch_summary
+
+        clock = Clock()
+        client = Tracer(clock, site="h:aaa")
+        server = Tracer(clock, site="h:bbb")
+        with client.span("client.op") as root:
+            clock.advance(0.1)
+            context = TraceContext(trace_id=root.trace_id,
+                                   span_id=root.span_id)
+            with server.span("server.op", remote_parent=context):
+                clock.advance(0.1)
+        traces = stitch({"a": span_lines(client.finished_spans()),
+                         "b": span_lines(server.finished_spans())})
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.is_cross_node and trace.sites == ("h:aaa", "h:bbb")
+        assert trace.root["name"] == "client.op"
+        assert trace.orphan_spans() == ()
+        summary = stitch_summary(traces)
+        assert summary == {"traces": 1, "spans": 2,
+                           "cross_node_traces": 1, "orphan_spans": 0}
+
+    def test_stitched_lines_are_deterministic(self):
+        from repro.obs.exporters import span_lines
+        from repro.obs.stitch import stitch, stitched_lines
+
+        def build():
+            clock = Clock()
+            tracer = Tracer(clock, site="h:x")
+            with tracer.span("a"):
+                clock.advance(0.5)
+            with tracer.span("b"):
+                clock.advance(0.25)
+            return stitched_lines(stitch(span_lines(tracer.finished_spans())))
+
+        assert build() == build()
+
+    def test_orphans_are_counted_not_dropped(self):
+        from repro.obs.stitch import stitch
+
+        lines = [json.dumps({"trace_id": "tr-1", "span_id": "sp-2",
+                             "parent_id": "sp-unknown", "name": "late",
+                             "start": 1.0, "end": 2.0, "duration": 1.0,
+                             "status": "ok", "attributes": {}})]
+        traces = stitch(lines)
+        assert len(traces) == 1
+        assert traces[0].orphan_spans()[0]["span_id"] == "sp-2"

@@ -54,8 +54,11 @@ class TestKernelRegistry:
         assert wiring["fetcher"] == ("direct", "endpoint")
         assert wiring["telemetry"] == ("inmemory", "noop", "shared")
         assert wiring["federation"] == ("none", "static")
+        assert wiring["slo"] == ("default", "noop")
+        assert wiring["profiling"] == ("noop", "sampling")
         assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
-                               "index", "pdp", "telemetry", "transport"}
+                               "index", "pdp", "profiling", "slo",
+                               "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()

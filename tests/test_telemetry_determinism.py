@@ -81,7 +81,7 @@ class TestScenarioSummary:
         assert any("source" in problem for problem in problems)
         assert any("benchmarks" in problem for problem in problems)
         bad_entry = {
-            "schema": "css-bench-obs/1", "source": "x",
+            "schema": "css-bench-obs/2", "source": "x",
             "benchmarks": [{"name": "n", "figure": "f", "ops_per_second": 10,
                             "latency_seconds": {"p50": 2, "p95": 1, "p99": 3,
                                                 "mean": 1, "min": 0, "max": 3}}],
@@ -125,7 +125,7 @@ class TestTelemetryCli:
         assert check_main(["check"]) == 2
         good = tmp_path / "good.json"
         good.write_text(json.dumps({
-            "schema": "css-bench-obs/1", "source": "test",
+            "schema": "css-bench-obs/2", "source": "test",
             "benchmarks": [{"name": "n", "figure": "f", "ops_per_second": 1.0,
                             "latency_seconds": {"p50": 1, "p95": 1, "p99": 1,
                                                 "mean": 1, "min": 1, "max": 1}}],
