@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Hot-path performance trajectory: indexed perf layer vs linear baseline.
+
+Runs the three perf figures (PDP decide, publish fan-out, federated
+request-for-details at 1/2/4/8 nodes) in both ``perf`` modes on identical
+seeded work, checks decisions and audit trails are byte-identical between
+the modes, and writes the ``css-bench-perf/1`` summary.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpath.py \
+        [--quick] [--nodes 1,2,4,8] [--out BENCH_perf.json]
+
+``--quick`` scales every iteration count down for CI; the schema checker
+(``benchmarks/check_perf_schema.py``) validates the output either way and
+fails the build if the indexed PDP-decide path is not at least as fast as
+the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without an installed package
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.perf.bench import run_suite  # noqa: E402
+
+
+def _print_summary(payload: dict) -> None:
+    def line(name: str, section: dict) -> None:
+        indexed = section["indexed"]
+        baseline = section["none"]
+        print(f"{name:<24} indexed {indexed['ops_per_second']:>10.0f} ops/s "
+              f"(p95 {indexed['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
+              f"none {baseline['ops_per_second']:>10.0f} ops/s "
+              f"(p95 {baseline['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
+              f"speedup {section['speedup']:>6.2f}x")
+
+    line("pdp.decide", payload["pdp_decide"])
+    line("publish.fanout", payload["publish_fanout"])
+    for point in payload["federated_details"]:
+        line(f"federated.details@{point['nodes']}", point)
+    equivalence = payload["equivalence"]
+    print(f"equivalence: identical={equivalence['identical']} "
+          f"({equivalence['audit_records']} audit records compared)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down iteration counts (CI)")
+    parser.add_argument("--nodes", default="1,2,4,8",
+                        help="comma-separated federation sizes (default 1,2,4,8)")
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the summary JSON to FILE")
+    args = parser.parse_args(argv)
+
+    try:
+        node_counts = tuple(
+            int(part) for part in args.nodes.split(",") if part.strip()
+        )
+    except ValueError:
+        print("bench_perf_hotpath: --nodes must be comma-separated integers",
+              file=sys.stderr)
+        return 2
+    if not node_counts or any(count < 1 for count in node_counts):
+        print("bench_perf_hotpath: --nodes must be positive integers",
+              file=sys.stderr)
+        return 2
+
+    payload = run_suite(
+        quick=args.quick, node_counts=node_counts, seed=args.seed,
+        source=f"benchmarks/bench_perf_hotpath.py --seed {args.seed}"
+               + (" --quick" if args.quick else ""),
+    )
+    _print_summary(payload)
+
+    if not payload["equivalence"]["identical"]:
+        print("bench_perf_hotpath: indexed and none modes disagree — the "
+              "perf layer changed a decision or an audit record",
+              file=sys.stderr)
+        return 1
+
+    if args.out:
+        target = Path(args.out)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

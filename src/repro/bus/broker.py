@@ -51,11 +51,15 @@ class ServiceBus:
         auto_dispatch: bool = True,
         strict_topics: bool = True,
         telemetry=None,
+        perf=None,
     ) -> None:
         self._clock = clock or Clock()
         self._ids = ids or IdFactory()
         self._topics = TopicTree()
-        self._subscriptions = SubscriptionRegistry()
+        perf = perf if perf is not None and perf.enabled else None
+        self._subscriptions = SubscriptionRegistry(
+            indexed=perf is not None, perf=perf
+        )
         self._engine = DeliveryEngine(delivery_policy)
         self.auto_dispatch = auto_dispatch
         self.strict_topics = strict_topics

@@ -62,10 +62,33 @@ class Subscription:
 
 
 class SubscriptionRegistry:
-    """All subscriptions known to the broker, indexed for fan-out."""
+    """All subscriptions known to the broker, indexed for fan-out.
 
-    def __init__(self) -> None:
+    With ``indexed`` (enabled by the ``perf: indexed`` kernel layer) the
+    registry additionally maintains a segment trie over the subscription
+    patterns plus a per-topic fan-out memo, so :meth:`matching_topic` is
+    independent of the total subscription count.  Both paths return
+    subscriptions in registration order — the property tests assert the
+    two agree on arbitrary pattern/topic sets.
+    """
+
+    def __init__(self, indexed: bool = False, perf=None) -> None:
         self._subscriptions: dict[str, Subscription] = {}
+        self._indexed = indexed
+        self._perf = perf if perf is not None and perf.enabled else None
+        self._order = 0
+        self._order_of: dict[str, int] = {}
+        self._trie = None
+        if indexed:
+            from repro.perf.topic_index import TopicTrie
+
+            self._trie = TopicTrie()
+        self._fanout_memo: dict[str, list[Subscription]] = {}
+
+    @property
+    def indexed(self) -> bool:
+        """Whether the trie/memo fast path is active."""
+        return self._indexed
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -77,13 +100,23 @@ class SubscriptionRegistry:
                 f"duplicate subscription id {subscription.subscription_id!r}"
             )
         self._subscriptions[subscription.subscription_id] = subscription
+        self._order_of[subscription.subscription_id] = self._order
+        if self._trie is not None:
+            self._trie.add(subscription.pattern, self._order, subscription)
+            self._fanout_memo.clear()
+        self._order += 1
 
     def remove(self, subscription_id: str) -> Subscription:
         """Unregister and return a subscription."""
         try:
-            return self._subscriptions.pop(subscription_id)
+            subscription = self._subscriptions.pop(subscription_id)
         except KeyError as exc:
             raise SubscriptionError(f"no subscription {subscription_id!r}") from exc
+        self._order_of.pop(subscription_id, None)
+        if self._trie is not None:
+            self._trie.remove(subscription.pattern, subscription)
+            self._fanout_memo.clear()
+        return subscription
 
     def get(self, subscription_id: str) -> Subscription:
         """Fetch a subscription by id."""
@@ -97,7 +130,30 @@ class SubscriptionRegistry:
         return [sub for sub in self._subscriptions.values() if sub.subscriber == subscriber]
 
     def matching_topic(self, topic: str) -> list[Subscription]:
-        """Every subscription whose pattern matches ``topic``."""
+        """Every subscription whose pattern matches ``topic``.
+
+        Registration order on both paths; the indexed path memoizes the
+        fan-out list per topic until the next subscribe/withdraw.
+        """
+        if self._trie is None:
+            return self.matching_topic_linear(topic)
+        memoized = self._fanout_memo.get(topic)
+        if memoized is not None:
+            if self._perf is not None:
+                self._perf.record_hit("fanout")
+            return list(memoized)
+        if self._perf is not None:
+            self._perf.record_miss("fanout")
+        matching = self._trie.match(topic)
+        self._fanout_memo[topic] = matching
+        return list(matching)
+
+    def matching_topic_linear(self, topic: str) -> list[Subscription]:
+        """The reference linear scan (the ``perf: none`` fan-out path).
+
+        Kept callable on indexed registries too so the equivalence tests
+        can compare both implementations on the same live registry.
+        """
         from repro.bus.topics import topic_matches
 
         return [

@@ -157,6 +157,19 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", metavar="FILE",
                        help="write the stitched trace as JSONL to FILE")
 
+    perf = sub.add_parser(
+        "perf", help="hot-path figures: indexed perf layer vs linear baseline"
+    )
+    perf.add_argument("--scenario", default="kernel",
+                      help="perf scenario preset (kernel or federated)")
+    perf.add_argument("--nodes", type=int, default=2,
+                      help="federation size for --scenario federated (default 2)")
+    perf.add_argument("--seed", type=int, default=2010)
+    perf.add_argument("--full", action="store_true",
+                      help="full iteration counts (default: quick, CI-sized)")
+    perf.add_argument("--out", metavar="FILE",
+                      help="write the css-bench-perf/1 summary JSON to FILE")
+
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
     inspect.add_argument("--secret", default="css-platform-secret",
@@ -416,6 +429,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
         "telemetry": defaults.telemetry, "federation": defaults.federation,
         "slo": defaults.slo, "profiling": defaults.profiling,
+        "perf": defaults.perf,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -455,6 +469,50 @@ def _cmd_monitor(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_PERF_SCENARIOS = ("kernel", "federated")
+
+
+def _cmd_perf(args: argparse.Namespace, out) -> int:
+    if args.scenario not in _PERF_SCENARIOS:
+        raise SystemExit(
+            f"repro perf: unknown scenario {args.scenario!r};"
+            f"{suggest(args.scenario, _PERF_SCENARIOS)} "
+            f"available: {', '.join(_PERF_SCENARIOS)}"
+        )
+    if args.nodes < 1:
+        raise SystemExit("repro perf: --nodes must be a positive integer")
+    from repro.perf.bench import run_suite
+
+    node_counts = (1,) if args.scenario == "kernel" else (args.nodes,)
+    payload = run_suite(
+        quick=not args.full, node_counts=node_counts, seed=args.seed,
+        source=f"repro perf --scenario {args.scenario} --seed {args.seed}",
+    )
+
+    def line(name: str, section: dict) -> None:
+        print(f"  {name:<22} indexed "
+              f"{section['indexed']['ops_per_second']:>10.0f} ops/s   none "
+              f"{section['none']['ops_per_second']:>10.0f} ops/s   "
+              f"speedup {section['speedup']:.2f}x", file=out)
+
+    print(f"perf figures ({args.scenario} scenario, "
+          f"{'full' if args.full else 'quick'} iterations):", file=out)
+    line("pdp.decide", payload["pdp_decide"])
+    line("publish.fanout", payload["publish_fanout"])
+    for point in payload["federated_details"]:
+        line(f"federated.details@{point['nodes']}", point)
+    equivalence = payload["equivalence"]
+    print(f"  equivalence: identical={equivalence['identical']} "
+          f"({equivalence['audit_records']} audit records)", file=out)
+    if not equivalence["identical"]:
+        print("repro perf: indexed and none modes disagree", file=sys.stderr)
+        return 1
+    if args.out:
+        _write_json(args.out, payload)
+        print(f"wrote {args.out}", file=out)
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace, out) -> int:
     controller = PlatformArchive(args.directory).restore(args.secret)
     print(f"restored platform from {args.directory}", file=out)
@@ -481,6 +539,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "federate": _cmd_federate,
         "slo": _cmd_slo,
         "trace": _cmd_trace,
+        "perf": _cmd_perf,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

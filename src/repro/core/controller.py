@@ -71,6 +71,7 @@ from repro.runtime.kernel import (
     KIND_FETCHER,
     KIND_INDEX,
     KIND_PDP,
+    KIND_PERF,
     KIND_PROFILING,
     KIND_SLO,
     KIND_TELEMETRY,
@@ -129,10 +130,14 @@ class DataController:
             KIND_SLO, self.runtime.slo,
             clock=self.clock, telemetry=self.telemetry,
         )
+        self.perf = self._create(
+            KIND_PERF, self.runtime.perf,
+            master_secret=master_secret, telemetry=self.telemetry,
+        )
         self.bus = self._create(
             KIND_TRANSPORT, self.runtime.transport,
             clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, perf=self.perf,
         )
         self.endpoints = EndpointRegistry()
         self.actors = ActorDirectory()
@@ -142,7 +147,7 @@ class DataController:
         self.index = self._create(
             KIND_INDEX, self.runtime.index_store,
             keystore=self.keystore, encrypt_identity=encrypt_identity,
-            data_dir=self.runtime.data_dir,
+            data_dir=self.runtime.data_dir, perf=self.perf,
         )
         self.id_map = EventIdMap()
         self.policies = PolicyRepository()
@@ -155,6 +160,13 @@ class DataController:
         self._gateways: dict[str, CooperationGateway] = {}
         self._consent: dict[str, ConsentRegistry] = {}
         self._identity = None  # optional LocalIdentityProvider (future-work extension)
+        # The perf layer's versioned caches validate against these three
+        # epoch sources; binding happens once they all exist.
+        self.perf.bind(
+            repository=self.policies,
+            consent_resolver=self._consent.get,
+            endpoints=self.endpoints,
+        )
         self._fetcher = self._create(
             KIND_FETCHER, self.runtime.detail_fetcher,
             endpoints=self.endpoints, require_producer=self.gateway_of,
@@ -166,7 +178,7 @@ class DataController:
             purposes=self.purposes, audit_log=self.audit_log,
             clock=self.clock, ids=self.ids,
             consent_resolver=self._consent.get, fetcher=self._fetcher,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, perf=self.perf,
         )
         self.publish_stats = PublishStats()
         self._publish_pipeline = build_publish_pipeline(

@@ -43,6 +43,7 @@ from repro.runtime.interceptors import (
     Invocation,
     build_enforcement_pipeline,
     build_request_context,
+    released_fields,
     resolve_request_entry,
 )
 from repro.runtime.interfaces import DetailFetcher
@@ -117,6 +118,7 @@ class PolicyEnforcer:
         consent_resolver: ConsentResolver | None = None,
         fetcher: DetailFetcher | None = None,
         telemetry=None,
+        perf=None,
     ) -> None:
         if audit_log is None or clock is None or ids is None:
             raise ConfigurationError(
@@ -136,6 +138,9 @@ class PolicyEnforcer:
         self._clock = clock
         self._ids = ids
         self._resolve_consent = consent_resolver or (lambda producer_id: None)
+        from repro.perf import perf_or_none
+
+        self._perf = perf_or_none(perf)
         self._pdp = PolicyDecisionPoint(telemetry=telemetry)
         self._pip = self._build_pip()
         self._pep = PolicyEnforcementPoint(
@@ -163,6 +168,7 @@ class PolicyEnforcer:
             pep=self._pep,
             fetcher=self._fetcher,
             telemetry=telemetry,
+            perf=self._perf,
         )
 
     @property
@@ -225,14 +231,35 @@ class PolicyEnforcer:
         """Policy decision only (no gateway call, no exception on deny).
 
         Used by benchmarks to time the decision path in isolation and by
-        the controller's subscription gating.
+        the controller's subscription gating.  With the indexed perf
+        layer the PDP evaluates only the bucketed candidate policies and
+        repeat decisions replay from the versioned cache — the returned
+        verdict is identical either way.
         """
         try:
             entry = resolve_request_entry(request, self._purposes, self._id_map)
         except AccessDeniedError:
             return False
-        policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
+        perf = self._perf
+        if perf is not None:
+            cached = perf.cached_decision(entry, request)
+            if cached is not None:
+                return cached.permitted
+            policy_set = perf.policy_set_for(entry, request)
+        else:
+            policy_set = self._repository.to_policy_set(
+                entry.producer_id, entry.event_type
+            )
         response = self._pep.authorize(policy_set, build_request_context(request))
+        if perf is not None:
+            perf.store_decision(
+                entry, request,
+                permitted=response.permitted,
+                released_fields=released_fields(response.obligations),
+                message="" if response.permitted else (
+                    response.status_message or "no matching policy (deny-by-default)"
+                ),
+            )
         return response.permitted
 
     @property

@@ -258,6 +258,17 @@ class PolicyRepository:
         self._by_class: dict[tuple[str, str], list[str]] = {}
         self._xacml_texts: dict[str, str] = {}
         self._revoked: set[str] = set()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; bumps on every add and revoke.
+
+        The perf layer's policy index and decision cache validate against
+        it, so a policy edit immediately drops every derived fast-path
+        artifact (deny-by-default can never be served stale).
+        """
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._policies) - len(self._revoked)
@@ -272,6 +283,7 @@ class PolicyRepository:
         self._policies[policy.policy_id] = policy
         key = (policy.producer_id, policy.event_type)
         self._by_class.setdefault(key, []).append(policy.policy_id)
+        self._epoch += 1
         if xacml_text:
             self._xacml_texts[policy.policy_id] = xacml_text
 
@@ -280,6 +292,7 @@ class PolicyRepository:
         if policy_id not in self._policies:
             raise PolicyError(f"no policy {policy_id!r} to revoke")
         self._revoked.add(policy_id)
+        self._epoch += 1
 
     def get(self, policy_id: str) -> PrivacyPolicy:
         """Fetch a policy by id (revoked policies are still fetchable)."""

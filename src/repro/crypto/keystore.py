@@ -16,12 +16,28 @@ class KeyStore:
 
     Tokens are prefixed with the key version (``v1:...``) so :meth:`open_`
     can pick the right box even after rotations.
+
+    Key derivation is deterministic in ``(master secret, name, version)``
+    and a :class:`SealedBox` is stateless (nonces come from the caller's
+    sequence number), so the derived boxes are shared process-wide
+    through a class-level **key-schedule cache**: a federation of *k*
+    nodes built from one master secret derives each channel key once
+    instead of once per node.  ``schedule_cache=False`` opts a store out
+    (the ablation baseline).
     """
 
-    def __init__(self, master_secret: str) -> None:
+    #: Process-wide schedule cache: (master, name, version) -> SealedBox.
+    _schedule: dict[tuple[str, str, int], SealedBox] = {}
+    _schedule_cap = 4096
+    #: Class-level hit/miss counters (read by the perf benchmarks).
+    schedule_hits = 0
+    schedule_misses = 0
+
+    def __init__(self, master_secret: str, schedule_cache: bool = True) -> None:
         if not master_secret:
             raise KeyNotFoundError("master secret must be non-empty")
         self._master = master_secret
+        self._schedule_cache = schedule_cache
         self._versions: dict[str, int] = {}
         self._boxes: dict[tuple[str, int], SealedBox] = {}
 
@@ -33,8 +49,19 @@ class KeyStore:
         self._boxes[(name, 1)] = self._make_box(name, 1)
 
     def _make_box(self, name: str, version: int) -> SealedBox:
-        subkey = derive_key(self._master, f"key:{name}:v{version}")
-        return SealedBox(subkey)
+        if not self._schedule_cache:
+            return SealedBox(derive_key(self._master, f"key:{name}:v{version}"))
+        cache_key = (self._master, name, version)
+        box = KeyStore._schedule.get(cache_key)
+        if box is not None:
+            KeyStore.schedule_hits += 1
+            return box
+        KeyStore.schedule_misses += 1
+        if len(KeyStore._schedule) >= KeyStore._schedule_cap:
+            KeyStore._schedule.clear()
+        box = SealedBox(derive_key(self._master, f"key:{name}:v{version}"))
+        KeyStore._schedule[cache_key] = box
+        return box
 
     def rotate(self, name: str) -> int:
         """Advance ``name`` to the next version and return it."""

@@ -55,11 +55,12 @@ class FederatedIndexStore:
     """One node's view of the cluster-wide events index."""
 
     def __init__(self, local: EventsIndex, membership: "StaticMembership",
-                 node_id: str) -> None:
+                 node_id: str, perf=None) -> None:
         self.local = local
         self.membership = membership
         self.node_id = node_id
         self.stats = FederatedIndexStats()
+        self._perf = perf if perf is not None and perf.enabled else None
 
     @property
     def encrypt_identity(self) -> bool:
@@ -241,12 +242,16 @@ class FederatedIndexStore:
                 event_types, since=since, until=until, producer_id=producer_id
             )
         }
-        for peer in self._peer_ids():
+        peers = self._peer_ids()
+        payload = {"event_types": list(event_types), "since": since,
+                   "until": until, "producer_id": producer_id}
+        wire = self._fanout_wire("index.inquire", payload, len(peers))
+        for position, peer in enumerate(peers):
             self.stats.remote_inquiries += 1
+            if self._perf is not None and position:
+                self._perf.record_hit("wire")
             response = self.membership.link(self.node_id, peer).call(
-                "index.inquire",
-                {"event_types": list(event_types), "since": since,
-                 "until": until, "producer_id": producer_id},
+                "index.inquire", payload, wire=wire
             )
             for entry in self._self_node().open_channel(response)["entries"]:
                 results.setdefault(
@@ -258,12 +263,31 @@ class FederatedIndexStore:
     def count_for_type(self, event_type: str) -> int:
         """Cluster-wide live count of one class."""
         total = self.local_count_for_type(event_type)
-        for peer in self._peer_ids():
+        peers = self._peer_ids()
+        payload = {"event_type": event_type}
+        wire = self._fanout_wire("index.count", payload, len(peers))
+        for position, peer in enumerate(peers):
+            if self._perf is not None and position:
+                self._perf.record_hit("wire")
             response = self.membership.link(self.node_id, peer).call(
-                "index.count", {"event_type": event_type}
+                "index.count", payload, wire=wire
             )
             total += response.get("count", 0)
         return total
+
+    def _fanout_wire(self, operation: str, payload: dict, peers: int) -> str | None:
+        """Encode a fan-out request once (perf layer on, ≥1 peer).
+
+        The first peer counts as the ``wire`` cache miss, every further
+        peer as a hit; with tracing active the link re-encodes anyway and
+        the hint is simply ignored.
+        """
+        if self._perf is None or peers == 0:
+            return None
+        from repro.federation.link import wire_message
+
+        self._perf.record_miss("wire")
+        return wire_message(operation, payload)
 
     # -- rebalance ----------------------------------------------------------
 

@@ -43,6 +43,18 @@ LINK_ATTEMPTS = "federation.link.attempts_total"
 LINK_DROPS = "federation.link.drops_total"
 
 
+def wire_message(operation: str, payload: dict) -> str:
+    """The canonical wire encoding of an untraced request message.
+
+    Fan-outs that send one identical request to *k* peers can encode it
+    once and pass the result to each :meth:`Link.call` as the ``wire``
+    hint instead of re-serializing per peer.  The hint only applies when
+    no trace context rides the message — with tracing active each hop
+    carries its own span ids, so the link re-encodes.
+    """
+    return canonical_json({"op": operation, "payload": payload})
+
+
 @dataclass
 class LinkStats:
     """Per-link counters (benchmarks and failure-injection tests)."""
@@ -103,8 +115,13 @@ class Link:
 
     # -- transmission ------------------------------------------------------
 
-    def call(self, operation: str, payload: dict) -> dict:
+    def call(self, operation: str, payload: dict, wire: str | None = None) -> dict:
         """Send one request to the peer and return its response dict.
+
+        ``wire`` is an optional pre-encoded request (see
+        :func:`wire_message`); it is honoured only when the message
+        carries no trace context, otherwise the link re-encodes so the
+        span ids on the wire stay truthful.
 
         Retries dropped attempts up to the link policy's ``max_attempts``;
         raises :class:`~repro.exceptions.LinkFailureError` once the budget
@@ -126,10 +143,11 @@ class Link:
         )
         with span_scope:
             context = telemetry.current_context() if telemetry is not None else None
-            message: dict[str, object] = {"op": operation, "payload": payload}
-            if context is not None:
-                message[WIRE_KEY] = context.to_wire()
-            wire = canonical_json(message)
+            if wire is None or context is not None:
+                message: dict[str, object] = {"op": operation, "payload": payload}
+                if context is not None:
+                    message[WIRE_KEY] = context.to_wire()
+                wire = canonical_json(message)
             self.transcript.append(wire)
             self.stats.bytes_carried += len(wire)
             started = self._clock.now()

@@ -94,6 +94,13 @@ class FederationNode:
         self._channel_key = CHANNEL_KEY_PREFIX + node_id
         self._channel_seq = 0
         controller.keystore.create(self._channel_key)
+        perf = getattr(controller, "perf", None)
+        self._perf = perf if perf is not None and perf.enabled else None
+        self._relay_frames = None
+        if self._perf is not None:
+            from repro.perf.wire_cache import SealedFrameCache
+
+            self._relay_frames = SealedFrameCache()
         #: (origin node, topic) pairs already relayed toward a peer.
         self._relays: dict[tuple[str, str], str] = {}
         #: Topics this node re-publishes locally for relayed notifications.
@@ -271,7 +278,7 @@ class FederationNode:
 
         def relay(envelope) -> None:
             self.work.add(RELAY_COST)
-            sealed = self.seal_channel({"topic": topic, "xml": str(envelope.body)})
+            sealed = self._sealed_relay_frame(topic, str(envelope.body))
             link = self.membership.link(self.node_id, origin)
             link.call("bus.relay", sealed)
 
@@ -280,6 +287,26 @@ class FederationNode:
         )
         self._relays[key] = subscription.subscription_id
         return subscription.subscription_id
+
+    def _sealed_relay_frame(self, topic: str, xml: str) -> dict:
+        """Seal a relay frame once per distinct notification.
+
+        With the perf layer on, the same notification relayed toward
+        several peer nodes reuses one sealed frame instead of sealing
+        *k* times (safe: deterministic sealing, stateless opening — see
+        :mod:`repro.perf.wire_cache`).  The cache key is content this
+        node itself published and already holds in the clear.
+        """
+        body = {"topic": topic, "xml": xml}
+        if self._relay_frames is None:
+            return self.seal_channel(body)
+        key = (topic, xml)
+        frame = self._relay_frames.get(key)
+        if frame is not None:
+            self._perf.record_hit("seal")
+            return frame
+        self._perf.record_miss("seal")
+        return self._relay_frames.put(key, self.seal_channel(body))
 
     def _op_bus_relay(self, payload: dict) -> dict:
         """Re-publish a relayed notification on this node's local bus."""

@@ -57,6 +57,9 @@ class FederatedScenarioConfig:
     #: (the retry budget redelivers them) — degrades the link-delivery SLO
     #: without failing any call.
     scripted_drops: int = 0
+    #: Hot-path performance layer on every node: "indexed" or "none"
+    #: (the ablation baseline) — see ``RuntimeConfig.perf``.
+    perf: str = "indexed"
     consumers: tuple[tuple[str, str], ...] = DEFAULT_CONSUMERS
     producer_assignment: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_PRODUCER_ASSIGNMENT)
@@ -140,10 +143,13 @@ class FederatedScenario:
                 guard_mode=self.config.telemetry_guard,
                 secret=f"css-federation-{self.config.seed}",
             )
+        from repro.runtime.kernel import RuntimeConfig
+
         self.platform = FederatedPlatform(
             shards=self.config.nodes,
             clock=self.clock,
             seed=f"fedsc-{self.config.seed}",
+            runtime=RuntimeConfig(perf=self.config.perf),
             telemetry=self.telemetry,
             link_latency=self.config.link_latency,
             per_node_telemetry=self.config.per_node_telemetry,

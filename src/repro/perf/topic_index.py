@@ -1,0 +1,123 @@
+"""Segment trie over topic subscription patterns.
+
+The broker's linear fan-out re-runs ``topic_matches`` (pattern validation
+included) against *every* subscription on *every* publish.  The trie
+stores each pattern once, decomposed into its dot-separated segments —
+``*`` and ``#`` become dedicated edges — so matching a topic walks at
+most one node per segment plus the wildcard branches, independent of how
+many subscriptions are registered.
+
+Semantics are exactly :func:`repro.bus.topics.topic_matches`:
+
+* a literal segment matches itself;
+* ``*`` matches exactly one segment;
+* ``#`` (only valid as the final segment) matches zero or more trailing
+  segments;
+* a pattern without trailing ``#`` must consume the whole topic.
+
+Every inserted pattern carries its registration ``order``; matches are
+returned sorted by it, so the indexed fan-out visits subscriptions in
+the same deterministic registration order as the linear scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bus.topics import validate_pattern
+
+
+@dataclass
+class _TrieNode:
+    """One segment position; terminals are ``(order, value)`` pairs."""
+
+    children: dict[str, "_TrieNode"] = field(default_factory=dict)
+    star: "_TrieNode | None" = None
+    #: Patterns ending in ``#`` at this position (match any remainder).
+    hash_terminals: list[tuple[int, object]] = field(default_factory=list)
+    #: Patterns ending exactly at this position.
+    terminals: list[tuple[int, object]] = field(default_factory=list)
+
+
+class TopicTrie:
+    """Pattern → value index with registration-ordered matching."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- maintenance -------------------------------------------------------
+
+    def _walk_to(self, pattern: str, create: bool) -> tuple[_TrieNode | None, str]:
+        """The node owning ``pattern``'s terminal, plus the final segment."""
+        validate_pattern(pattern)
+        segments = pattern.split(".")
+        node: _TrieNode | None = self._root
+        path = segments[:-1] if segments[-1] == "#" else segments
+        for segment in path:
+            if node is None:
+                return None, segments[-1]
+            if segment == "*":
+                if node.star is None and create:
+                    node.star = _TrieNode()
+                node = node.star
+            else:
+                child = node.children.get(segment)
+                if child is None and create:
+                    child = _TrieNode()
+                    node.children[segment] = child
+                node = child
+        return node, segments[-1]
+
+    def add(self, pattern: str, order: int, value: object) -> None:
+        """Insert ``value`` under ``pattern`` with registration ``order``."""
+        node, last = self._walk_to(pattern, create=True)
+        assert node is not None
+        terminal = node.hash_terminals if last == "#" else node.terminals
+        terminal.append((order, value))
+        self._size += 1
+
+    def remove(self, pattern: str, value: object) -> bool:
+        """Remove one ``(pattern, value)`` entry; returns whether found."""
+        node, last = self._walk_to(pattern, create=False)
+        if node is None:
+            return False
+        terminal = node.hash_terminals if last == "#" else node.terminals
+        for index, (_, held) in enumerate(terminal):
+            if held is value:
+                del terminal[index]
+                self._size -= 1
+                return True
+        return False
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, topic: str) -> list[object]:
+        """Values whose pattern matches ``topic``, in registration order."""
+        segments = topic.split(".")
+        found: list[tuple[int, object]] = []
+        self._collect(self._root, segments, 0, found)
+        found.sort(key=lambda pair: pair[0])
+        return [value for _, value in found]
+
+    def _collect(
+        self,
+        node: _TrieNode,
+        segments: list[str],
+        index: int,
+        found: list[tuple[int, object]],
+    ) -> None:
+        # A trailing-# pattern at this depth matches any remainder
+        # (including the empty one: "a.#" matches topic "a").
+        found.extend(node.hash_terminals)
+        if index == len(segments):
+            found.extend(node.terminals)
+            return
+        child = node.children.get(segments[index])
+        if child is not None:
+            self._collect(child, segments, index + 1, found)
+        if node.star is not None:
+            self._collect(node.star, segments, index + 1, found)

@@ -593,28 +593,60 @@ class DetailConsentInterceptor:
 
 
 class PolicyDecideInterceptor:
-    """PDP evaluation over the certified repository (steps 2–3)."""
+    """PDP evaluation over the certified repository (steps 2–3).
+
+    With the indexed perf layer the stage first consults the versioned
+    decision cache (a replayed outcome raises the *same* deny message or
+    releases the *same* field set, so audit trails are byte-identical)
+    and, on a miss, evaluates only the policy index's bucketed
+    candidates.  Without a perf layer it is the historical full scan.
+    """
 
     name = "decide"
 
-    def __init__(self, repository, pep) -> None:
+    def __init__(self, repository, pep, perf=None) -> None:
         self._repository = repository
         self._pep = pep
+        self._perf = perf
 
     def intercept(self, invocation: Invocation, proceed: Proceed) -> Any:
         context = invocation.context
         request = context["request"]
         entry = context["entry"]
-        policy_set = self._repository.to_policy_set(entry.producer_id, entry.event_type)
+        perf = self._perf
+        if perf is not None:
+            cached = perf.cached_decision(entry, request)
+            if cached is not None:
+                if not cached.permitted:
+                    raise AccessDeniedError(cached.message, request)
+                if not cached.released_fields:
+                    raise AccessDeniedError(
+                        "matching policy releases no fields", request
+                    )
+                context["released_fields"] = cached.released_fields
+                return proceed(invocation)
+            policy_set = perf.policy_set_for(entry, request)
+        else:
+            policy_set = self._repository.to_policy_set(
+                entry.producer_id, entry.event_type
+            )
         response = self._pep.authorize(policy_set, build_request_context(request))
         if not response.permitted:
-            raise AccessDeniedError(
-                response.status_message or "no matching policy (deny-by-default)",
-                request,
-            )
+            message = response.status_message or "no matching policy (deny-by-default)"
+            if perf is not None:
+                perf.store_decision(entry, request, permitted=False, message=message)
+            raise AccessDeniedError(message, request)
         allowed = released_fields(response.obligations)
         if not allowed:
+            if perf is not None:
+                perf.store_decision(
+                    entry, request, permitted=True, released_fields=allowed
+                )
             raise AccessDeniedError("matching policy releases no fields", request)
+        if perf is not None:
+            perf.store_decision(
+                entry, request, permitted=True, released_fields=allowed
+            )
         context["released_fields"] = allowed
         return proceed(invocation)
 
@@ -713,6 +745,7 @@ def build_enforcement_pipeline(
     pep,
     fetcher,
     telemetry=None,
+    perf=None,
 ) -> InterceptorPipeline:
     """Algorithm 1 as a chain: resolve → consent → decide → fetch → filter."""
     return InterceptorPipeline(
@@ -721,7 +754,7 @@ def build_enforcement_pipeline(
             DetailAuditInterceptor(audit, ids, clock),
             ResolveInterceptor(purposes, id_map),
             DetailConsentInterceptor(consent_resolver),
-            PolicyDecideInterceptor(repository, pep),
+            PolicyDecideInterceptor(repository, pep, perf=perf),
             GatewayFetchInterceptor(fetcher),
             FieldFilterInterceptor(),
         ],

@@ -40,6 +40,7 @@ KIND_TELEMETRY = "telemetry"
 KIND_FEDERATION = "federation"
 KIND_SLO = "slo"
 KIND_PROFILING = "profiling"
+KIND_PERF = "perf"
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,11 @@ class RuntimeConfig:
     #: Profiler: "noop" (default) or "sampling" (deterministic section
     #: profiler over the simulated clock, labels guard-hashed).
     profiling: str = "noop"
+    #: Hot-path performance layer: "indexed" (default — policy index,
+    #: versioned decision cache, subscription trie, wire caches) or
+    #: "none" (the linear-scan ablation baseline).  Decisions and audit
+    #: trails are identical either way; only the speed differs.
+    perf: str = "indexed"
     #: Federation topology: "none" (single controller) or "static"
     #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
     federation: str = "none"
@@ -162,6 +168,7 @@ def _service_bus(**context: Any) -> Any:
         clock=context["clock"], ids=context["ids"],
         auto_dispatch=context.get("auto_dispatch", True),
         telemetry=context.get("telemetry"),
+        perf=context.get("perf"),
     )
 
 
@@ -226,6 +233,7 @@ def _xacml_enforcer(**context: Any) -> Any:
         consent_resolver=context.get("consent_resolver"),
         fetcher=context.get("fetcher"),
         telemetry=context.get("telemetry"),
+        perf=context.get("perf"),
     )
 
 
@@ -261,6 +269,7 @@ def _federated_index(**context: Any) -> Any:
         local=local,
         membership=context["membership"],
         node_id=context["node_id"],
+        perf=context.get("perf"),
     )
 
 
@@ -292,6 +301,21 @@ def _sampling_profiler(**context: Any) -> Any:
     return SamplingProfiler(
         clock=context["clock"],
         guard=getattr(telemetry, "guard", None),
+    )
+
+
+def _no_perf(**context: Any) -> Any:
+    from repro.perf import NoopPerfLayer
+
+    return NoopPerfLayer()
+
+
+def _indexed_perf(**context: Any) -> Any:
+    from repro.perf import PerfLayer
+
+    return PerfLayer(
+        secret=context.get("master_secret", "css-perf"),
+        telemetry=context.get("telemetry"),
     )
 
 
@@ -336,4 +360,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_SLO, "default", _default_slo)
     kernel.register(KIND_PROFILING, "noop", _noop_profiler)
     kernel.register(KIND_PROFILING, "sampling", _sampling_profiler)
+    kernel.register(KIND_PERF, "none", _no_perf)
+    kernel.register(KIND_PERF, "indexed", _indexed_perf)
     return kernel

@@ -169,6 +169,34 @@ class TestTraceCommand:
         assert "did you mean 'default'?" in str(excinfo.value)
 
 
+class TestPerfCommand:
+    def test_kernel_scenario_prints_the_figures(self, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        code, output = run_cli("perf", "--scenario", "kernel",
+                               "--seed", "7", "--out", str(out))
+        assert code == 0
+        assert "pdp.decide" in output
+        assert "publish.fanout" in output
+        assert "equivalence: identical=True" in output
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "css-bench-perf/1"
+        assert payload["quick"] is True
+        # The written summary satisfies the CI gate as-is.
+        from benchmarks.check_perf_schema import validate
+
+        assert validate(payload) == []
+
+    def test_unknown_scenario_suggests_the_nearest(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("perf", "--scenario", "federeted")
+        assert "did you mean 'federated'?" in str(excinfo.value)
+        assert "available: kernel, federated" in str(excinfo.value)
+
+    def test_nodes_must_be_positive(self):
+        with pytest.raises(SystemExit, match="--nodes must be a positive"):
+            run_cli("perf", "--scenario", "federated", "--nodes", "0")
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

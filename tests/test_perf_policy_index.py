@@ -1,0 +1,161 @@
+"""The actor/role-bucketed policy index (``repro.perf.policy_index``).
+
+The index may only ever drop policies whose target evaluates
+``NotApplicable`` — candidates keep registration order, hierarchical
+``actor_id`` grants resolve through the ancestor buckets, the buckets
+rebuild when the repository's epoch moves, and the indexed PDP returns
+the same decisions as the full linear compile-and-evaluate.
+"""
+
+import pytest
+
+from repro.core.actors import Actor, ActorKind
+from repro.core.enforcement import DetailRequest
+from repro.core.policy import PolicyRepository, PrivacyPolicy
+from repro.perf.bench import build_decide_rig
+from repro.perf.policy_index import PolicyIndex, actor_ancestors
+
+
+def grant(policy_id: str, *, actor_id: str = "", actor_role: str = "",
+          fields=("PatientId",), purposes=("healthcare-treatment",),
+          valid_from=None, valid_until=None) -> PrivacyPolicy:
+    return PrivacyPolicy(
+        policy_id=policy_id, producer_id="Hospital", event_type="BloodTest",
+        fields=frozenset(fields), purposes=frozenset(purposes),
+        actor_id=actor_id, actor_role=actor_role,
+        valid_from=valid_from, valid_until=valid_until,
+    )
+
+
+class TestActorAncestors:
+    def test_hierarchy_is_expanded_root_first(self):
+        assert actor_ancestors("a/b/c") == ("a", "a/b", "a/b/c")
+
+    def test_flat_actor_is_its_own_ancestry(self):
+        assert actor_ancestors("Doctor") == ("Doctor",)
+
+
+class TestCandidateSelection:
+    def build(self):
+        repository = PolicyRepository()
+        for policy in (
+            grant("p-role", actor_role="family-doctor"),
+            grant("p-unit", actor_id="FamilyDoctors/Dr-Rossi"),
+            grant("p-parent", actor_id="FamilyDoctors"),
+            grant("p-other", actor_id="Statistics"),
+        ):
+            repository.add(policy)
+        return repository, PolicyIndex(repository)
+
+    def test_candidates_keep_registration_order(self):
+        repository, index = self.build()
+        positions = index.candidate_positions(
+            "Hospital", "BloodTest", "FamilyDoctors/Dr-Rossi", "family-doctor"
+        )
+        # Role bucket (pos 0), exact unit (pos 1) and the hierarchical
+        # parent grant (pos 2) all apply — in registration order; the
+        # unrelated Statistics grant is the only one pruned.
+        assert positions == [0, 1, 2]
+
+    def test_pruned_policies_are_exactly_the_not_applicable_ones(self):
+        repository, index = self.build()
+        policy_set, scanned = index.candidate_set(
+            "Hospital", "BloodTest", "Statistics/Team-A", ""
+        )
+        assert scanned == 1
+        assert [p.policy_id for p in policy_set.policies] == ["p-other"]
+        assert index.stats.candidates_skipped >= 3
+
+    def test_candidate_set_id_mirrors_the_repository_compilation(self):
+        repository, index = self.build()
+        policy_set, _ = index.candidate_set(
+            "Hospital", "BloodTest", "FamilyDoctors/Dr-Rossi", "family-doctor"
+        )
+        assert policy_set.policy_set_id == \
+            repository.to_policy_set("Hospital", "BloodTest").policy_set_id
+
+    def test_unknown_actor_gets_an_empty_set(self):
+        _, index = self.build()
+        policy_set, scanned = index.candidate_set(
+            "Hospital", "BloodTest", "Nobody", "no-role"
+        )
+        assert scanned == 0
+        assert policy_set.policies == ()
+
+
+class TestEpochRebuild:
+    def test_add_and_revoke_rebuild_the_bucket(self):
+        repository = PolicyRepository()
+        repository.add(grant("p-1", actor_role="family-doctor"))
+        index = PolicyIndex(repository)
+        assert index.candidate_positions(
+            "Hospital", "BloodTest", "X", "family-doctor") == [0]
+        rebuilds = index.stats.rebuilds
+
+        # Same epoch: the cached bucket is reused, no rebuild.
+        index.candidate_positions("Hospital", "BloodTest", "X", "family-doctor")
+        assert index.stats.rebuilds == rebuilds
+
+        repository.add(grant("p-2", actor_role="family-doctor"))
+        assert index.candidate_positions(
+            "Hospital", "BloodTest", "X", "family-doctor") == [0, 1]
+        assert index.stats.rebuilds == rebuilds + 1
+
+        repository.revoke("p-1")
+        assert index.candidate_positions(
+            "Hospital", "BloodTest", "X", "family-doctor") == [0]
+        policy_set, _ = index.candidate_set(
+            "Hospital", "BloodTest", "X", "family-doctor")
+        assert [p.policy_id for p in policy_set.policies] == ["p-2"]
+
+    def test_time_bounded_classes_are_flagged(self):
+        repository = PolicyRepository()
+        repository.add(grant("p-1", actor_role="family-doctor"))
+        index = PolicyIndex(repository)
+        assert not index.is_time_bounded("Hospital", "BloodTest")
+        repository.add(grant("p-window", actor_role="insurer",
+                             valid_from=0.0, valid_until=3600.0))
+        assert index.is_time_bounded("Hospital", "BloodTest")
+
+
+class TestIndexedDecisionsMatchLinear:
+    @pytest.mark.parametrize("purpose", ["healthcare-treatment",
+                                         "statistical-analysis"])
+    def test_decide_agrees_across_modes_for_a_grid_of_actors(self, purpose):
+        indexed_controller, indexed_requests = build_decide_rig(
+            "indexed", policies=12)
+        linear_controller, linear_requests = build_decide_rig(
+            "none", policies=12)
+        event_id = {"indexed": indexed_requests[0].event_id,
+                    "none": linear_requests[0].event_id}
+        actors = [
+            Actor(actor_id="Doctor", name="Doctor",
+                  kind=ActorKind.CONSUMER, role="family-doctor"),
+            Actor(actor_id="Other-3", name="Other 3",
+                  kind=ActorKind.CONSUMER, role="unit"),
+            Actor(actor_id="Stranger", name="Stranger",
+                  kind=ActorKind.CONSUMER, role="unit"),
+        ]
+        for actor in actors:
+            outcomes = {}
+            for mode, controller in (("indexed", indexed_controller),
+                                     ("none", linear_controller)):
+                request = DetailRequest(
+                    actor=actor, event_type="BloodTest",
+                    event_id=event_id[mode], purpose=purpose,
+                )
+                outcomes[mode] = controller.enforcer.decide(request)
+            assert outcomes["indexed"] == outcomes["none"]
+
+    def test_the_index_scans_fewer_candidates_than_the_repository_holds(self):
+        controller, requests = build_decide_rig("indexed", policies=24)
+        for request in requests:
+            controller.enforcer.decide(request)
+        index = controller.perf.policy_index
+        assert index is not None
+        assert index.stats.selections > 0
+        scanned_per_selection = (
+            index.stats.candidates_scanned / index.stats.selections
+        )
+        assert scanned_per_selection < 24
+        assert index.stats.candidates_skipped > 0

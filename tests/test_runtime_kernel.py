@@ -56,8 +56,9 @@ class TestKernelRegistry:
         assert wiring["federation"] == ("none", "static")
         assert wiring["slo"] == ("default", "noop")
         assert wiring["profiling"] == ("noop", "sampling")
+        assert wiring["perf"] == ("indexed", "none")
         assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
-                               "index", "pdp", "profiling", "slo",
+                               "index", "pdp", "perf", "profiling", "slo",
                                "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
