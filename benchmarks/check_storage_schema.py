@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_storage.json`` (schema ``css-bench-storage/1``).
+
+CI runs ``bench_storage_engine.py --quick --out BENCH_storage.json`` and
+then this script.  Beyond shape validation it enforces the semantic
+gates of the storage engine:
+
+* ``equivalence.identical`` must be ``true`` — the segmented store may
+  never change a decision or an audit record relative to the jsonl
+  baseline;
+* recovery peak memory must stay under ``MAX_RECOVERY_PEAK_KB`` for
+  every point — replay is streaming, so memory must not grow with the
+  log (a ``read_all()`` sneaking back onto the hot path trips this);
+* compaction must actually reclaim: ``records_after < records_before``
+  and ``post_compaction_bytes < size_bytes`` for the segmented kind.
+
+Usage::
+
+    python benchmarks/check_storage_schema.py BENCH_storage.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-storage/1"
+KINDS = ("jsonl", "segmented")
+
+#: Replay must be streaming: peak replay memory is bounded regardless of
+#: log size (sparse index + one record), far below this ceiling.
+MAX_RECOVERY_PEAK_KB = 16_384
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _positive_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value > 0
+
+
+def _validate_kind(entry: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where} must be an object"]
+    rate = entry.get("ingest_events_per_second")
+    if not _number(rate) or rate <= 0:
+        problems.append(f"{where}.ingest_events_per_second must be positive")
+    recovery = entry.get("recovery_seconds")
+    if not _number(recovery) or recovery < 0:
+        problems.append(f"{where}.recovery_seconds must be non-negative")
+    peak = entry.get("recovery_peak_kb")
+    if not _number(peak) or peak < 0:
+        problems.append(f"{where}.recovery_peak_kb must be non-negative")
+    elif peak > MAX_RECOVERY_PEAK_KB:
+        problems.append(
+            f"{where}.recovery_peak_kb {peak} exceeds the "
+            f"{MAX_RECOVERY_PEAK_KB} KiB streaming-replay bound"
+        )
+    if not _positive_int(entry.get("size_bytes")):
+        problems.append(f"{where}.size_bytes must be a positive integer")
+    return problems
+
+
+def _validate_point(point: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(point, dict):
+        return [f"{where} must be an object"]
+    if not _positive_int(point.get("events")):
+        problems.append(f"{where}.events must be a positive integer")
+    kinds = point.get("kinds")
+    if not isinstance(kinds, dict):
+        return problems + [f"{where}.kinds must be an object"]
+    for kind in KINDS:
+        problems.extend(_validate_kind(kinds.get(kind), f"{where}.kinds.{kind}"))
+
+    segmented = kinds.get("segmented")
+    if isinstance(segmented, dict):
+        compacted = segmented.get("post_compaction_bytes")
+        size = segmented.get("size_bytes")
+        if not _positive_int(compacted):
+            problems.append(
+                f"{where}.kinds.segmented.post_compaction_bytes must be a "
+                f"positive integer"
+            )
+        elif _positive_int(size) and compacted >= size:
+            problems.append(
+                f"{where}: compaction reclaimed nothing "
+                f"({compacted} >= {size} bytes)"
+            )
+    compaction = point.get("compaction")
+    if not isinstance(compaction, dict):
+        problems.append(f"{where}.compaction must be an object")
+    else:
+        before = compaction.get("records_before")
+        after = compaction.get("records_after")
+        if not _positive_int(before) or not _positive_int(after):
+            problems.append(
+                f"{where}.compaction.records_before/records_after must be "
+                f"positive integers"
+            )
+        elif after >= before:
+            problems.append(
+                f"{where}.compaction dropped no records ({after} >= {before})"
+            )
+        reclaimed = compaction.get("bytes_reclaimed")
+        if not _number(reclaimed) or reclaimed <= 0:
+            problems.append(
+                f"{where}.compaction.bytes_reclaimed must be positive"
+            )
+    return problems
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    if not isinstance(payload.get("quick"), bool):
+        problems.append("quick must be a boolean")
+
+    points = payload.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("points must be a non-empty list")
+        points = []
+    for index, point in enumerate(points):
+        problems.extend(_validate_point(point, f"points[{index}]"))
+
+    equivalence = payload.get("equivalence")
+    if not isinstance(equivalence, dict):
+        problems.append("equivalence must be an object")
+    else:
+        if equivalence.get("identical") is not True:
+            problems.append(
+                "equivalence.identical must be true — jsonl and segmented "
+                "store kinds produced different audit trails"
+            )
+        if not _positive_int(equivalence.get("audit_records")):
+            problems.append("equivalence.audit_records must be a positive integer")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_storage_schema.py BENCH_storage.json",
+              file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_storage_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_storage_schema: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_storage_schema: {problem}", file=sys.stderr)
+        return 1
+    point = payload["points"][0]
+    seg = point["kinds"]["segmented"]
+    reclaimed = point["compaction"]["bytes_reclaimed"]
+    print(f"check_storage_schema: {path} ok "
+          f"({point['events']} events, recovery peak "
+          f"{seg['recovery_peak_kb']} KiB, compaction reclaimed "
+          f"{reclaimed} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands, all built on the public API::
+All subcommands are built on the public API::
 
     python -m repro scenario  [--events N] [--patients N] [--rate R]
                               [--seed S] [--archive DIR] [--durable DIR]
@@ -17,6 +17,9 @@ Nine subcommands, all built on the public API::
                               [--drops K] [--slo-out FILE]
     python -m repro trace     [--scenario default|federated] [--nodes N]
                               [--stitch] [--out FILE]
+    python -m repro store     ACTION [--data DIR] [--snapshots DIR]
+                              [--id SNAP] [--target DIR] [--to-sequence N]
+                              [--log NAME]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -35,9 +38,11 @@ rebalance; ``slo`` evaluates the stock service-level objectives over a
 run (``--drops`` scripts link-level degradation so the link-delivery
 objective demonstrably breaches); ``trace`` runs a federation with
 per-node telemetry and stitches the per-node span exports into
-federated traces; ``inspect`` restores an archive and prints its audit
-summary (verifying the hash chain in the process); ``kernel`` prints
-the service-kernel wiring table.
+federated traces; ``store`` operates the segmented storage engine on a
+data directory (``snapshot``/``verify``/``restore``/``compact``/``stats``
+— point-in-time recovery via ``restore --to-sequence``); ``inspect``
+restores an archive and prints its audit summary (verifying the hash
+chain in the process); ``kernel`` prints the service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -80,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--durable", metavar="DIR",
                           help="run on the JSONL index/audit backends, "
                                "writing into DIR")
+    scenario.add_argument("--store", default="jsonl",
+                          choices=["jsonl", "segmented"],
+                          help="durable store engine for --durable "
+                               "(default jsonl; segmented adds crash "
+                               "recovery, compaction and snapshots)")
 
     compare = sub.add_parser("compare", help="CSS vs the four baselines")
     _scenario_options(compare)
@@ -170,6 +180,25 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", metavar="FILE",
                       help="write the css-bench-perf/1 summary JSON to FILE")
 
+    store = sub.add_parser(
+        "store", help="operate the segmented storage engine on a data dir"
+    )
+    store.add_argument("action",
+                       help="one of: snapshot, verify, restore, compact, stats")
+    store.add_argument("--data", metavar="DIR",
+                       help="storage-engine data directory")
+    store.add_argument("--snapshots", metavar="DIR",
+                       help="snapshot root directory (default: DATA/../snapshots)")
+    store.add_argument("--id", dest="snapshot_id", metavar="SNAP",
+                       help="snapshot id (default: the latest)")
+    store.add_argument("--target", metavar="DIR",
+                       help="restore target directory (must be empty)")
+    store.add_argument("--to-sequence", type=int, default=None,
+                       help="point-in-time recovery: truncate every restored "
+                            "log to this committed sequence number")
+    store.add_argument("--log", default="index",
+                       help="log to compact (default index; audit refuses)")
+
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
     inspect.add_argument("--secret", default="css-platform-secret",
@@ -194,7 +223,8 @@ def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
         if target.exists() and not target.is_dir():
             raise SystemExit(f"repro scenario: --durable {args.durable}: "
                              f"not a directory")
-        leftovers = [name for name in ("index.jsonl", "audit.jsonl")
+        leftovers = [name for name in ("index.jsonl", "audit.jsonl",
+                                       "index", "audit")
                      if (target / name).exists()]
         if leftovers:
             raise SystemExit(
@@ -204,6 +234,7 @@ def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
                 f"directory (old runs stay readable through JsonlIndexStore/"
                 f"JsonlAuditSink, see examples/durable_backends.py)")
         runtime = RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
+                                store=getattr(args, "store", "jsonl"),
                                 data_dir=args.durable)
     config = ScenarioConfig(
         n_patients=args.patients, n_events=args.events,
@@ -218,8 +249,13 @@ def _cmd_scenario(args: argparse.Namespace, out) -> int:
     report = scenario.run(workload)
     print(report.to_text(), file=out)
     if args.durable:
-        print(f"durable backends wrote index.jsonl and audit.jsonl "
-              f"to {args.durable}", file=out)
+        if getattr(args, "store", "jsonl") == "segmented":
+            print(f"durable backends wrote segmented index and audit logs "
+                  f"to {args.durable} (inspect with: repro store stats "
+                  f"--data {args.durable})", file=out)
+        else:
+            print(f"durable backends wrote index.jsonl and audit.jsonl "
+                  f"to {args.durable}", file=out)
     if args.archive:
         PlatformArchive(args.archive).save(scenario.controller)
         print(f"platform archived to {args.archive}", file=out)
@@ -429,7 +465,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "pdp": defaults.pdp, "fetcher": defaults.detail_fetcher,
         "telemetry": defaults.telemetry, "federation": defaults.federation,
         "slo": defaults.slo, "profiling": defaults.profiling,
-        "perf": defaults.perf,
+        "perf": defaults.perf, "store": defaults.store,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -513,6 +549,109 @@ def _cmd_perf(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_STORE_ACTIONS = ("snapshot", "verify", "restore", "compact", "stats")
+
+
+def _store_data_dir(args: argparse.Namespace) -> Path:
+    if not args.data:
+        raise SystemExit(f"repro store {args.action}: --data DIR is required")
+    return Path(args.data)
+
+
+def _store_snapshots_root(args: argparse.Namespace) -> Path:
+    if args.snapshots:
+        return Path(args.snapshots)
+    return _store_data_dir(args).parent / "snapshots"
+
+
+def _store_snapshot_id(manager, args: argparse.Namespace) -> str:
+    if args.snapshot_id:
+        return args.snapshot_id
+    snapshots = manager.list()
+    if not snapshots:
+        raise SystemExit(
+            f"repro store {args.action}: no snapshots under {manager.root}"
+        )
+    return snapshots[-1].snapshot_id
+
+
+def _cmd_store(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import StorageError
+    from repro.storage import SnapshotManager, StorageEngine
+
+    if args.action not in _STORE_ACTIONS:
+        raise SystemExit(
+            f"repro store: unknown action {args.action!r};"
+            f"{suggest(args.action, _STORE_ACTIONS)} "
+            f"available: {', '.join(_STORE_ACTIONS)}"
+        )
+
+    if args.action == "stats":
+        engine = StorageEngine(_store_data_dir(args))
+        figures = engine.stats()
+        if not figures:
+            print(f"no segmented logs under {engine.directory}", file=out)
+            return 0
+        print(f"storage engine at {engine.directory}:", file=out)
+        for name, entry in figures.items():
+            print(f"  {name:<8} records={entry['records']} "
+                  f"segments={entry['segments']} "
+                  f"bytes={entry['size_bytes']} "
+                  f"sequence={entry['sequence']}", file=out)
+        return 0
+
+    if args.action == "compact":
+        engine = StorageEngine(_store_data_dir(args))
+        try:
+            report = engine.compact(args.log)
+        except StorageError as exc:
+            raise SystemExit(f"repro store compact: {exc}") from exc
+        print(f"compacted {args.log!r}: {report.records_before} -> "
+              f"{report.records_after} records, reclaimed "
+              f"{report.bytes_reclaimed} bytes "
+              f"({report.segments_before} -> {report.segments_after} "
+              f"segments)", file=out)
+        return 0
+
+    manager = SnapshotManager(_store_snapshots_root(args))
+    if args.action == "snapshot":
+        engine = StorageEngine(_store_data_dir(args))
+        info = engine.snapshot(manager.root, label=args.snapshot_id)
+        sequences = ", ".join(f"{name}={seq}"
+                              for name, seq in info.sequences.items())
+        print(f"snapshot {info.snapshot_id}: {info.files} files, "
+              f"{info.size_bytes} bytes ({sequences})", file=out)
+        return 0
+
+    if args.action == "verify":
+        snapshot_id = _store_snapshot_id(manager, args)
+        problems = manager.verify(snapshot_id)
+        if args.data and _store_data_dir(args).is_dir():
+            problems += manager.verify_against(snapshot_id,
+                                               _store_data_dir(args))
+        if problems:
+            for problem in problems:
+                print(f"  {problem}", file=out)
+            print(f"snapshot {snapshot_id}: {len(problems)} problem(s)",
+                  file=out)
+            return 1
+        print(f"snapshot {snapshot_id}: verified", file=out)
+        return 0
+
+    # restore
+    if not args.target:
+        raise SystemExit("repro store restore: --target DIR is required")
+    snapshot_id = _store_snapshot_id(manager, args)
+    report = manager.restore(snapshot_id, args.target,
+                             to_sequence=args.to_sequence)
+    sequences = ", ".join(f"{name}={seq}"
+                          for name, seq in report.sequences.items())
+    print(f"restored {snapshot_id} into {report.target}: {report.files} "
+          f"files, truncated {report.truncated_records} records "
+          f"({sequences})", file=out)
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace, out) -> int:
     controller = PlatformArchive(args.directory).restore(args.secret)
     print(f"restored platform from {args.directory}", file=out)
@@ -540,6 +679,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "slo": _cmd_slo,
         "trace": _cmd_trace,
         "perf": _cmd_perf,
+        "store": _cmd_store,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

@@ -74,6 +74,7 @@ from repro.runtime.kernel import (
     KIND_PERF,
     KIND_PROFILING,
     KIND_SLO,
+    KIND_STORE,
     KIND_TELEMETRY,
     KIND_TRANSPORT,
     RuntimeConfig,
@@ -144,15 +145,21 @@ class DataController:
         self.contracts = ContractRegistry()
         self.catalog = EventCatalog()
         self.purposes = PurposeRegistry()
+        self.store = self._create(
+            KIND_STORE, self.runtime.store,
+            data_dir=self.runtime.data_dir, telemetry=self.telemetry,
+        )
         self.index = self._create(
             KIND_INDEX, self.runtime.index_store,
             keystore=self.keystore, encrypt_identity=encrypt_identity,
             data_dir=self.runtime.data_dir, perf=self.perf,
+            store=self.store,
         )
         self.id_map = EventIdMap()
         self.policies = PolicyRepository()
         self.audit_log = self._create(
-            KIND_AUDIT, self.runtime.audit_sink, data_dir=self.runtime.data_dir
+            KIND_AUDIT, self.runtime.audit_sink,
+            data_dir=self.runtime.data_dir, store=self.store,
         )
         self.pending_requests = PendingRequestQueue()
         self.roster = PatientRoster()

@@ -207,6 +207,31 @@ class TamperedLogError(AuditError):
 
 
 # ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(CssError):
+    """Base class for durable-storage failures (logs, snapshots, recovery)."""
+
+
+class CorruptRecordError(StorageError):
+    """A persisted record failed to parse or failed its checksum.
+
+    Raised for damage *inside* a log — a torn tail (an interrupted final
+    write) is not corruption: the segmented log truncates it on replay.
+    """
+
+
+class SnapshotError(StorageError):
+    """A snapshot could not be created, verified or restored."""
+
+
+class RecoveryError(StorageError):
+    """Point-in-time recovery was asked for an impossible target."""
+
+
+# ---------------------------------------------------------------------------
 # Gateway / sources
 # ---------------------------------------------------------------------------
 

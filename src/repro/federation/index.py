@@ -130,7 +130,10 @@ class FederatedIndexStore:
         obj.set_slot("subjectRef", entry["subject_ref"])
         if entry.get("subject_display") is not None:
             obj.set_slot("subjectDisplay", entry["subject_display"])
-        self.local.restore_raw(obj)
+        # A durable local shard persists adopted entries; the in-memory
+        # reference index just re-inserts them.
+        adopt = getattr(self.local, "adopt_raw", self.local.restore_raw)
+        adopt(obj)
 
     # -- local raw access (the peer-facing surface) -------------------------
 
@@ -315,7 +318,11 @@ class FederatedIndexStore:
                     f"rehome of {obj.object_id!r} to {owner!r} failed: "
                     f"{response['message']}"
                 )
-            self.local.registry.withdraw(obj.object_id)
+            durable_withdraw = getattr(self.local, "withdraw", None)
+            if durable_withdraw is not None:
+                durable_withdraw(obj.object_id)  # persists a tombstone row
+            else:
+                self.local.registry.withdraw(obj.object_id)
             moved += 1
             self.stats.rehomed += 1
         return moved

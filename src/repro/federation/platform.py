@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.audit.log import AuditAction, AuditOutcome
 from repro.bus.delivery import DeliveryPolicy
@@ -115,12 +116,18 @@ class FederatedPlatform:
     # -- topology ----------------------------------------------------------
 
     def _build_node(self, node_id: str) -> FederationNode:
+        # Each node gets its own data subdirectory: durable stores must
+        # never interleave two nodes' logs in one file or segment dir.
+        data_dir = self._base_runtime.data_dir
+        if data_dir is not None:
+            data_dir = Path(data_dir) / node_id
         node_runtime = replace(
             self._base_runtime,
             index_store="federated",
             telemetry="shared",
             federation="static",
             shards=self.membership.shards,
+            data_dir=data_dir,
         )
         if self.per_node_telemetry:
             # One backend per node, sharing the federation clock and guard;

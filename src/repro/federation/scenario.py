@@ -15,7 +15,7 @@ busiest node) and the derived notification-routing throughput.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.clock import Clock
 from repro.core.events import EventClass
@@ -23,6 +23,7 @@ from repro.exceptions import AccessDeniedError, ConfigurationError
 from repro.federation.platform import FederatedPlatform
 from repro.obs.slo import SLOEngine, SLOReport
 from repro.obs.telemetry import InMemoryTelemetry
+from repro.runtime.kernel import RuntimeConfig
 from repro.sim.generators import (
     SyntheticPopulation,
     WorkloadGenerator,
@@ -60,6 +61,11 @@ class FederatedScenarioConfig:
     #: Hot-path performance layer on every node: "indexed" or "none"
     #: (the ablation baseline) — see ``RuntimeConfig.perf``.
     perf: str = "indexed"
+    #: Base runtime for every node controller (the platform still forces
+    #: the federation-specific fields and per-node data subdirectories).
+    #: Use it to run the whole federation on durable backends, e.g.
+    #: ``RuntimeConfig(audit_sink="jsonl", store="segmented", data_dir=...)``.
+    runtime: RuntimeConfig | None = None
     consumers: tuple[tuple[str, str], ...] = DEFAULT_CONSUMERS
     producer_assignment: dict[str, str] = field(
         default_factory=lambda: dict(DEFAULT_PRODUCER_ASSIGNMENT)
@@ -143,13 +149,12 @@ class FederatedScenario:
                 guard_mode=self.config.telemetry_guard,
                 secret=f"css-federation-{self.config.seed}",
             )
-        from repro.runtime.kernel import RuntimeConfig
-
+        base_runtime = self.config.runtime or RuntimeConfig()
         self.platform = FederatedPlatform(
             shards=self.config.nodes,
             clock=self.clock,
             seed=f"fedsc-{self.config.seed}",
-            runtime=RuntimeConfig(perf=self.config.perf),
+            runtime=replace(base_runtime, perf=self.config.perf),
             telemetry=self.telemetry,
             link_latency=self.config.link_latency,
             per_node_telemetry=self.config.per_node_telemetry,

@@ -2,15 +2,25 @@
 
 The in-memory classes (:class:`~repro.core.index.EventsIndex`,
 :class:`~repro.audit.log.AuditLog`) are the reference implementations; the
-JSONL-backed pair here proves the multi-backend seam: both write through to
-append-only JSON-lines files (:mod:`repro.storage.jsonl`) and replay them
-on start, so a platform restarted over the same data directory sees its
-indexed notifications (identity slots still sealed — the files never hold
+pair here proves the multi-backend seam: both write through to a durable
+:class:`~repro.storage.engine.RecordLog` and replay it on start, so a
+platform restarted over the same data directory sees its indexed
+notifications (identity slots still sealed — the logs never hold
 plaintext identities) and its hash-chained audit trail.
+
+Which log implementation sits underneath is the kernel's ``store`` kind:
+``jsonl`` (flat files, the ablation baseline) or ``segmented`` (the
+crash-recoverable storage engine).  Decisions and audit trails are
+byte-identical across both — these adapters serialize rows the same way
+regardless of the log they write to.
 
 Select them through the kernel::
 
-    RuntimeConfig(index_store="jsonl", audit_sink="jsonl", data_dir="...")
+    RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
+                  store="segmented", data_dir="...")
+
+Replay streams (:meth:`RecordLog.iter_records`), so restart memory is
+bounded by one record, not by the log.
 """
 
 from __future__ import annotations
@@ -20,33 +30,41 @@ from pathlib import Path
 from repro.audit.log import AuditAction, AuditLog, AuditOutcome, AuditRecord
 from repro.core.index import EventsIndex, SealedIdentity
 from repro.core.messages import NotificationMessage
-from repro.exceptions import TamperedLogError
+from repro.exceptions import ObjectNotFoundError, TamperedLogError
 from repro.registry.objects import LifecycleStatus, RegistryObject, Slot
-from repro.storage.jsonl import JsonlFile
+from repro.storage.engine import JsonlRecordLog, RecordLog
+
+
+def _as_log(log_or_path: str | Path | RecordLog) -> RecordLog:
+    """Accept either a ready log or a path to a flat JSONL file."""
+    if isinstance(log_or_path, (str, Path)):
+        return JsonlRecordLog(log_or_path)
+    return log_or_path
 
 
 class JsonlAuditSink:
-    """Hash-chained audit log with JSONL write-through persistence.
+    """Hash-chained audit log with durable write-through persistence.
 
-    Every appended record lands in ``audit.jsonl`` together with its chain
-    digest.  On construction an existing file is replayed into a fresh
-    chain and the stored head digest re-verified, so tampering with the
-    file is detected at load time, not at the next guarantor review.
+    Every appended record lands in the ``audit`` log together with its
+    chain digest.  On construction an existing log is replayed into a
+    fresh chain and the stored head digest re-verified, so tampering with
+    the stored trail is detected at load time, not at the next guarantor
+    review.  Accepts a path (flat JSONL, the historical constructor) or
+    any :class:`~repro.storage.engine.RecordLog`.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path | RecordLog) -> None:
         self._log = AuditLog()
-        self._file = JsonlFile(path)
+        self._store = _as_log(path)
         self._replay()
 
     @property
-    def path(self) -> Path:
-        """The backing JSONL file."""
-        return self._file.path
+    def path(self) -> Path | None:
+        """The backing file, when the log has one (flat JSONL)."""
+        return getattr(self._store, "path", None)
 
     def _replay(self) -> None:
-        rows = self._file.read_all()
-        for row in rows:
+        for row in self._store.iter_records():
             digest = self._log.append(AuditRecord(
                 record_id=row["record_id"],
                 timestamp=row["timestamp"],
@@ -61,7 +79,7 @@ class JsonlAuditSink:
             ))
             if row.get("digest") not in (None, digest):
                 raise TamperedLogError(
-                    f"{self.path}: stored digest of record "
+                    f"stored digest of audit record "
                     f"{row['record_id']!r} does not replay"
                 )
 
@@ -70,7 +88,7 @@ class JsonlAuditSink:
     def append(self, record: AuditRecord) -> str:
         """Append ``record``, write it through to disk, return its digest."""
         digest = self._log.append(record)
-        self._file.append({**record.to_payload(), "digest": digest})
+        self._store.append({**record.to_payload(), "digest": digest})
         return digest
 
     def records(self) -> tuple[AuditRecord, ...]:
@@ -95,28 +113,36 @@ class JsonlAuditSink:
 
 
 class JsonlIndexStore:
-    """Events index with JSONL write-through persistence.
+    """Events index with durable write-through persistence.
 
     Wraps the in-memory :class:`EventsIndex` (queries, decryption and the
     nonce sequence behave identically) and appends every stored registry
-    object — identity slots sealed — to ``index.jsonl``.  On construction
-    an existing file is replayed via the raw-restore path, and the nonce
-    sequence fast-forwarded so no keystream is reused after a restart.
+    object — identity slots sealed — to the ``index`` log.  On
+    construction an existing log is replayed via the raw-restore path,
+    and the nonce sequence fast-forwarded so no keystream is reused after
+    a restart.  Withdrawals persist as tombstone rows, which compaction
+    (``segmented`` store kind) later reclaims together with the rows they
+    hide.
     """
 
-    def __init__(self, path: str | Path, keystore, encrypt_identity: bool = True) -> None:
+    def __init__(self, path: str | Path | RecordLog, keystore,
+                 encrypt_identity: bool = True) -> None:
         self._inner = EventsIndex(keystore, encrypt_identity=encrypt_identity)
-        self._file = JsonlFile(path)
+        self._store = _as_log(path)
         self._replay()
 
     @property
-    def path(self) -> Path:
-        """The backing JSONL file."""
-        return self._file.path
+    def path(self) -> Path | None:
+        """The backing file, when the log has one (flat JSONL)."""
+        return getattr(self._store, "path", None)
 
     def _replay(self) -> None:
         sequence = 0
-        for row in self._file.read_all():
+        withdrawn: list[str] = []
+        for row in self._store.iter_records():
+            if row.get("tombstone"):
+                withdrawn.append(row["object_id"])
+                continue
             obj = RegistryObject(
                 object_id=row["object_id"], object_type=row["object_type"],
                 name=row["name"], description=row["description"],
@@ -128,6 +154,11 @@ class JsonlIndexStore:
             self._inner.restore_raw(obj)
             obj.status = LifecycleStatus(row["status"])
             sequence = max(sequence, int(row.get("sequence", 0)))
+        for object_id in withdrawn:
+            try:
+                self._inner.registry.withdraw(object_id)
+            except ObjectNotFoundError:  # its row was already compacted away
+                pass
         if sequence:
             self._inner.restore_sequence(sequence)
 
@@ -137,11 +168,8 @@ class JsonlIndexStore:
         """Seal the identifying slots (crypto stage pass-through)."""
         return self._inner.seal_identity(notification)
 
-    def store(self, notification: NotificationMessage,
-              sealed: SealedIdentity | None = None) -> RegistryObject:
-        """Index a notification and append its sealed row to disk."""
-        obj = self._inner.store(notification, sealed=sealed)
-        self._file.append({
+    def _row_of(self, obj: RegistryObject) -> dict:
+        return {
             "object_id": obj.object_id, "object_type": obj.object_type,
             "name": obj.name, "description": obj.description,
             "status": obj.status.value,
@@ -150,12 +178,42 @@ class JsonlIndexStore:
             ],
             "slots": {name: list(slot.values) for name, slot in obj.slots.items()},
             "sequence": self._inner.sequence,
-        })
+        }
+
+    def store(self, notification: NotificationMessage,
+              sealed: SealedIdentity | None = None) -> RegistryObject:
+        """Index a notification and append its sealed row to disk."""
+        obj = self._inner.store(notification, sealed=sealed)
+        self._store.append(self._row_of(obj))
         return obj
+
+    def withdraw(self, event_id: str) -> None:
+        """Hide an indexed entry and persist the withdrawal as a tombstone.
+
+        Registry object ids *are* event ids, so this is the durable
+        counterpart of ``registry.withdraw`` — the entry stays hidden
+        across restarts, and compaction may reclaim it and its tombstone.
+        """
+        self._inner.registry.withdraw(event_id)
+        self._store.append({"tombstone": True, "object_id": event_id})
 
     def restore_raw(self, obj: RegistryObject) -> None:
         """Re-insert an archived registry object (archive-restore path)."""
         self._inner.restore_raw(obj)
+
+    def adopt_raw(self, obj: RegistryObject) -> None:
+        """Index a raw registry object *and* persist its row.
+
+        The federated shard-transfer path: entries shipped by a peer
+        (identity slots still sealed) must survive this node's restarts,
+        unlike archive restores which replay from their own snapshot.
+        """
+        self._inner.restore_raw(obj)
+        self._store.append(self._row_of(obj))
+
+    def open_identity(self, token: str) -> str:
+        """Open one sealed identity slot (federated fan-out path)."""
+        return self._inner.open_identity(token)
 
     def get(self, event_id: str) -> NotificationMessage:
         """Rebuild the notification stored under ``event_id``."""

@@ -41,6 +41,7 @@ KIND_FEDERATION = "federation"
 KIND_SLO = "slo"
 KIND_PROFILING = "profiling"
 KIND_PERF = "perf"
+KIND_STORE = "store"
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,12 @@ class RuntimeConfig:
     #: "none" (the linear-scan ablation baseline).  Decisions and audit
     #: trails are identical either way; only the speed differs.
     perf: str = "indexed"
+    #: Durable store engine behind the jsonl index/audit backends:
+    #: "jsonl" (flat files, the ablation baseline) or "segmented" (the
+    #: storage engine — segmented checksummed logs with compaction,
+    #: snapshots and point-in-time recovery).  Decisions and audit
+    #: trails are byte-identical across both.
+    store: str = "jsonl"
     #: Federation topology: "none" (single controller) or "static"
     #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
     federation: str = "none"
@@ -197,11 +204,23 @@ def _memory_index(**context: Any) -> Any:
     )
 
 
+def _durable_log(context: dict, name: str) -> Any:
+    """The named record log from the runtime's store provider.
+
+    Falls back to a flat ``<name>.jsonl`` path when no provider is in the
+    construction context (direct kernel use predating the store kind).
+    """
+    provider = context.get("store")
+    if provider is not None:
+        return provider.log(name)
+    return _data_file(context, f"{name}.jsonl")
+
+
 def _jsonl_index(**context: Any) -> Any:
     from repro.runtime.backends import JsonlIndexStore
 
     return JsonlIndexStore(
-        _data_file(context, "index.jsonl"),
+        _durable_log(context, "index"),
         context["keystore"],
         encrypt_identity=context.get("encrypt_identity", True),
     )
@@ -216,7 +235,7 @@ def _memory_audit(**context: Any) -> Any:
 def _jsonl_audit(**context: Any) -> Any:
     from repro.runtime.backends import JsonlAuditSink
 
-    return JsonlAuditSink(_data_file(context, "audit.jsonl"))
+    return JsonlAuditSink(_durable_log(context, "audit"))
 
 
 def _xacml_enforcer(**context: Any) -> Any:
@@ -261,10 +280,22 @@ def _federated_index(**context: Any) -> Any:
     from repro.core.index import EventsIndex
     from repro.federation.index import FederatedIndexStore
 
-    local = EventsIndex(
-        context["keystore"],
-        encrypt_identity=context.get("encrypt_identity", True),
-    )
+    if context.get("data_dir") is not None:
+        # Durable deployment: this node's shard writes through to its own
+        # index log, so rehome tombstones and adopted entries survive a
+        # restart (the store kind decides flat-file vs segmented).
+        from repro.runtime.backends import JsonlIndexStore
+
+        local: Any = JsonlIndexStore(
+            _durable_log(context, "index"),
+            context["keystore"],
+            encrypt_identity=context.get("encrypt_identity", True),
+        )
+    else:
+        local = EventsIndex(
+            context["keystore"],
+            encrypt_identity=context.get("encrypt_identity", True),
+        )
     return FederatedIndexStore(
         local=local,
         membership=context["membership"],
@@ -319,6 +350,21 @@ def _indexed_perf(**context: Any) -> Any:
     )
 
 
+def _jsonl_store(**context: Any) -> Any:
+    from repro.storage.engine import JsonlStore
+
+    return JsonlStore(data_dir=context.get("data_dir"))
+
+
+def _segmented_store(**context: Any) -> Any:
+    from repro.storage.engine import SegmentedStore
+
+    return SegmentedStore(
+        data_dir=context.get("data_dir"),
+        telemetry=context.get("telemetry"),
+    )
+
+
 def _shared_telemetry(**context: Any) -> Any:
     # The federated platform shares one telemetry instance across all its
     # node controllers; the factory just hands it through the kernel so the
@@ -362,4 +408,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_PROFILING, "sampling", _sampling_profiler)
     kernel.register(KIND_PERF, "none", _no_perf)
     kernel.register(KIND_PERF, "indexed", _indexed_perf)
+    kernel.register(KIND_STORE, "jsonl", _jsonl_store)
+    kernel.register(KIND_STORE, "segmented", _segmented_store)
     return kernel

@@ -230,7 +230,7 @@ class PlatformArchive:
             controller.ids.skip(prefix, count)
 
         # Audit log first: replay and verify against the manifest head.
-        for row in self._file("audit").read_all():
+        for row in self._file("audit").iter_records():
             controller.audit_log.append(AuditRecord(
                 record_id=row["record_id"], timestamp=row["timestamp"],
                 actor=row["actor"], action=AuditAction(row["action"]),
@@ -244,20 +244,20 @@ class PlatformArchive:
                 "restored audit chain does not match the archived head digest"
             )
 
-        for row in self._file("actors").read_all():
+        for row in self._file("actors").iter_records():
             controller.actors.add(Actor(
                 actor_id=row["actor_id"], name=row["name"],
                 kind=ActorKind(row["kind"]), role=row["role"],
                 description=row["description"],
             ))
-        for row in self._file("contracts").read_all():
+        for row in self._file("contracts").iter_records():
             controller.contracts.sign(Contract(
                 party_id=row["party_id"], kind=ActorKind(row["kind"]),
                 signed_at=row["signed_at"], valid_until=row["valid_until"],
                 status=ContractStatus(row["status"]),
             ))
 
-        catalog_rows = sorted(self._file("catalog").read_all(),
+        catalog_rows = sorted(self._file("catalog").iter_records(),
                               key=lambda row: (row["name"], row["version"]))
         for row in catalog_rows:
             event_class = EventClass(
@@ -272,7 +272,7 @@ class PlatformArchive:
             else:
                 controller.catalog.upgrade(event_class)
 
-        for row in self._file("policies").read_all():
+        for row in self._file("policies").iter_records():
             policy = PrivacyPolicy(
                 policy_id=row["policy_id"], producer_id=row["producer_id"],
                 event_type=row["event_type"],
@@ -287,7 +287,7 @@ class PlatformArchive:
             if row["revoked"]:
                 controller.policies.revoke(policy.policy_id)
 
-        for row in self._file("idmap").read_all():
+        for row in self._file("idmap").iter_records():
             controller.id_map.record(EventIdEntry(
                 event_id=row["event_id"], producer_id=row["producer_id"],
                 src_event_id=row["src_event_id"], event_type=row["event_type"],
@@ -296,7 +296,7 @@ class PlatformArchive:
 
         from repro.registry.objects import LifecycleStatus
 
-        for row in self._file("index").read_all():
+        for row in self._file("index").iter_records():
             obj = RegistryObject(
                 object_id=row["object_id"], object_type=row["object_type"],
                 name=row["name"], description=row["description"],
@@ -310,7 +310,7 @@ class PlatformArchive:
         controller.index.restore_sequence(manifest["index_sequence"])
 
         gateways: dict[str, LocalCooperationGateway] = {}
-        for row in self._file("gateways").read_all():
+        for row in self._file("gateways").iter_records():
             producer_id = row["producer_id"]
             gateway = gateways.get(producer_id)
             if gateway is None:
@@ -330,7 +330,7 @@ class PlatformArchive:
             controller.attach_gateway(producer_id, gateway, check_contract=False)
 
         registries: dict[str, ConsentRegistry] = {}
-        for row in self._file("consent").read_all():
+        for row in self._file("consent").iter_records():
             registry = registries.get(row["producer_id"])
             if registry is None:
                 registry = ConsentRegistry(row["producer_id"],

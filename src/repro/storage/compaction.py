@@ -1,0 +1,149 @@
+"""Log compaction: reclaim space without touching what must stay immutable.
+
+Compaction rewrites a :class:`~repro.storage.segment.SegmentedLog` keeping
+only the records a *keep predicate* selects, preserving each survivor's
+sequence number (gaps are fine — sequence numbers are identities, not
+offsets).  Replacement segments are staged in a scratch directory and
+swapped in atomically, so a crash mid-compaction leaves either the old or
+the new generation, never a mix.
+
+The shipped predicate, :func:`index_keep_predicate`, encodes the events
+index's retention rules:
+
+* a **tombstone** row (``{"tombstone": true, "object_id": ...}``, written
+  by :meth:`~repro.runtime.backends.JsonlIndexStore.withdraw`) and every
+  row it tombstones are dropped together;
+* rows whose lifecycle ``status`` is ``withdrawn`` or ``deprecated`` are
+  dropped;
+* of several rows for one ``object_id`` only the **latest** survives
+  (earlier rows are superseded state).
+
+The audit log is *never* compacted — its hash chain commits to every
+record ever written, so dropping one would turn retention into tampering.
+:meth:`~repro.storage.engine.StorageEngine.compact` enforces that rule;
+this module just rewrites whatever log it is handed.
+
+Predicate discovery runs as a first streaming pass (it needs to know the
+*last* row per object), so compaction memory is proportional to the
+number of distinct objects, not to the log.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.storage.segment import SegmentedLog, encode_frame, segment_name
+
+#: Statuses whose rows compaction may reclaim.
+DROPPABLE_STATUSES = frozenset({"withdrawn", "deprecated"})
+#: Staging directory name inside the log directory.
+STAGING_DIR = ".compacting"
+
+#: A keep predicate: ``(sequence, record) -> bool``.
+KeepPredicate = Callable[[int, dict], bool]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of one compaction run."""
+
+    records_before: int
+    records_after: int
+    segments_before: int
+    segments_after: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def records_dropped(self) -> int:
+        """How many records the predicate reclaimed."""
+        return self.records_before - self.records_after
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        """Disk space returned to the operator."""
+        return self.bytes_before - self.bytes_after
+
+
+def index_keep_predicate(log: SegmentedLog) -> KeepPredicate:
+    """Build the events-index retention predicate for ``log``.
+
+    First streaming pass: find tombstoned object ids and the last
+    sequence number per object id.
+    """
+    tombstoned: set[str] = set()
+    last_sequence: dict[str, int] = {}
+    for sequence, record in log.iter_entries():
+        object_id = record.get("object_id")
+        if object_id is None:
+            continue
+        if record.get("tombstone"):
+            tombstoned.add(object_id)
+        last_sequence[object_id] = sequence
+
+    def keep(sequence: int, record: dict) -> bool:
+        object_id = record.get("object_id")
+        if object_id is None:
+            return True  # never drop what we don't understand
+        if record.get("tombstone") or object_id in tombstoned:
+            return False
+        if record.get("status") in DROPPABLE_STATUSES:
+            return False
+        return sequence == last_sequence.get(object_id)
+
+    return keep
+
+
+def compact(log: SegmentedLog, keep: KeepPredicate | None = None) -> CompactionReport:
+    """Rewrite ``log`` keeping only records selected by ``keep``.
+
+    Sequence numbers of kept records are preserved; the high-water
+    sequence is pinned through the meta sidecar so appends never reuse a
+    reclaimed sequence number.
+    """
+    if keep is None:
+        keep = index_keep_predicate(log)
+    records_before = len(log)
+    segments_before = len(log.segments())
+    bytes_before = log.size_bytes()
+    high_water = log.sequence
+
+    staging = log.directory / STAGING_DIR
+    if staging.exists():
+        shutil.rmtree(staging)  # remnants of a crashed compaction
+    staging.mkdir(parents=True)
+
+    staged: list[Path] = []
+    handle = None
+    staged_size = 0
+    try:
+        for sequence, record in log.iter_entries():
+            if not keep(sequence, record):
+                continue
+            frame = encode_frame(sequence, record)
+            if handle is None or staged_size >= log.segment_bytes:
+                if handle is not None:
+                    handle.close()
+                path = staging / segment_name(sequence)
+                staged.append(path)
+                handle = path.open("ab")
+                staged_size = 0
+            handle.write(frame)
+            staged_size += len(frame)
+    finally:
+        if handle is not None:
+            handle.close()
+
+    log.swap_segments(staged, high_water)
+    shutil.rmtree(staging, ignore_errors=True)
+    return CompactionReport(
+        records_before=records_before,
+        records_after=len(log),
+        segments_before=segments_before,
+        segments_after=len(log.segments()),
+        bytes_before=bytes_before,
+        bytes_after=log.size_bytes(),
+    )

@@ -1,0 +1,257 @@
+"""The storage engine: named record logs behind one data directory.
+
+This module is the seam the service kernel's ``store`` kind plugs into.
+A *store provider* hands out named :class:`RecordLog` streams — the
+durable backends ask for ``log("index")`` and ``log("audit")`` and never
+care what sits underneath:
+
+* :class:`JsonlStore` (kind ``jsonl``) — one flat ``<name>.jsonl`` per
+  log, the pre-engine baseline kept for the storage ablation;
+* :class:`SegmentedStore` (kind ``segmented``) — a :class:`StorageEngine`
+  of size-segmented, checksum-framed, crash-recoverable logs with
+  compaction and snapshot/point-in-time-restore support.
+
+Decisions and audit trails are byte-identical across the two kinds; only
+durability, recovery and space behavior differ (that equivalence is
+pinned by tests and the ``BENCH_storage`` gate).
+
+Telemetry is privacy-guarded like everywhere else in the platform: the
+engine emits ``storage.segments_total``, ``storage.compaction.reclaimed``
+and ``storage.recovery.ms`` labelled only by store kind and log name —
+never by event, subject or object identifiers.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.exceptions import ConfigurationError, StorageError
+from repro.storage.compaction import CompactionReport, compact
+from repro.storage.jsonl import JsonlFile
+from repro.storage.segment import (
+    DEFAULT_SEGMENT_BYTES,
+    DEFAULT_SPARSE_EVERY,
+    SEGMENT_SUFFIX,
+    SegmentedLog,
+)
+from repro.storage.snapshot import SnapshotInfo, SnapshotManager
+
+#: Gauge: segment (or file) count per log.
+METRIC_SEGMENTS = "storage.segments_total"
+#: Counter: bytes reclaimed by compaction.
+METRIC_COMPACTION_RECLAIMED = "storage.compaction.reclaimed"
+#: Histogram: wall-clock milliseconds spent replaying a log on open.
+METRIC_RECOVERY_MS = "storage.recovery.ms"
+
+#: Logs whose records may never be compacted away (hash-chained history).
+IMMUTABLE_LOGS = frozenset({"audit"})
+
+
+@runtime_checkable
+class RecordLog(Protocol):
+    """What a durable backend needs from its log: append and stream."""
+
+    def append(self, record: dict) -> int:
+        """Commit one record; returns its sequence number."""
+        ...
+
+    def append_many(self, records: list[dict]) -> None:
+        """Commit several records in one write."""
+        ...
+
+    def iter_records(self) -> Iterator[dict]:
+        """Stream records oldest first, bounded memory."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class JsonlRecordLog:
+    """A flat JSONL file speaking the :class:`RecordLog` surface."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._file = JsonlFile(path)
+        self._count: int | None = None
+
+    @property
+    def path(self) -> Path:
+        """The backing JSONL file."""
+        return self._file.path
+
+    def append(self, record: dict) -> int:
+        self._file.append(record)
+        self._count = len(self) + 1 if self._count is None else self._count + 1
+        return self._count
+
+    def append_many(self, records: list[dict]) -> None:
+        self._file.append_many(records)
+        if self._count is not None:
+            self._count += len(records)
+
+    def iter_records(self) -> Iterator[dict]:
+        return self._file.iter_records()
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self._file.iter_records())
+        return self._count
+
+
+class StorageEngine:
+    """A directory of named segmented logs, compactable and snapshotable."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sparse_every: int = DEFAULT_SPARSE_EVERY,
+        telemetry=None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.segment_bytes = segment_bytes
+        self.sparse_every = sparse_every
+        self._telemetry = telemetry
+        self._logs: dict[str, SegmentedLog] = {}
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _emit(self, method: str, name: str, value: float, **labels) -> None:
+        telemetry = self._telemetry
+        if telemetry is None or not getattr(telemetry, "enabled", False):
+            return
+        getattr(telemetry, method)(name, value, store="segmented", **labels)
+
+    def _refresh_segment_gauge(self, log_name: str) -> None:
+        log = self._logs[log_name]
+        self._emit("gauge", METRIC_SEGMENTS, float(len(log.segments())),
+                   log=log_name)
+
+    # -- logs --------------------------------------------------------------
+
+    def log(self, name: str) -> SegmentedLog:
+        """Open (replaying and crash-repairing) the named log."""
+        if name not in self._logs:
+            started = time.perf_counter()
+            self._logs[name] = SegmentedLog(
+                self.directory / name,
+                segment_bytes=self.segment_bytes,
+                sparse_every=self.sparse_every,
+            )
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._emit("observe", METRIC_RECOVERY_MS, elapsed_ms, log=name)
+            self._refresh_segment_gauge(name)
+        return self._logs[name]
+
+    def log_names(self) -> list[str]:
+        """Every log on disk or opened this session, sorted."""
+        names = set(self._logs)
+        if self.directory.is_dir():
+            for child in self.directory.iterdir():
+                if child.is_dir() and any(child.glob(f"*{SEGMENT_SUFFIX}")):
+                    names.add(child.name)
+        return sorted(names)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-log figures: records, segments, bytes, high-water sequence."""
+        figures: dict[str, dict[str, int]] = {}
+        for name in self.log_names():
+            log = self.log(name)
+            figures[name] = {
+                "records": len(log),
+                "segments": len(log.segments()),
+                "size_bytes": log.size_bytes(),
+                "sequence": log.sequence,
+            }
+        return figures
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, name: str = "index", keep=None) -> CompactionReport:
+        """Compact the named log; the audit chain is off limits.
+
+        Raises :class:`~repro.exceptions.StorageError` for an immutable
+        log — compacting a hash-chained history would be tampering, not
+        retention.
+        """
+        if name in IMMUTABLE_LOGS:
+            raise StorageError(
+                f"log {name!r} is immutable: its hash chain commits to every "
+                f"record ever written, so compaction is forbidden"
+            )
+        report = compact(self.log(name), keep=keep)
+        self._emit("count", METRIC_COMPACTION_RECLAIMED,
+                   float(report.bytes_reclaimed), log=name)
+        self._refresh_segment_gauge(name)
+        return report
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, snapshots_root: str | Path,
+                 label: str | None = None) -> SnapshotInfo:
+        """Archive the whole data directory (manifest + sha256 + tar)."""
+        sequences = {name: self.log(name).sequence
+                     for name in self.log_names()}
+        return SnapshotManager(snapshots_root).create(
+            self.directory, label=label, sequences=sequences,
+        )
+
+
+# -- store providers (the kernel ``store`` kind) ----------------------------
+
+
+def _require_data_dir(data_dir, kind: str) -> Path:
+    if data_dir is None:
+        raise ConfigurationError(
+            f"the {kind!r} store kind needs RuntimeConfig.data_dir"
+        )
+    return Path(data_dir)
+
+
+class JsonlStore:
+    """Store provider ``jsonl``: one flat file per log (ablation baseline)."""
+
+    kind = "jsonl"
+
+    def __init__(self, data_dir: str | Path | None = None) -> None:
+        self._data_dir = data_dir
+
+    def log(self, name: str) -> JsonlRecordLog:
+        """The named log as ``<data_dir>/<name>.jsonl``."""
+        base = _require_data_dir(self._data_dir, self.kind)
+        return JsonlRecordLog(base / f"{name}.jsonl")
+
+
+class SegmentedStore:
+    """Store provider ``segmented``: the real engine behind the same seam."""
+
+    kind = "segmented"
+
+    def __init__(
+        self,
+        data_dir: str | Path | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sparse_every: int = DEFAULT_SPARSE_EVERY,
+        telemetry=None,
+    ) -> None:
+        self._data_dir = data_dir
+        self._segment_bytes = segment_bytes
+        self._sparse_every = sparse_every
+        self._telemetry = telemetry
+        self._engine: StorageEngine | None = None
+
+    @property
+    def engine(self) -> StorageEngine:
+        """The lazily-opened engine (needs a data directory)."""
+        if self._engine is None:
+            base = _require_data_dir(self._data_dir, self.kind)
+            self._engine = StorageEngine(
+                base, segment_bytes=self._segment_bytes,
+                sparse_every=self._sparse_every, telemetry=self._telemetry,
+            )
+        return self._engine
+
+    def log(self, name: str) -> SegmentedLog:
+        """The named log as a segmented directory under the data dir."""
+        return self.engine.log(name)

@@ -1,16 +1,27 @@
 """Append-only JSON-lines files.
 
-One record per line, written atomically enough for the simulation's needs
-(a real deployment would add fsync and rotation).  Readers get plain
-dictionaries back.
+One record per line.  This is the storage engine's *ablation baseline*
+(kernel store kind ``jsonl``): no framing, no segments, no recovery
+beyond all-or-nothing — exactly what the segmented engine is measured
+against.  Readers get plain dictionaries back.
+
+Reading is **streaming**: :meth:`JsonlFile.iter_records` yields one
+record at a time, so replaying a multi-gigabyte file holds one line in
+memory, never the file.  :meth:`JsonlFile.read_all` stays for small
+files and tests.  A malformed line — including a torn trailing write,
+which this format cannot distinguish from corruption — raises the typed
+:class:`~repro.exceptions.CorruptRecordError` (a
+:class:`~repro.exceptions.StorageError`), never a bare
+``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterator
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CorruptRecordError
 
 
 class JsonlFile:
@@ -37,23 +48,31 @@ class JsonlFile:
                 handle.write(json.dumps(record, sort_keys=True, default=str))
                 handle.write("\n")
 
-    def read_all(self) -> list[dict]:
-        """Every record, oldest first (empty list if the file is absent)."""
+    def iter_records(self) -> Iterator[dict]:
+        """Stream records oldest first, one line in memory at a time.
+
+        Raises :class:`~repro.exceptions.CorruptRecordError` on any
+        malformed line (a plain JSONL file has no commit framing, so a
+        torn trailing write is indistinguishable from corruption — the
+        segmented store kind exists to do better).
+        """
         if not self.path.exists():
-            return []
-        records = []
+            return
         with self.path.open("r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    yield json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise ConfigurationError(
+                    raise CorruptRecordError(
                         f"{self.path}:{line_number}: corrupt JSONL record"
                     ) from exc
-        return records
+
+    def read_all(self) -> list[dict]:
+        """Every record, oldest first (empty list if the file is absent)."""
+        return list(self.iter_records())
 
     def __len__(self) -> int:
-        return len(self.read_all())
+        return sum(1 for _ in self.iter_records())

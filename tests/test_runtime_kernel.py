@@ -57,9 +57,10 @@ class TestKernelRegistry:
         assert wiring["slo"] == ("default", "noop")
         assert wiring["profiling"] == ("noop", "sampling")
         assert wiring["perf"] == ("indexed", "none")
+        assert wiring["store"] == ("jsonl", "segmented")
         assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
                                "index", "pdp", "perf", "profiling", "slo",
-                               "telemetry", "transport"}
+                               "store", "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()

@@ -9,6 +9,8 @@ from repro.clock import DAY
 from repro.exceptions import (
     AccessDeniedError,
     ConfigurationError,
+    CorruptRecordError,
+    StorageError,
     TamperedLogError,
 )
 from repro.storage import JsonlFile, PlatformArchive
@@ -31,8 +33,22 @@ class TestJsonlFile:
     def test_corrupt_line_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ok": 1}\nnot json\n')
-        with pytest.raises(ConfigurationError, match="corrupt"):
+        with pytest.raises(CorruptRecordError, match="corrupt"):
             JsonlFile(path).read_all()
+
+    def test_corrupt_record_is_a_storage_error_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2}\nnot json\n')
+        with pytest.raises(StorageError, match=":3"):
+            list(JsonlFile(path).iter_records())
+
+    def test_iter_records_streams_good_prefix(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        records = JsonlFile(path).iter_records()
+        assert next(records) == {"ok": 1}
+        with pytest.raises(CorruptRecordError):
+            next(records)
 
     def test_creates_parent_directories(self, tmp_path):
         file = JsonlFile(tmp_path / "deep" / "nested" / "x.jsonl")
