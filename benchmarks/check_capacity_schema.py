@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_capacity.json`` (schema ``css-bench-capacity/1``).
+
+CI runs ``repro workload --scenario steady ... --out BENCH_capacity.json``
+and then this script.  Beyond shape validation it enforces the two
+semantic gates of the workload engine:
+
+* every capacity point must carry a verified ``audit_digest`` — the
+  capacity figures are only trustworthy if the hash-chained audit trail
+  behind them verified end to end;
+* **privacy**: the serialized payload must not contain a plaintext
+  assisted-person identifier (the population's ``ap-NNNNNNNN`` shape) or
+  a bare subject name — the benchmark artifact is shareable and must
+  stay free of direct identifiers, like every other export of the
+  platform.
+
+Usage::
+
+    python benchmarks/check_capacity_schema.py BENCH_capacity.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-capacity/1"
+LATENCY_KEYS = ("p50", "p95", "p99", "mean", "min", "max")
+PIPELINES = ("publish", "details")
+ARRIVALS = ("poisson", "onoff")
+
+#: The plaintext shape of an assisted-person identifier
+#: (:data:`repro.workload.population.SUBJECT_PREFIX` + zero-padded index).
+SUBJECT_ID_PATTERN = re.compile(r"\bap-\d{8}\b")
+
+POINT_COUNTERS = (
+    "ops", "published", "publish_blocked", "detail_permits",
+    "detail_denies", "subscribe_ops", "cross_node_hops",
+    "queue_depth_high_water", "dead_letter_high_water", "audit_records",
+)
+POINT_RATES = (
+    "events_per_second", "details_per_second",
+    "makespan_seconds", "simulated_seconds",
+)
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _integer(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_latency(section: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(section, dict):
+        return [f"{where} must be an object"]
+    for pipeline in PIPELINES:
+        summary = section.get(pipeline)
+        if not isinstance(summary, dict):
+            problems.append(f"{where}.{pipeline} must be an object")
+            continue
+        for key in LATENCY_KEYS:
+            value = summary.get(key)
+            if not _number(value) or value < 0:
+                problems.append(
+                    f"{where}.{pipeline}.{key} must be a non-negative number"
+                )
+        if all(_number(summary.get(key)) for key in ("p50", "p95", "p99")):
+            if not summary["p50"] <= summary["p95"] <= summary["p99"]:
+                problems.append(
+                    f"{where}.{pipeline}: percentiles must satisfy "
+                    "p50 <= p95 <= p99"
+                )
+    return problems
+
+
+def _validate_point(point: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(point, dict):
+        return [f"{where} must be an object"]
+    nodes = point.get("nodes")
+    if not _integer(nodes) or nodes < 1:
+        problems.append(f"{where}.nodes must be a positive integer")
+    for key in POINT_COUNTERS:
+        value = point.get(key)
+        if not _integer(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative integer")
+    for key in POINT_RATES:
+        value = point.get(key)
+        if not _number(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative number")
+    digest = point.get("audit_digest")
+    if not isinstance(digest, str) or not digest.startswith("sha256:"):
+        problems.append(
+            f"{where}.audit_digest must be a 'sha256:'-prefixed digest of "
+            "the verified audit chain heads"
+        )
+    problems.extend(_validate_latency(point.get("latency_seconds"),
+                                      f"{where}.latency_seconds"))
+    if _integer(point.get("ops")) and _integer(point.get("published")):
+        if point["published"] > point["ops"]:
+            problems.append(f"{where}: published exceeds total ops")
+    return problems
+
+
+def _validate_privacy(payload: dict) -> list[str]:
+    """The artifact must carry no direct assisted-person identifier."""
+    serialized = json.dumps(payload, sort_keys=True)
+    match = SUBJECT_ID_PATTERN.search(serialized)
+    if match:
+        return [
+            f"privacy: plaintext assisted-person id {match.group(0)!r} "
+            "leaked into the capacity payload"
+        ]
+    return []
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    if not isinstance(payload.get("scenario"), str) or not payload.get("scenario"):
+        problems.append("scenario must be a non-empty string")
+    if not _integer(payload.get("seed")):
+        problems.append("seed must be an integer")
+    population = payload.get("population")
+    if not _integer(population) or population < 1:
+        problems.append("population must be a positive integer")
+    ops = payload.get("ops")
+    if not _integer(ops) or ops < 0:
+        problems.append("ops must be a non-negative integer")
+    if payload.get("arrival") not in ARRIVALS:
+        problems.append(f"arrival must be one of {', '.join(ARRIVALS)}")
+
+    points = payload.get("nodes")
+    if not isinstance(points, list) or not points:
+        problems.append("nodes must be a non-empty list of capacity points")
+        points = []
+    node_counts = []
+    for index, point in enumerate(points):
+        problems.extend(_validate_point(point, f"nodes[{index}]"))
+        if isinstance(point, dict) and _integer(point.get("nodes")):
+            node_counts.append(point["nodes"])
+    if node_counts != sorted(node_counts):
+        problems.append("capacity points must be ordered by ascending node count")
+
+    problems.extend(_validate_privacy(payload))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_capacity_schema.py BENCH_capacity.json",
+              file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_capacity_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_capacity_schema: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_capacity_schema: {problem}", file=sys.stderr)
+        return 1
+    points = payload["nodes"]
+    best = max(points, key=lambda point: point["events_per_second"])
+    print(f"check_capacity_schema: {path} ok ({len(points)} capacity "
+          f"points, peak {best['events_per_second']:.0f} events/s "
+          f"at {best['nodes']} nodes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

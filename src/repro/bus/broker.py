@@ -64,6 +64,13 @@ class ServiceBus:
         self.auto_dispatch = auto_dispatch
         self.strict_topics = strict_topics
         self.stats = BusStats()
+        # Saturation high-water marks: the instantaneous depth gauges
+        # reset as queues drain, so a capacity run that ends drained
+        # would report an idle broker no matter how deep the backlog got
+        # mid-run.  The high-water marks keep the worst observed depth.
+        self._queue_high_water: dict[str, int] = {}
+        self._queue_high_water_global = 0
+        self._dead_letter_high_water = 0
         self._telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
@@ -148,6 +155,16 @@ class ServiceBus:
             subscription.queue.enqueue(envelope, now=now)
             self.stats.fanned_out += 1
             self.stats.bytes_fanned_out += size
+        if matching:
+            topic_depth = sum(sub.queue.depth for sub in matching)
+            if topic_depth > self._queue_high_water.get(topic, 0):
+                self._queue_high_water[topic] = topic_depth
+                if self._telemetry is not None:
+                    self._telemetry.gauge("bus.queue.high_water",
+                                          topic_depth, topic=topic)
+            self._queue_high_water_global = max(
+                self._queue_high_water_global, self.queue_depth
+            )
         if self._telemetry is not None:
             self._telemetry.count("bus.published_total", topic=topic)
             self._telemetry.count("bus.fanout_total", len(matching), topic=topic)
@@ -162,6 +179,11 @@ class ServiceBus:
         """Run one dispatch round over all subscriptions."""
         self.stats.dispatch_rounds += 1
         report = self._engine.dispatch_all(self._subscriptions.all_subscriptions())
+        if self.dead_letter_depth > self._dead_letter_high_water:
+            self._dead_letter_high_water = self.dead_letter_depth
+            if self._telemetry is not None:
+                self._telemetry.gauge("bus.deadletter.high_water",
+                                      self._dead_letter_high_water)
         if self._telemetry is not None:
             self._telemetry.count("bus.dispatch_rounds_total")
             if report.dead_lettered:
@@ -184,6 +206,35 @@ class ServiceBus:
     def dead_letter_depth(self) -> int:
         """Messages parked in the dead-letter queue."""
         return self._engine.dead_letter.depth
+
+    # -- saturation high-water marks ----------------------------------------
+
+    def queue_high_water(self, topic: str | None = None) -> int:
+        """Deepest backlog ever observed — per topic, or broker-wide.
+
+        Per-topic marks sum the queues of the subscriptions matching that
+        topic at publish time; the broker-wide mark tracks
+        :attr:`queue_depth` across publishes.  Both survive draining, so
+        a capacity harness can report saturation after the fact.
+        """
+        if topic is not None:
+            return self._queue_high_water.get(topic, 0)
+        return self._queue_high_water_global
+
+    def queue_high_water_marks(self) -> dict[str, int]:
+        """Every per-topic queue-depth high-water mark (topic → depth)."""
+        return dict(self._queue_high_water)
+
+    @property
+    def dead_letter_high_water(self) -> int:
+        """Deepest the dead-letter queue has ever been."""
+        return self._dead_letter_high_water
+
+    def reset_high_water(self) -> None:
+        """Zero every high-water mark (benchmark measurement windows)."""
+        self._queue_high_water.clear()
+        self._queue_high_water_global = 0
+        self._dead_letter_high_water = 0
 
     def drain_dead_letters(self) -> list[Envelope]:
         """Remove and return every dead-lettered envelope (operator action)."""

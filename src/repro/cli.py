@@ -20,6 +20,9 @@ All subcommands are built on the public API::
     python -m repro store     ACTION [--data DIR] [--snapshots DIR]
                               [--id SNAP] [--target DIR] [--to-sequence N]
                               [--log NAME]
+    python -m repro workload  [--scenario steady|stress|surge|anomaly]
+                              [--population N] [--ops N] [--nodes 1,2,4,8]
+                              [--seed S] [--out FILE] [--list]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -40,9 +43,13 @@ objective demonstrably breaches); ``trace`` runs a federation with
 per-node telemetry and stitches the per-node span exports into
 federated traces; ``store`` operates the segmented storage engine on a
 data directory (``snapshot``/``verify``/``restore``/``compact``/``stats``
-— point-in-time recovery via ``restore --to-sequence``); ``inspect``
-restores an archive and prints its audit summary (verifying the hash
-chain in the process); ``kernel`` prints the service-kernel wiring table.
+— point-in-time recovery via ``restore --to-sequence``); ``workload``
+drives the federated platform with a seeded open-loop workload scenario
+at each requested node count and writes the ``css-bench-capacity/1``
+trajectory (sustained events/sec, details/sec, p95/p99, saturation
+high-water marks); ``inspect`` restores an archive and prints its audit
+summary (verifying the hash chain in the process); ``kernel`` prints the
+service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ from repro.baselines import (
 )
 from repro.clock import DAY
 from repro.runtime.kernel import RuntimeConfig, default_kernel, suggest
+from repro.sim.generators import DEFAULT_SEED
 from repro.sim.scenario import (
     DEFAULT_CONSUMERS,
     DEFAULT_PRODUCER_ASSIGNMENT,
@@ -174,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="perf scenario preset (kernel or federated)")
     perf.add_argument("--nodes", type=int, default=2,
                       help="federation size for --scenario federated (default 2)")
-    perf.add_argument("--seed", type=int, default=2010)
+    perf.add_argument("--seed", type=int, default=DEFAULT_SEED)
     perf.add_argument("--full", action="store_true",
                       help="full iteration counts (default: quick, CI-sized)")
     perf.add_argument("--out", metavar="FILE",
@@ -199,6 +207,31 @@ def _build_parser() -> argparse.ArgumentParser:
     store.add_argument("--log", default="index",
                        help="log to compact (default index; audit refuses)")
 
+    workload = sub.add_parser(
+        "workload",
+        help="drive the federation with a seeded scenario, emit the "
+             "capacity trajectory",
+    )
+    workload.add_argument("--scenario", default="steady",
+                          help="workload scenario preset "
+                               "(steady, stress, surge, anomaly)")
+    workload.add_argument("--population", type=int, default=100_000,
+                          help="assisted-person population size "
+                               "(default 100000; lazily materialized)")
+    workload.add_argument("--ops", type=int, default=5_000,
+                          help="operations per capacity point (default 5000)")
+    workload.add_argument("--nodes", default="1,2,4,8",
+                          help="comma-separated node counts of the "
+                               "trajectory (default 1,2,4,8)")
+    workload.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                          help="master seed of population, arrivals and "
+                               f"op mix (default {DEFAULT_SEED})")
+    workload.add_argument("--out", metavar="FILE", default=None,
+                          help="write the css-bench-capacity/1 payload "
+                               "to FILE (e.g. BENCH_capacity.json)")
+    workload.add_argument("--list", action="store_true", dest="list_scenarios",
+                          help="list the scenario presets and exit")
+
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
     inspect.add_argument("--secret", default="css-platform-secret",
@@ -213,7 +246,9 @@ def _scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--patients", type=int, default=30)
     parser.add_argument("--rate", type=float, default=0.3,
                         help="detail-request rate in [0, 1] (default 0.3)")
-    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="master seed of every generated stream "
+                             f"(default {DEFAULT_SEED})")
 
 
 def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
@@ -652,6 +687,76 @@ def _cmd_store(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_node_counts(spec: str) -> tuple[int, ...]:
+    try:
+        counts = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            f"repro workload: --nodes {spec!r} is not a comma-separated "
+            f"list of integers"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise SystemExit("repro workload: every node count must be >= 1")
+    return counts
+
+
+def _cmd_workload(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.workload import (
+        SCENARIOS,
+        CapacityConfig,
+        run_capacity,
+        workload_config,
+        write_payload,
+    )
+
+    if args.list_scenarios:
+        print("workload scenarios:", file=out)
+        for name in SCENARIOS:
+            config = workload_config(name)
+            print(f"  {name:<8} arrival={config.arrival:<8} "
+                  f"rate={config.rate:>6.1f}/s  "
+                  f"details={config.details_weight:.2f}  "
+                  f"hot-subjects={config.hot_subjects}", file=out)
+        return 0
+
+    try:
+        wl = workload_config(
+            args.scenario,
+            population=args.population,
+            ops=args.ops,
+            seed=args.seed,
+        )
+        config = CapacityConfig(
+            workload=wl, node_counts=_parse_node_counts(args.nodes)
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro workload: {exc}") from None
+
+    source = (f"repro workload --scenario {args.scenario} "
+              f"--population {args.population} --ops {args.ops} "
+              f"--nodes {args.nodes} --seed {args.seed}")
+    payload = run_capacity(config, source=source)
+
+    print(f"capacity trajectory ({args.scenario} scenario, "
+          f"population {args.population:,}, {args.ops:,} ops, "
+          f"seed {args.seed}):", file=out)
+    for point in payload["nodes"]:
+        latency = point["latency_seconds"]
+        publish_p95 = latency.get("publish", {}).get("p95", 0.0)
+        print(f"  nodes={point['nodes']:<2} "
+              f"events/s={point['events_per_second']:>8.1f} "
+              f"details/s={point['details_per_second']:>8.1f} "
+              f"publish-p95={publish_p95 * 1000:>7.2f}ms "
+              f"hops={point['cross_node_hops']:>6} "
+              f"queue-hw={point['queue_depth_high_water']:>4} "
+              f"dead-letter-hw={point['dead_letter_high_water']}", file=out)
+    if args.out:
+        write_payload(args.out, payload)
+        print(f"wrote {args.out}", file=out)
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace, out) -> int:
     controller = PlatformArchive(args.directory).restore(args.secret)
     print(f"restored platform from {args.directory}", file=out)
@@ -680,6 +785,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "trace": _cmd_trace,
         "perf": _cmd_perf,
         "store": _cmd_store,
+        "workload": _cmd_workload,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

@@ -25,6 +25,7 @@ from repro.obs.slo import SLOEngine, SLOReport
 from repro.obs.telemetry import InMemoryTelemetry
 from repro.runtime.kernel import RuntimeConfig
 from repro.sim.generators import (
+    DEFAULT_SEED,
     SyntheticPopulation,
     WorkloadGenerator,
     WorkloadItem,
@@ -45,7 +46,7 @@ class FederatedScenarioConfig:
     n_patients: int = 30
     n_events: int = 200
     detail_request_rate: float = 0.3
-    seed: int = 2010
+    seed: int = DEFAULT_SEED
     mean_interarrival: float = 60.0
     link_latency: float = 0.005
     #: Privacy-guard mode for a shared in-memory telemetry backend

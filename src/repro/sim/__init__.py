@@ -18,6 +18,7 @@ path of the platform.
 
 from repro.sim.domain import ORGANIZATIONS, OrganizationSpec, Patient
 from repro.sim.generators import (
+    DEFAULT_SEED,
     EventTemplate,
     SyntheticPopulation,
     WorkloadGenerator,
@@ -29,6 +30,7 @@ from repro.sim.scenario import CssScenario, ScenarioConfig, ScenarioReport
 
 __all__ = [
     "CssScenario",
+    "DEFAULT_SEED",
     "DisclosureLedger",
     "EventTemplate",
     "ExposureSummary",

@@ -23,6 +23,13 @@ from repro.sim.domain import (
 from repro.xmlmsg.schema import ElementDecl, MessageSchema, Occurs
 from repro.xmlmsg.types import DecimalType, EnumerationType, IntegerType, StringType
 
+#: The one default seed of the simulation substrate (the deployment's
+#: reference year).  Every generator, scenario config and CLI ``--seed``
+#: option defaults to this single constant instead of a scattered magic
+#: number, so overriding the seed in one place changes every derived
+#: stream coherently.
+DEFAULT_SEED = 2010
+
 #: Builds the detail payload of one occurrence: (rng, patient) -> fields.
 DetailBuilder = Callable[[random.Random, Patient], dict[str, object]]
 
@@ -423,7 +430,7 @@ def standard_event_templates() -> dict[str, EventTemplate]:
 class SyntheticPopulation:
     """A seeded population of patients."""
 
-    def __init__(self, size: int, seed: int = 2010) -> None:
+    def __init__(self, size: int, seed: int = DEFAULT_SEED) -> None:
         if size <= 0:
             raise ConfigurationError("population size must be positive")
         rng = random.Random(seed)
@@ -464,7 +471,7 @@ class WorkloadItem:
 class WorkloadGenerator:
     """Generates reproducible event workloads over a population."""
 
-    def __init__(self, seed: int = 2010) -> None:
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
         self._seed = seed
 
     def generate(

@@ -30,6 +30,7 @@ from repro.sim.domain import (
     ROLE_STATISTICIAN,
 )
 from repro.sim.generators import (
+    DEFAULT_SEED,
     SyntheticPopulation,
     WorkloadGenerator,
     WorkloadItem,
@@ -72,7 +73,7 @@ class ScenarioConfig:
     n_patients: int = 50
     n_events: int = 200
     detail_request_rate: float = 0.3
-    seed: int = 2010
+    seed: int = DEFAULT_SEED
     encrypt_identity: bool = True
     mean_interarrival: float = 60.0
     #: Kernel backend selection (None = in-memory defaults).

@@ -1,0 +1,63 @@
+"""Million-actor workload engine and capacity-trajectory harness.
+
+The load source every scaling PR is measured against (ROADMAP: capacity
+trajectory).  Four modules:
+
+* :mod:`~repro.workload.population` — lazily materialized assisted-person
+  population with the guardian / case-worker / clinician hierarchy,
+  O(active set) memory at any population size;
+* :mod:`~repro.workload.arrivals` — open-loop Poisson and bursty on/off
+  arrival processes plus O(1)-memory Zipf popularity sampling;
+* :mod:`~repro.workload.config` — scenario presets (``steady`` /
+  ``stress`` / ``surge`` / ``anomaly``) as frozen dataclasses,
+  reproducible under ``seed``;
+* :mod:`~repro.workload.engine` — the deterministic operation planner
+  (byte-identical streams for equal configs);
+* :mod:`~repro.workload.capacity` — drives a
+  :class:`~repro.federation.platform.FederatedPlatform` at 1/2/4/8 nodes
+  and emits the ``css-bench-capacity/1`` trajectory payload.
+"""
+
+from repro.workload.arrivals import OnOffProcess, PoissonProcess, ZipfSampler
+from repro.workload.capacity import (
+    SCHEMA_ID,
+    run_capacity,
+    run_point,
+    write_payload,
+)
+from repro.workload.config import (
+    DEFAULT_TENANTS,
+    OP_DETAILS,
+    OP_PUBLISH,
+    OP_SUBSCRIBE,
+    SCENARIOS,
+    CapacityConfig,
+    TenantSpec,
+    WorkloadConfig,
+    workload_config,
+)
+from repro.workload.engine import WorkloadEngine, WorkloadOp
+from repro.workload.population import AssistedPerson, LazyPopulation
+
+__all__ = [
+    "AssistedPerson",
+    "CapacityConfig",
+    "DEFAULT_TENANTS",
+    "LazyPopulation",
+    "OP_DETAILS",
+    "OP_PUBLISH",
+    "OP_SUBSCRIBE",
+    "OnOffProcess",
+    "PoissonProcess",
+    "SCENARIOS",
+    "SCHEMA_ID",
+    "TenantSpec",
+    "WorkloadConfig",
+    "WorkloadEngine",
+    "WorkloadOp",
+    "ZipfSampler",
+    "run_capacity",
+    "run_point",
+    "workload_config",
+    "write_payload",
+]

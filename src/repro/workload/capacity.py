@@ -1,0 +1,238 @@
+"""The capacity-trajectory harness: drive the federation, measure the knee.
+
+``run_capacity`` executes one workload scenario against a fresh
+:class:`~repro.federation.platform.FederatedPlatform` at each requested
+node count (1/2/4/8 by default) and assembles a ``BENCH_capacity.json``
+payload (schema ``css-bench-capacity/1``):
+
+* **sustained events/sec and details/sec** — operations over the cost
+  model's cluster makespan (the busiest node's simulated busy time), the
+  same throughput definition the federation benchmark uses;
+* **p95/p99 latency** — read from the existing telemetry pipeline
+  histograms (``pipeline.duration_seconds`` for the ``publish`` and
+  ``request-details`` pipelines), not re-measured;
+* **saturation high-water marks** — the broker's per-topic queue-depth
+  and dead-letter high-water gauges, maxed across nodes;
+* **audit digest** — a SHA-256 over every node's verified audit-chain
+  head, the value two same-seed runs must reproduce bit-for-bit.
+
+Privacy: the payload carries counts, rates, latencies and chain digests
+only — never a subject id, subject name, or payload field value.  The
+privacy-invariant tests grep the serialized payload (and the run's
+telemetry exports) for the assisted-person id shape to keep it that way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.clock import Clock
+from repro.exceptions import AccessDeniedError
+from repro.federation.platform import FederatedPlatform
+from repro.obs.benchreport import LATENCY_KEYS
+from repro.obs.telemetry import PIPELINE_DURATION, InMemoryTelemetry
+from repro.workload.config import CapacityConfig, WorkloadConfig
+from repro.workload.engine import OP_DETAILS, OP_PUBLISH, WorkloadEngine
+
+#: Schema identifier the capacity payload stamps and CI gates on.
+SCHEMA_ID = "css-bench-capacity/1"
+
+#: Pipeline histogram labels the latency sections are read from.
+_PIPELINES = {"publish": "publish", "details": "request-details"}
+
+
+def _latency_sections(telemetry: InMemoryTelemetry) -> dict[str, dict]:
+    """p50/p95/p99/mean/min/max per pipeline from the run's histograms."""
+    summaries = {
+        labels.get("pipeline"): summary
+        for labels, summary in telemetry.metrics.histogram_summaries(
+            PIPELINE_DURATION
+        )
+    }
+    sections: dict[str, dict] = {}
+    for name, pipeline in _PIPELINES.items():
+        summary = summaries.get(pipeline, {})
+        sections[name] = {
+            key: float(summary.get(key, 0.0)) for key in LATENCY_KEYS
+        }
+    return sections
+
+
+def run_point(
+    workload: WorkloadConfig,
+    nodes: int,
+    link_latency: float = 0.005,
+    telemetry: InMemoryTelemetry | None = None,
+) -> dict:
+    """One capacity measurement: the whole workload at one node count.
+
+    ``telemetry`` lets callers supply (and afterwards inspect) the shared
+    backend — the privacy-invariant tests grep its exports; by default a
+    fresh hash-guarded backend is created per point.
+    """
+    clock = Clock()
+    if telemetry is None:
+        telemetry = InMemoryTelemetry(
+            clock=clock,
+            guard_mode="hash",
+            secret=f"css-workload-{workload.seed}",
+        )
+    platform = FederatedPlatform(
+        shards=nodes,
+        clock=clock,
+        seed=f"wl-{workload.scenario}-{workload.seed}",
+        telemetry=telemetry,
+        link_latency=link_latency,
+    )
+    engine = WorkloadEngine(workload)
+    roles = engine.tenant_roles()
+
+    # Deployment: producers/classes on their home nodes, every tenant
+    # granted exactly its role's needed fields, baseline subscriptions.
+    event_classes: dict[str, object] = {}
+    for template_name, template in engine.templates.items():
+        producer_id = engine.producer_of(template_name)
+        if producer_id not in platform._producers:  # noqa: SLF001
+            platform.add_producer(producer_id, producer_id.replace("-", " "))
+        event_classes[template_name] = platform.declare_event_class(
+            producer_id,
+            template.build_schema(),
+            category=template.category,
+            description=template.schema_factory().documentation,
+        )
+    for tenant in workload.tenants:
+        platform.add_consumer(
+            tenant.tenant_id, tenant.tenant_id.replace("-", " "),
+            role=tenant.role,
+        )
+    for template_name, template in engine.templates.items():
+        producer = platform.producer(engine.producer_of(template_name))
+        for tenant in workload.tenants:
+            needed = template.needed_fields.get(tenant.role)
+            if not needed:
+                continue
+            producer.define_policy(
+                event_type=template_name,
+                fields=list(needed),
+                consumers=[(tenant.tenant_id, "unit")],
+                purposes=[_purpose_of(roles[tenant.tenant_id])],
+                label=f"{tenant.role} access to {template_name}",
+            )
+            platform.subscribe(tenant.tenant_id, template_name)
+
+    # Open-loop execution over the simulated clock.
+    recent: dict[str, deque] = {
+        name: deque(maxlen=64) for name in engine.templates
+    }
+    published = blocked = permits = denies = subscribes = 0
+    for op in engine.plan():
+        if op.at > clock.now():
+            clock.set(op.at)
+        if op.kind == OP_PUBLISH:
+            notification = platform.publish(
+                engine.producer_of(op.template),
+                event_classes[op.template],
+                subject_id=op.subject_id,
+                subject_name=op.subject_name,
+                summary=op.summary,
+                details=dict(op.details or {}),
+            )
+            if notification is None:
+                blocked += 1
+            else:
+                published += 1
+                recent[op.template].append(notification.event_id)
+        elif op.kind == OP_DETAILS:
+            window = recent[op.template]
+            if not window:
+                continue  # publish was consent-blocked; nothing to target
+            target = window[-1 - min(op.target_recency, len(window) - 1)]
+            try:
+                platform.request_details(
+                    op.tenant_id, op.template, target, op.purpose
+                )
+            except AccessDeniedError:
+                denies += 1
+            else:
+                permits += 1
+        else:  # subscribe churn
+            platform.subscribe(op.tenant_id, op.template)
+            subscribes += 1
+
+    platform.dispatch_all()
+    platform.record_queue_depths()
+    heads: list[str] = []
+    audit_records = 0
+    for node in platform.nodes():
+        node.controller.audit_log.verify_integrity()
+        heads.append(node.controller.audit_log.head_digest)
+        audit_records += len(node.controller.audit_log)
+
+    makespan = max(node.work.busy_seconds for node in platform.nodes())
+    busy = makespan if makespan > 0 else max(clock.now(), 1e-9)
+    queue_high_water = max(
+        node.controller.bus.queue_high_water()
+        for node in platform.nodes()
+    )
+    dead_letter_high_water = max(
+        node.controller.bus.dead_letter_high_water
+        for node in platform.nodes()
+    )
+    return {
+        "nodes": nodes,
+        "ops": workload.ops,
+        "published": published,
+        "publish_blocked": blocked,
+        "detail_permits": permits,
+        "detail_denies": denies,
+        "subscribe_ops": subscribes,
+        "events_per_second": published / busy,
+        "details_per_second": permits / busy,
+        "makespan_seconds": makespan,
+        "simulated_seconds": clock.now(),
+        "cross_node_hops": platform.total_hops(),
+        "latency_seconds": _latency_sections(telemetry),
+        "queue_depth_high_water": queue_high_water,
+        "dead_letter_high_water": dead_letter_high_water,
+        "audit_records": audit_records,
+        "audit_digest": "sha256:" + hashlib.sha256(
+            "|".join(heads).encode()
+        ).hexdigest(),
+    }
+
+
+def _purpose_of(role: str) -> str:
+    from repro.sim.scenario import ROLE_PURPOSES
+
+    return ROLE_PURPOSES[role]
+
+
+def run_capacity(config: CapacityConfig, source: str) -> dict:
+    """The full capacity trajectory: one point per node count."""
+    workload = config.workload
+    return {
+        "schema": SCHEMA_ID,
+        "source": source,
+        "scenario": workload.scenario,
+        "seed": workload.seed,
+        "population": workload.population,
+        "ops": workload.ops,
+        "arrival": workload.arrival,
+        "nodes": [
+            run_point(workload, nodes, link_latency=config.link_latency)
+            for nodes in config.node_counts
+        ],
+    }
+
+
+def write_payload(path: str | Path, payload: dict) -> Path:
+    """Write the capacity payload as stable, human-diffable JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target

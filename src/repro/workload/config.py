@@ -1,0 +1,199 @@
+"""Scenario configurations of the workload engine.
+
+One :class:`WorkloadConfig` fully determines a workload: population size
+and hierarchy shape, the arrival process, popularity skew, the
+publish/request-for-details/subscribe operation mix, tenant roster and
+anomaly injection.  Together with ``seed`` it is the *entire* input of
+:class:`~repro.workload.engine.WorkloadEngine` — two engines built from
+equal configs emit byte-identical operation streams.
+
+Four named scenarios ship with the platform:
+
+``steady``
+    The provisioning baseline: Poisson arrivals, gentle skew, the op mix
+    of routine continuity-of-care traffic.
+``stress``
+    Saturation probe: several times the steady rate and a detail-heavy
+    mix, the knob to find the knee of the throughput curve.
+``surge``
+    On/off bursts (telecare alarm storms, end-of-month administrative
+    runs): same average rate as ``steady`` but concentrated in bursts.
+``anomaly``
+    Abuse injection: one consumer organization issues a large multiple
+    of its fair share of detail requests and popularity collapses onto a
+    few hot subjects — the scenario admission-control work is measured
+    against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.kernel import suggest
+from repro.sim.domain import (
+    ROLE_ADMINISTRATOR,
+    ROLE_FAMILY_DOCTOR,
+    ROLE_SOCIAL_WORKER,
+    ROLE_STATISTICIAN,
+)
+from repro.sim.generators import DEFAULT_SEED
+
+#: Operation kinds the engine emits.
+OP_PUBLISH = "publish"
+OP_DETAILS = "details"
+OP_SUBSCRIBE = "subscribe"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One consumer organization in the workload's tenant roster."""
+
+    tenant_id: str
+    role: str
+    #: Relative share of detail-request / subscribe traffic.
+    weight: float = 1.0
+
+
+#: The default tenant roster (the scenario cast plus the workload's
+#: consumer organizations — ids reuse the deployment's naming style).
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("FamilyDoctors/Dr-Rossi", ROLE_FAMILY_DOCTOR, 3.0),
+    TenantSpec("Municipality-Trento/SocialWorkers", ROLE_SOCIAL_WORKER, 3.0),
+    TenantSpec("Province-Trentino/Statistics", ROLE_STATISTICIAN, 1.0),
+    TenantSpec("Province-Trentino/SocialWelfare", ROLE_ADMINISTRATOR, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Everything that determines one workload, reproducible under seed."""
+
+    scenario: str = "steady"
+    population: int = 100_000
+    ops: int = 5_000
+    seed: int = DEFAULT_SEED
+
+    # arrival process --------------------------------------------------------
+    #: ``poisson`` or ``onoff``.
+    arrival: str = "poisson"
+    #: Average operations per simulated second (poisson: the rate; onoff:
+    #: the burst rate).
+    rate: float = 50.0
+    #: Mean ON / OFF period lengths for ``arrival="onoff"``.
+    on_seconds: float = 20.0
+    off_seconds: float = 60.0
+    #: Trickle rate during OFF periods.
+    base_rate: float = 0.0
+
+    # popularity skew --------------------------------------------------------
+    #: Zipf exponent over event classes (rank 1 = hottest class).
+    type_exponent: float = 1.1
+    #: Zipf exponent over assisted persons.
+    subject_exponent: float = 1.05
+
+    # operation mix ----------------------------------------------------------
+    publish_weight: float = 1.0
+    details_weight: float = 0.45
+    subscribe_weight: float = 0.02
+
+    # actor hierarchy --------------------------------------------------------
+    guardian_rate: float = 0.12
+    case_load: int = 250
+    tenants: tuple[TenantSpec, ...] = DEFAULT_TENANTS
+
+    # anomaly injection ------------------------------------------------------
+    #: Tenant id whose detail-request share is multiplied by
+    #: ``abusive_factor`` (None = no abusive tenant).
+    abusive_tenant: str | None = None
+    abusive_factor: float = 20.0
+    #: Number of artificially hot subjects; 0 disables injection.  With k
+    #: hot subjects, ``hot_subject_share`` of all subject draws collapse
+    #: onto those k indexes.
+    hot_subjects: int = 0
+    hot_subject_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.population <= 0:
+            raise ConfigurationError("population must be positive")
+        if self.ops < 0:
+            raise ConfigurationError("ops must be non-negative")
+        if self.arrival not in ("poisson", "onoff"):
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival!r}; "
+                "available: poisson, onoff"
+            )
+        if self.publish_weight <= 0:
+            raise ConfigurationError("publish_weight must be positive")
+        if self.details_weight < 0 or self.subscribe_weight < 0:
+            raise ConfigurationError("op-mix weights must be non-negative")
+        if not self.tenants:
+            raise ConfigurationError("the tenant roster cannot be empty")
+        if self.abusive_tenant is not None and self.abusive_factor < 1.0:
+            raise ConfigurationError("abusive_factor must be >= 1")
+        if self.hot_subjects < 0:
+            raise ConfigurationError("hot_subjects must be non-negative")
+        if not 0.0 <= self.hot_subject_share <= 1.0:
+            raise ConfigurationError("hot_subject_share must be within [0, 1]")
+
+
+#: The named scenario presets (field overrides on top of the defaults).
+SCENARIOS: dict[str, dict[str, object]] = {
+    "steady": {},
+    "stress": {
+        "rate": 200.0,
+        "details_weight": 0.9,
+        "subject_exponent": 1.2,
+    },
+    "surge": {
+        "arrival": "onoff",
+        "rate": 250.0,
+        "on_seconds": 15.0,
+        "off_seconds": 45.0,
+        "type_exponent": 1.4,
+    },
+    "anomaly": {
+        "rate": 120.0,
+        "details_weight": 1.2,
+        "abusive_tenant": "Province-Trentino/SocialWelfare",
+        "abusive_factor": 25.0,
+        "hot_subjects": 4,
+        "hot_subject_share": 0.5,
+        "subject_exponent": 1.3,
+    },
+}
+
+
+def workload_config(name: str, **overrides: object) -> WorkloadConfig:
+    """A named scenario preset with field overrides applied on top.
+
+    Unknown scenario names fail with the kernel's did-you-mean
+    discipline, like every other enumeration in the platform.
+    """
+    try:
+        preset = SCENARIOS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown workload scenario {name!r};"
+            f"{suggest(name, SCENARIOS)} "
+            f"available: {', '.join(sorted(SCENARIOS))}"
+        ) from exc
+    merged: dict[str, object] = {"scenario": name, **preset, **overrides}
+    return replace(WorkloadConfig(), **merged)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Knobs of one capacity-trajectory run over the federation."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    node_counts: tuple[int, ...] = (1, 2, 4, 8)
+    #: Detail-request purposes per tenant role (defaults to the
+    #: scenario's role-purpose table).
+    link_latency: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not self.node_counts:
+            raise ConfigurationError("node_counts cannot be empty")
+        if any(n < 1 for n in self.node_counts):
+            raise ConfigurationError("every node count must be >= 1")

@@ -198,3 +198,65 @@ class TestDurabilityAndDispatch:
         assert bus.stats.published == 2
         assert bus.stats.fanned_out == 2
         assert bus.stats.bytes_published > 0
+
+
+class TestHighWaterMarks:
+    def _manual_bus(self) -> ServiceBus:
+        bus = ServiceBus(auto_dispatch=False)
+        bus.declare_topic("events.health.BloodTest")
+        bus.declare_topic("events.social.HomeCare")
+        return bus
+
+    def test_queue_high_water_survives_draining(self):
+        bus = self._manual_bus()
+        bus.subscribe("c", "events.health.BloodTest", lambda e: None)
+        for _ in range(5):
+            bus.publish("events.health.BloodTest", "h", "x")
+        assert bus.queue_high_water() == 5
+        assert bus.queue_high_water("events.health.BloodTest") == 5
+        bus.dispatch()
+        assert bus.queue_depth == 0
+        assert bus.queue_high_water() == 5  # the mark persists
+
+    def test_per_topic_marks_are_independent(self):
+        bus = self._manual_bus()
+        bus.subscribe("c1", "events.health.BloodTest", lambda e: None)
+        bus.subscribe("c2", "events.social.HomeCare", lambda e: None)
+        for _ in range(3):
+            bus.publish("events.health.BloodTest", "h", "x")
+        bus.publish("events.social.HomeCare", "h", "y")
+        marks = bus.queue_high_water_marks()
+        assert marks["events.health.BloodTest"] == 3
+        assert marks["events.social.HomeCare"] == 1
+        assert bus.queue_high_water("events.unknown") == 0
+
+    def test_fanout_counts_every_subscriber_queue(self):
+        bus = self._manual_bus()
+        bus.subscribe("c1", "events.health.BloodTest", lambda e: None)
+        bus.subscribe("c2", "events.health.BloodTest", lambda e: None)
+        bus.publish("events.health.BloodTest", "h", "x")
+        assert bus.queue_high_water("events.health.BloodTest") == 2
+
+    def test_dead_letter_high_water(self):
+        bus = ServiceBus(auto_dispatch=False,
+                         delivery_policy=DeliveryPolicy(max_attempts=1))
+        bus.declare_topic("events.t")
+        bus.subscribe("c", "events.t",
+                      lambda e: (_ for _ in ()).throw(RuntimeError()))
+        for _ in range(2):
+            bus.publish("events.t", "s", "x")
+        bus.dispatch()
+        assert bus.dead_letter_high_water == 2
+        bus.drain_dead_letters()
+        assert bus.dead_letter_depth == 0
+        assert bus.dead_letter_high_water == 2  # the mark persists
+
+    def test_reset_high_water(self):
+        bus = self._manual_bus()
+        bus.subscribe("c", "events.health.BloodTest", lambda e: None)
+        bus.publish("events.health.BloodTest", "h", "x")
+        assert bus.queue_high_water() == 1
+        bus.reset_high_water()
+        assert bus.queue_high_water() == 0
+        assert bus.queue_high_water_marks() == {}
+        assert bus.dead_letter_high_water == 0

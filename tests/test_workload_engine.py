@@ -1,0 +1,277 @@
+"""Unit tests for arrival processes, skew sampling, and the workload engine.
+
+The acceptance-critical properties: same-seed streams are byte-identical,
+Zipf popularity is rank-frequency monotone, Poisson inter-arrivals hit
+their configured mean, and the anomaly scenario's injections (abusive
+tenant, hot subjects) actually dominate the stream.
+"""
+
+import json
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload import (
+    OP_DETAILS,
+    OP_PUBLISH,
+    OP_SUBSCRIBE,
+    OnOffProcess,
+    PoissonProcess,
+    WorkloadConfig,
+    WorkloadEngine,
+    ZipfSampler,
+    workload_config,
+)
+from repro.workload.arrivals import scatter
+
+
+class TestPoissonProcess:
+    def test_interarrival_mean_matches_rate(self):
+        rng = random.Random(1234)
+        times = PoissonProcess(rate=50.0).times(rng)
+        arrivals = [next(times) for _ in range(5_000)]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1 / 50.0, rel=0.10)
+
+    def test_times_are_monotone(self):
+        rng = random.Random(7)
+        times = PoissonProcess(rate=10.0).times(rng)
+        arrivals = [next(times) for _ in range(500)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=0.0)
+
+
+class TestOnOffProcess:
+    def test_burstier_than_poisson_at_same_mean(self):
+        """On/off gaps have coefficient of variation > 1 (Poisson: ~1)."""
+        rng = random.Random(99)
+        times = OnOffProcess(
+            burst_rate=100.0, on_seconds=5.0, off_seconds=20.0
+        ).times(rng)
+        arrivals = [next(times) for _ in range(5_000)]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        mean = sum(gaps) / len(gaps)
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert math.sqrt(variance) / mean > 1.5
+
+    def test_off_periods_produce_long_silences(self):
+        rng = random.Random(3)
+        times = OnOffProcess(
+            burst_rate=100.0, on_seconds=2.0, off_seconds=30.0
+        ).times(rng)
+        arrivals = [next(times) for _ in range(2_000)]
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert max(gaps) > 5.0  # at least one OFF silence
+        assert sorted(gaps)[len(gaps) // 2] < 0.05  # bursts stay dense
+
+    def test_base_rate_trickles_during_off(self):
+        silent = OnOffProcess(burst_rate=50.0, on_seconds=1.0, off_seconds=60.0)
+        trickle = OnOffProcess(
+            burst_rate=50.0, on_seconds=1.0, off_seconds=60.0, base_rate=5.0
+        )
+        stream = silent.times(random.Random(3))
+        t_silent = [next(stream) for _ in range(200)]
+        stream = trickle.times(random.Random(3))
+        t_trickle = [next(stream) for _ in range(200)]
+        assert t_trickle[-1] < t_silent[-1]  # trickle fills the silences
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnOffProcess(burst_rate=0, on_seconds=1, off_seconds=1)
+        with pytest.raises(ConfigurationError):
+            OnOffProcess(burst_rate=1, on_seconds=0, off_seconds=1)
+        with pytest.raises(ConfigurationError):
+            OnOffProcess(burst_rate=1, on_seconds=1, off_seconds=1,
+                         base_rate=-1)
+
+
+class TestZipfSampler:
+    def test_rank_frequency_is_monotone(self):
+        rng = random.Random(2024)
+        sampler = ZipfSampler(n=50, exponent=1.2)
+        counts = Counter(sampler.sample(rng) for _ in range(30_000))
+        head = [counts.get(rank, 0) for rank in range(1, 6)]
+        assert head == sorted(head, reverse=True)
+        assert counts[1] > counts[10] > counts.get(40, 0)
+
+    def test_head_mass_matches_theory(self):
+        """Rank-1 share ≈ 1 / (harmonic normalizer) for the exponent."""
+        n, exponent = 100, 1.5
+        rng = random.Random(5)
+        sampler = ZipfSampler(n=n, exponent=exponent)
+        draws = 40_000
+        counts = Counter(sampler.sample(rng) for _ in range(draws))
+        normalizer = sum(k ** -exponent for k in range(1, n + 1))
+        assert counts[1] / draws == pytest.approx(1 / normalizer, rel=0.08)
+
+    def test_support_is_exactly_1_to_n(self):
+        rng = random.Random(8)
+        sampler = ZipfSampler(n=7, exponent=1.01)
+        seen = {sampler.sample(rng) for _ in range(5_000)}
+        assert seen == set(range(1, 8))
+
+    def test_single_rank_degenerates(self):
+        sampler = ZipfSampler(n=1, exponent=2.0)
+        assert sampler.sample(random.Random(1)) == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(n=0, exponent=1.1)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(n=10, exponent=0.0)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("size", [10, 97, 1_000, 4_096])
+    def test_is_a_permutation(self, size):
+        image = {scatter(rank, size) for rank in range(1, size + 1)}
+        assert image == set(range(size))
+
+    def test_spreads_hot_ranks_across_the_index_space(self):
+        size = 1_000_000
+        hot = [scatter(rank, size) for rank in range(1, 5)]
+        assert len(set(hot)) == 4
+        assert max(hot) - min(hot) > size // 10
+
+
+class TestStreamDeterminism:
+    def _config(self, **overrides):
+        defaults = dict(population=2_000, ops=300, seed=11)
+        defaults.update(overrides)
+        return workload_config("steady", **defaults)
+
+    def test_same_seed_streams_are_byte_identical(self):
+        first = b"\n".join(
+            line.encode() for line in WorkloadEngine(self._config()).stream_lines()
+        )
+        second = b"\n".join(
+            line.encode() for line in WorkloadEngine(self._config()).stream_lines()
+        )
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = list(WorkloadEngine(self._config(seed=1)).stream_lines())
+        second = list(WorkloadEngine(self._config(seed=2)).stream_lines())
+        assert first != second
+
+    def test_stream_lines_are_canonical_json(self):
+        for line in WorkloadEngine(self._config(ops=50)).stream_lines():
+            record = json.loads(line)
+            assert record["kind"] in (OP_PUBLISH, OP_DETAILS, OP_SUBSCRIBE)
+            assert record["at"] >= 0
+
+    def test_stream_length_and_sequencing(self):
+        ops = list(WorkloadEngine(self._config()).plan())
+        assert len(ops) == 300
+        assert [op.sequence for op in ops] == list(range(300))
+        assert all(b.at >= a.at for a, b in zip(ops, ops[1:]))
+
+    def test_details_never_precede_a_publish_of_the_class(self):
+        seen_publish: set[str] = set()
+        for op in WorkloadEngine(self._config(details_weight=2.0)).plan():
+            if op.kind == OP_PUBLISH:
+                seen_publish.add(op.template)
+            elif op.kind == OP_DETAILS:
+                assert op.template in seen_publish
+
+    def test_publish_ops_carry_materialized_payloads(self):
+        for op in WorkloadEngine(self._config(ops=100)).plan():
+            if op.kind != OP_PUBLISH:
+                continue
+            assert op.subject_id.startswith("ap-")
+            assert op.subject_name
+            assert op.details
+            assert op.subject_index >= 0
+        engine = WorkloadEngine(self._config(ops=100))
+        list(engine.plan())
+        assert engine.population.resident <= engine.population.cache_size
+
+    def test_details_ops_carry_tenant_and_purpose(self):
+        for op in WorkloadEngine(self._config(details_weight=2.0)).plan():
+            if op.kind == OP_DETAILS:
+                assert op.tenant_id
+                assert op.purpose
+                assert op.target_recency >= 0
+
+
+class TestScenarios:
+    def test_presets_cover_the_four_scenarios(self):
+        assert workload_config("steady").arrival == "poisson"
+        assert workload_config("stress").rate > workload_config("steady").rate
+        assert workload_config("surge").arrival == "onoff"
+        anomaly = workload_config("anomaly")
+        assert anomaly.abusive_tenant is not None
+        assert anomaly.hot_subjects > 0
+
+    def test_unknown_scenario_suggests(self):
+        with pytest.raises(ConfigurationError, match="steady"):
+            workload_config("stedy")
+
+    def test_overrides_apply_on_top_of_presets(self):
+        config = workload_config("stress", population=500, seed=77)
+        assert config.scenario == "stress"
+        assert config.population == 500
+        assert config.seed == 77
+        assert config.rate == 200.0  # preset survives
+
+    def test_abusive_tenant_dominates_detail_traffic(self):
+        def detail_share(config):
+            tenants = Counter(
+                op.tenant_id
+                for op in WorkloadEngine(config).plan()
+                if op.kind == OP_DETAILS
+            )
+            total = sum(tenants.values())
+            assert total > 50
+            abusive = "Province-Trentino/SocialWelfare"
+            return tenants[abusive] / total, tenants
+
+        config = workload_config("anomaly", population=1_000, ops=600, seed=5)
+        baseline = workload_config(
+            "anomaly", population=1_000, ops=600, seed=5, abusive_tenant=None
+        )
+        injected_share, injected = detail_share(config)
+        fair_share, _ = detail_share(baseline)
+        assert injected_share > 2 * fair_share
+        assert injected[config.abusive_tenant] == max(injected.values())
+
+    def test_hot_subjects_concentrate_publishes(self):
+        config = workload_config(
+            "anomaly", population=100_000, ops=600, seed=5
+        )
+        engine = WorkloadEngine(config)
+        hot = set(engine._hot_indexes)  # noqa: SLF001
+        assert len(hot) == config.hot_subjects
+        publishes = [
+            op for op in engine.plan() if op.kind == OP_PUBLISH
+        ]
+        on_hot = sum(op.subject_index in hot for op in publishes)
+        share = on_hot / len(publishes)
+        # hot_subject_share=0.5 plus the Zipf head (the top ranks scatter
+        # onto the same indexes), so well above half but never all
+        assert 0.45 < share < 0.9
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"population": 0},
+            {"ops": -1},
+            {"arrival": "uniform"},
+            {"publish_weight": 0.0},
+            {"details_weight": -0.1},
+            {"tenants": ()},
+            {"abusive_tenant": "x", "abusive_factor": 0.5},
+            {"hot_subjects": -1},
+            {"hot_subject_share": 1.5},
+        ],
+    )
+    def test_bad_configs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(**overrides)
