@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_fairness.json`` (schema ``css-bench-fairness/1``).
+
+CI runs ``repro sched --scenario anomaly ... --out BENCH_fairness.json``
+and then this script.  Beyond shape validation it enforces the PR's
+semantic gates:
+
+* the ``fair`` arm must score strictly higher than ``none`` on Jain's
+  fairness index *and* on the victim tenant's demand-satisfaction share;
+* both arms must report the identical ``sha256:`` audit digest — the
+  scheduler shapes shares, never decisions or the audit trail;
+* **privacy**: the serialized payload must carry no plaintext
+  assisted-person id (``ap-NNNNNNNN``), no plaintext tenant /
+  organization id (tenant keys must be privacy-guard hashes, ``h:…``),
+  and the victim/abuser references must be hashed too.
+
+Usage::
+
+    python benchmarks/check_fairness_schema.py BENCH_fairness.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-fairness/1"
+ARMS = ("none", "fair")
+
+#: The plaintext shape of an assisted-person identifier.
+SUBJECT_ID_PATTERN = re.compile(r"\bap-\d{8}\b")
+
+#: Plaintext fragments of deployment / roster organization ids that must
+#: never appear in the shareable artifact (tenants are guard-hashed).
+TENANT_ID_FRAGMENTS = (
+    "Province-Trentino", "Municipality-Trento", "FamilyDoctors",
+    "Hospital-S-Maria", "HomeAssist-Coop", "Org-0", "Org-1",
+)
+
+ARM_COUNTERS = (
+    "published", "publish_blocked", "detail_permits", "detail_denies",
+    "subscribe_ops", "throttled_total", "shed_total", "penalized_tenants",
+    "audit_records",
+)
+ARM_RATES = (
+    "jain_index", "victim_share", "victim_total_share",
+    "victim_p99_wait_seconds", "victim_starvation_seconds",
+    "max_starvation_seconds",
+)
+TENANT_RATES = (
+    "weight", "share", "satisfaction", "served_work", "arrived_work",
+    "max_wait_seconds", "starvation_seconds", "p99_wait_seconds",
+)
+TENANT_COUNTERS = ("throttled", "shed", "demotions", "recoveries")
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _integer(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_tenant(row: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(row, dict):
+        return [f"{where} must be an object"]
+    for key in TENANT_RATES:
+        value = row.get(key)
+        if not _number(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative number")
+    for key in TENANT_COUNTERS:
+        value = row.get(key)
+        if not _integer(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative integer")
+    if not isinstance(row.get("penalized"), bool):
+        problems.append(f"{where}.penalized must be a boolean")
+    return problems
+
+
+def _validate_arm(arm: object, name: str) -> list[str]:
+    where = f"arms.{name}"
+    problems: list[str] = []
+    if not isinstance(arm, dict):
+        return [f"{where} must be an object"]
+    if arm.get("sched") != name:
+        problems.append(f"{where}.sched must be {name!r}")
+    for key in ARM_COUNTERS:
+        value = arm.get(key)
+        if not _integer(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative integer")
+    for key in ARM_RATES:
+        value = arm.get(key)
+        if not _number(value) or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative number")
+    jain = arm.get("jain_index")
+    if _number(jain) and jain > 1.0 + 1e-9:
+        problems.append(f"{where}.jain_index must not exceed 1.0")
+    digest = arm.get("audit_digest")
+    if not isinstance(digest, str) or not digest.startswith("sha256:"):
+        problems.append(
+            f"{where}.audit_digest must be a 'sha256:'-prefixed digest of "
+            "the verified audit chain heads"
+        )
+    tenants = arm.get("tenants")
+    if not isinstance(tenants, dict) or not tenants:
+        problems.append(f"{where}.tenants must be a non-empty object")
+        tenants = {}
+    for key, row in tenants.items():
+        if not isinstance(key, str) or not key.startswith("h:"):
+            problems.append(
+                f"{where}.tenants keys must be privacy-guard hashes "
+                f"('h:…'), got {key!r}"
+            )
+        problems.extend(_validate_tenant(row, f"{where}.tenants[{key!r}]"))
+    return problems
+
+
+def _validate_gate(payload: dict) -> list[str]:
+    """The acceptance gate: fair strictly better, decisions unchanged."""
+    arms = payload.get("arms")
+    if not isinstance(arms, dict):
+        return []
+    none_arm, fair_arm = arms.get("none"), arms.get("fair")
+    if not isinstance(none_arm, dict) or not isinstance(fair_arm, dict):
+        return []
+    problems: list[str] = []
+    if _number(none_arm.get("jain_index")) and _number(fair_arm.get("jain_index")):
+        if not fair_arm["jain_index"] > none_arm["jain_index"]:
+            problems.append(
+                "gate: fair must score strictly higher than none on "
+                "jain_index"
+            )
+    if _number(none_arm.get("victim_share")) and _number(fair_arm.get("victim_share")):
+        if not fair_arm["victim_share"] > none_arm["victim_share"]:
+            problems.append(
+                "gate: fair must score strictly higher than none on "
+                "victim_share"
+            )
+    digests = (none_arm.get("audit_digest"), fair_arm.get("audit_digest"))
+    if all(isinstance(d, str) for d in digests) and digests[0] != digests[1]:
+        problems.append(
+            "gate: the two arms' audit digests differ — the scheduler "
+            "changed decisions or the audit trail"
+        )
+    if payload.get("audit_digest_match") is not True:
+        problems.append("audit_digest_match must be true")
+    return problems
+
+
+def _validate_privacy(payload: dict) -> list[str]:
+    """No direct subject or tenant identifier may reach the artifact."""
+    problems: list[str] = []
+    serialized = json.dumps(payload, sort_keys=True)
+    match = SUBJECT_ID_PATTERN.search(serialized)
+    if match:
+        problems.append(
+            f"privacy: plaintext assisted-person id {match.group(0)!r} "
+            "leaked into the fairness payload"
+        )
+    for fragment in TENANT_ID_FRAGMENTS:
+        if fragment in serialized:
+            problems.append(
+                f"privacy: plaintext tenant/organization id fragment "
+                f"{fragment!r} leaked into the fairness payload"
+            )
+    for key in ("victim_tenant", "abusive_tenant"):
+        value = payload.get(key)
+        if value is not None and (
+            not isinstance(value, str) or not value.startswith("h:")
+        ):
+            problems.append(
+                f"privacy: {key} must be a privacy-guard hash ('h:…')"
+            )
+    return problems
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    if not isinstance(payload.get("scenario"), str) or not payload.get("scenario"):
+        problems.append("scenario must be a non-empty string")
+    if not _integer(payload.get("seed")):
+        problems.append("seed must be an integer")
+    population = payload.get("population")
+    if not _integer(population) or population < 1:
+        problems.append("population must be a positive integer")
+    ops = payload.get("ops")
+    if not _integer(ops) or ops < 0:
+        problems.append("ops must be a non-negative integer")
+    nodes = payload.get("nodes")
+    if not _integer(nodes) or nodes < 1:
+        problems.append("nodes must be a positive integer")
+    for key in ("drain_seconds", "service_rate"):
+        value = payload.get(key)
+        if not _number(value) or value <= 0:
+            problems.append(f"{key} must be a positive number")
+
+    arms = payload.get("arms")
+    if not isinstance(arms, dict) or set(arms) != set(ARMS):
+        problems.append("arms must be an object with exactly "
+                        "'none' and 'fair'")
+    else:
+        for name in ARMS:
+            problems.extend(_validate_arm(arms[name], name))
+
+    improvement = payload.get("improvement")
+    if not isinstance(improvement, dict) or not all(
+        _number(improvement.get(key))
+        for key in ("jain_index", "victim_share")
+    ):
+        problems.append(
+            "improvement must carry numeric jain_index and victim_share"
+        )
+
+    problems.extend(_validate_gate(payload))
+    problems.extend(_validate_privacy(payload))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_fairness_schema.py BENCH_fairness.json",
+              file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_fairness_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_fairness_schema: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_fairness_schema: {problem}", file=sys.stderr)
+        return 1
+    improvement = payload["improvement"]
+    print(f"check_fairness_schema: {path} ok (jain "
+          f"+{improvement['jain_index']:.4f}, victim share "
+          f"+{improvement['victim_share']:.4f}, digests match)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -17,7 +17,7 @@ from repro.bus.envelope import Envelope
 from repro.bus.subscriptions import Handler, Subscription, SubscriptionRegistry
 from repro.bus.topics import TopicTree
 from repro.clock import Clock
-from repro.exceptions import UnknownTopicError
+from repro.exceptions import BusError, UnknownTopicError
 from repro.ids import IdFactory
 
 
@@ -32,7 +32,14 @@ class BusStats:
     bytes_fanned_out: int = 0
 
     def reset(self) -> None:
-        """Zero every counter (benchmark warm-up / measurement windows)."""
+        """Zero every counter (benchmark warm-up / measurement windows).
+
+        Resets *counters only*.  The broker's saturation high-water marks
+        are deliberately out of scope — they live on the bus and are
+        cleared by :meth:`ServiceBus.reset_high_water`, so a measurement
+        window can zero its throughput counters without losing the worst
+        backlog observed during warm-up.
+        """
         self.published = 0
         self.fanned_out = 0
         self.dispatch_rounds = 0
@@ -52,6 +59,7 @@ class ServiceBus:
         strict_topics: bool = True,
         telemetry=None,
         perf=None,
+        sched=None,
     ) -> None:
         self._clock = clock or Clock()
         self._ids = ids or IdFactory()
@@ -74,6 +82,16 @@ class ServiceBus:
         self._telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
+        # The tenant scheduler (kernel kind "sched").  The bus only calls
+        # methods on it — metering publishes/fan-out, asking whether a
+        # subscriber's backlog must shed, draining the virtual server —
+        # so the bus layer stays import-free of repro.sched.
+        self._sched = sched if sched is not None and sched.enabled else None
+
+    @property
+    def sched(self):
+        """The wired tenant scheduler (None when unscheduled)."""
+        return self._sched
 
     # -- topics ------------------------------------------------------------
 
@@ -150,11 +168,33 @@ class ServiceBus:
         size = envelope.size_estimate()
         self.stats.bytes_published += size
         now = self._clock.now()
+        if self._sched is not None:
+            self._sched.note_publish(sender, now)
         matching = self._subscriptions.matching_topic(topic)
+        shed_any = False
         for subscription in matching:
+            if self._sched is not None:
+                self._sched.note_fanout(subscription.subscriber, now)
+                if self._sched.should_shed(subscription.subscriber,
+                                           subscription.queue.depth):
+                    # Backpressure: the subscriber's backlog is over the
+                    # bound — overflow to the dead-letter queue, tagged
+                    # with the subscription id so replay_all_dead_letters
+                    # can re-drive it after the abuse episode.
+                    self._engine.dead_letter.enqueue_from(
+                        subscription.subscription_id, envelope, now=now
+                    )
+                    self._sched.note_shed(subscription.subscriber)
+                    shed_any = True
+                    continue
             subscription.queue.enqueue(envelope, now=now)
             self.stats.fanned_out += 1
             self.stats.bytes_fanned_out += size
+        if shed_any and self.dead_letter_depth > self._dead_letter_high_water:
+            self._dead_letter_high_water = self.dead_letter_depth
+            if self._telemetry is not None:
+                self._telemetry.gauge("bus.deadletter.high_water",
+                                      self._dead_letter_high_water)
         if matching:
             topic_depth = sum(sub.queue.depth for sub in matching)
             if topic_depth > self._queue_high_water.get(topic, 0):
@@ -176,8 +216,15 @@ class ServiceBus:
     # -- dispatch -------------------------------------------------------------------
 
     def dispatch(self) -> DeliveryReport:
-        """Run one dispatch round over all subscriptions."""
+        """Run one dispatch round over all subscriptions.
+
+        With a scheduler wired, the round first advances the scheduler's
+        virtual server to now — fifo or deficit-round-robin over the
+        tenant queues — so fairness accounting tracks dispatch activity.
+        """
         self.stats.dispatch_rounds += 1
+        if self._sched is not None:
+            self._sched.drain(self._clock.now())
         report = self._engine.dispatch_all(self._subscriptions.all_subscriptions())
         if self.dead_letter_depth > self._dead_letter_high_water:
             self._dead_letter_high_water = self.dead_letter_depth
@@ -248,7 +295,33 @@ class ServiceBus:
         handler.  Returns how many messages were re-driven.
         """
         subscription = self._subscriptions.get(subscription_id)
-        count = self._engine.replay_dead_letters(subscription)
+        count = self._engine.replay_dead_letters(subscription,
+                                                 now=self._clock.now())
         if count and self.auto_dispatch:
             self.dispatch()
         return count
+
+    def replay_all_dead_letters(self) -> int:
+        """Re-drive every dead letter with a known, live origin.
+
+        The bulk counterpart of :meth:`replay_dead_letters` — after an
+        abuse episode sheds overflow for many subscriptions, one call
+        drains the whole backlog back through the repaired consumers.
+        Messages parked with no recorded origin, or whose subscription
+        has since been removed, stay parked.  Returns the total re-driven.
+        """
+        total = 0
+        now = self._clock.now()
+        for origin in self._engine.dead_letter.origin_ids():
+            try:
+                subscription = self._subscriptions.get(origin)
+            except BusError:
+                continue
+            total += self._engine.replay_dead_letters(subscription, now=now)
+        if total and self.auto_dispatch:
+            self.dispatch()
+        return total
+
+    def dead_letter_counts(self) -> dict[str, int]:
+        """Cumulative dead-letter arrivals per topic (survive replay)."""
+        return self._engine.dead_letter.counts_by_topic()

@@ -92,19 +92,22 @@ class DeliveryEngine:
             report.delivered += 1
         return report
 
-    def replay_dead_letters(self, subscription: Subscription) -> int:
+    def replay_dead_letters(self, subscription: Subscription,
+                            now: float = 0.0) -> int:
         """Re-drive one subscription's dead letters through its queue.
 
-        The operator's recovery path: after the subscriber is fixed, its
-        parked poison messages are re-enqueued (counted as redeliveries,
-        with a fresh retry budget) and the next dispatch round delivers
-        them in their original order, ahead of nothing — they rejoin at
-        the tail like any other publication.  Returns how many messages
+        The operator's recovery path: after the subscriber is fixed (or a
+        backpressure-shed backlog is being drained back), its parked
+        messages are re-enqueued (counted as redeliveries, with a fresh
+        retry budget) and the next dispatch round delivers them in their
+        original order, ahead of nothing — they rejoin at the tail like
+        any other publication.  ``now`` stamps the re-enqueue time so
+        queue-age accounting stays honest.  Returns how many messages
         were re-driven.
         """
         envelopes = self.dead_letter.take_for(subscription.subscription_id)
         for envelope in envelopes:
-            subscription.queue.enqueue(envelope)
+            subscription.queue.enqueue(envelope, now=now)
             subscription.queue.stats.redelivered += 1
         return len(envelopes)
 

@@ -114,6 +114,10 @@ class DeadLetterQueue(MessageQueue):
     def __init__(self, name: str = "dead-letter") -> None:
         super().__init__(name)
         self._origins: deque[str] = deque()
+        # Cumulative per-topic arrivals (never decremented on replay/drain):
+        # an abuse episode's shed volume stays visible after the backlog
+        # has been re-driven.
+        self._by_topic: dict[str, int] = {}
 
     def enqueue(self, envelope: Envelope, now: float = 0.0) -> None:
         """Park an envelope with no recorded origin (direct callers)."""
@@ -124,6 +128,7 @@ class DeadLetterQueue(MessageQueue):
         """Park an envelope evicted from ``subscription_id``'s queue."""
         super().enqueue(envelope, now=now)
         self._origins.append(subscription_id)
+        self._by_topic[envelope.topic] = self._by_topic.get(envelope.topic, 0) + 1
 
     def ack(self) -> Envelope:
         envelope = super().ack()
@@ -138,6 +143,20 @@ class DeadLetterQueue(MessageQueue):
     def drain(self) -> list[Envelope]:
         self._origins.clear()
         return super().drain()
+
+    def origin_ids(self) -> list[str]:
+        """Distinct origin subscription ids with parked messages, in
+        first-parked order (empty-string origins — direct callers with no
+        recorded origin — are skipped)."""
+        seen: list[str] = []
+        for origin in self._origins:
+            if origin and origin not in seen:
+                seen.append(origin)
+        return seen
+
+    def counts_by_topic(self) -> dict[str, int]:
+        """Cumulative dead-letter arrivals per topic (survive replay/drain)."""
+        return dict(self._by_topic)
 
     def origin_of(self, position: int) -> str:
         """Subscription id the message at ``position`` was evicted from."""

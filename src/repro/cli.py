@@ -22,7 +22,11 @@ All subcommands are built on the public API::
                               [--log NAME]
     python -m repro workload  [--scenario steady|stress|surge|anomaly]
                               [--population N] [--ops N] [--nodes 1,2,4,8]
-                              [--seed S] [--out FILE] [--list]
+                              [--seed S] [--sched none|fair] [--out FILE]
+                              [--list]
+    python -m repro sched     [--scenario anomaly|...] [--population N]
+                              [--ops N] [--nodes N] [--seed S] [--out FILE]
+                              [--list]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -47,9 +51,13 @@ data directory (``snapshot``/``verify``/``restore``/``compact``/``stats``
 drives the federated platform with a seeded open-loop workload scenario
 at each requested node count and writes the ``css-bench-capacity/1``
 trajectory (sustained events/sec, details/sec, p95/p99, saturation
-high-water marks); ``inspect`` restores an archive and prints its audit
-summary (verifying the hash chain in the process); ``kernel`` prints the
-service-kernel wiring table.
+high-water marks); ``sched`` runs the same seeded workload twice —
+fifo baseline vs the fair deficit-round-robin tenant scheduler — and
+writes the ``css-bench-fairness/1`` comparison (Jain's index, victim
+share, throttle/shed counters), failing when fair does not beat the
+baseline or the audit digests diverge; ``inspect`` restores an archive
+and prints its audit summary (verifying the hash chain in the process);
+``kernel`` prints the service-kernel wiring table.
 """
 
 from __future__ import annotations
@@ -98,6 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="durable store engine for --durable "
                                "(default jsonl; segmented adds crash "
                                "recovery, compaction and snapshots)")
+    scenario.add_argument("--sched", default="none", choices=["none", "fair"],
+                          help="tenant scheduler: none (fifo baseline) or "
+                               "fair (per-tenant admission + deficit "
+                               "round-robin)")
 
     compare = sub.add_parser("compare", help="CSS vs the four baselines")
     _scenario_options(compare)
@@ -138,6 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _scenario_options(federate)
     federate.add_argument("--nodes", type=int, default=2,
                           help="number of controller nodes (default 2)")
+    federate.add_argument("--sched", default="none", choices=["none", "fair"],
+                          help="tenant scheduler on every node: none (fifo "
+                               "baseline) or fair (per-tenant admission + "
+                               "deficit round-robin)")
     federate.add_argument("--rebalance", action="store_true",
                           help="add a node after the run and re-home the "
                                "moved index entries")
@@ -226,11 +242,36 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=DEFAULT_SEED,
                           help="master seed of population, arrivals and "
                                f"op mix (default {DEFAULT_SEED})")
+    workload.add_argument("--sched", default="none", choices=["none", "fair"],
+                          help="tenant scheduler on every node: none (fifo "
+                               "baseline) or fair (per-tenant admission + "
+                               "deficit round-robin)")
     workload.add_argument("--out", metavar="FILE", default=None,
                           help="write the css-bench-capacity/1 payload "
                                "to FILE (e.g. BENCH_capacity.json)")
     workload.add_argument("--list", action="store_true", dest="list_scenarios",
                           help="list the scenario presets and exit")
+
+    sched = sub.add_parser(
+        "sched",
+        help="fairness comparison: fifo baseline vs fair tenant scheduler",
+    )
+    sched.add_argument("--scenario", default="anomaly",
+                       help="workload scenario preset (default anomaly: one "
+                            "abusive tenant floods a shared federation)")
+    sched.add_argument("--population", type=int, default=4_000,
+                       help="assisted-person population size (default 4000)")
+    sched.add_argument("--ops", type=int, default=600,
+                       help="operations per arm (default 600)")
+    sched.add_argument("--nodes", type=int, default=None,
+                       help="federation size (default 2)")
+    sched.add_argument("--seed", type=int, default=None,
+                       help="master seed (default: the preset's)")
+    sched.add_argument("--out", metavar="FILE", default=None,
+                       help="write the css-bench-fairness/1 payload to FILE "
+                            "(e.g. BENCH_fairness.json)")
+    sched.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list the scenario presets and exit")
 
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
@@ -271,6 +312,11 @@ def _make_scenario(args: argparse.Namespace) -> tuple[CssScenario, list]:
         runtime = RuntimeConfig(index_store="jsonl", audit_sink="jsonl",
                                 store=getattr(args, "store", "jsonl"),
                                 data_dir=args.durable)
+    sched = getattr(args, "sched", "none")
+    if sched != "none":
+        from dataclasses import replace
+
+        runtime = replace(runtime or RuntimeConfig(), sched=sched)
     config = ScenarioConfig(
         n_patients=args.patients, n_events=args.events,
         detail_request_rate=args.rate, seed=args.seed, runtime=runtime,
@@ -389,7 +435,7 @@ def _cmd_federate(args: argparse.Namespace, out) -> int:
 
     scenario = FederatedScenario(FederatedScenarioConfig(
         nodes=args.nodes, n_patients=args.patients, n_events=args.events,
-        detail_request_rate=args.rate, seed=args.seed,
+        detail_request_rate=args.rate, seed=args.seed, sched=args.sched,
         # SLO evaluation needs metric series, so --slo-out turns telemetry on.
         telemetry_guard="hash" if args.slo_out else None,
     ))
@@ -501,6 +547,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "telemetry": defaults.telemetry, "federation": defaults.federation,
         "slo": defaults.slo, "profiling": defaults.profiling,
         "perf": defaults.perf, "store": defaults.store,
+        "sched": defaults.sched,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -728,14 +775,16 @@ def _cmd_workload(args: argparse.Namespace, out) -> int:
             seed=args.seed,
         )
         config = CapacityConfig(
-            workload=wl, node_counts=_parse_node_counts(args.nodes)
+            workload=wl, node_counts=_parse_node_counts(args.nodes),
+            sched=args.sched,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"repro workload: {exc}") from None
 
     source = (f"repro workload --scenario {args.scenario} "
               f"--population {args.population} --ops {args.ops} "
-              f"--nodes {args.nodes} --seed {args.seed}")
+              f"--nodes {args.nodes} --seed {args.seed} "
+              f"--sched {args.sched}")
     payload = run_capacity(config, source=source)
 
     print(f"capacity trajectory ({args.scenario} scenario, "
@@ -754,6 +803,66 @@ def _cmd_workload(args: argparse.Namespace, out) -> int:
     if args.out:
         write_payload(args.out, payload)
         print(f"wrote {args.out}", file=out)
+    return 0
+
+
+def _cmd_sched(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.sched.fairness import fairness_gate, run_fairness
+    from repro.workload import SCENARIOS, workload_config
+
+    if args.list_scenarios:
+        print("workload scenarios:", file=out)
+        for name in SCENARIOS:
+            config = workload_config(name)
+            print(f"  {name:<12} arrival={config.arrival:<8} "
+                  f"rate={config.rate:>6.1f}/s  "
+                  f"tenants={len(config.tenants)}", file=out)
+        return 0
+
+    overrides: dict[str, object] = {
+        "population": args.population, "ops": args.ops,
+    }
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        wl = workload_config(args.scenario, **overrides)
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro sched: {exc}") from None
+
+    kwargs: dict[str, object] = {}
+    if args.nodes is not None:
+        if args.nodes < 1:
+            raise SystemExit("repro sched: --nodes must be a positive integer")
+        kwargs["nodes"] = args.nodes
+    source = (f"repro sched --scenario {args.scenario} "
+              f"--population {args.population} --ops {args.ops} "
+              f"--seed {wl.seed}")
+    payload = run_fairness(wl, source=source, **kwargs)
+
+    print(f"fairness comparison ({args.scenario} scenario, {args.ops} ops, "
+          f"{payload['nodes']} nodes, seed {wl.seed}):", file=out)
+    print(f"  {'sched':>6}  {'jain':>7}  {'victim':>7}  {'p99 wait':>9}  "
+          f"{'throttled':>9}  {'shed':>5}", file=out)
+    for arm in ("none", "fair"):
+        point = payload["arms"][arm]
+        print(f"  {arm:>6}  {point['jain_index']:>7.4f}  "
+              f"{point['victim_share']:>7.4f}  "
+              f"{point['victim_p99_wait_seconds']:>8.3f}s  "
+              f"{point['throttled_total']:>9}  {point['shed_total']:>5}",
+              file=out)
+    print(f"  audit digests "
+          f"{'match' if payload['audit_digest_match'] else 'DIFFER'}", file=out)
+    if args.out:
+        _write_json(args.out, payload)
+        print(f"wrote {args.out}", file=out)
+    problems = fairness_gate(payload)
+    if problems:
+        for problem in problems:
+            print(f"repro sched: {problem}", file=sys.stderr)
+        return 1
+    print("fair beats none on Jain's index and victim share; "
+          "decisions unchanged", file=out)
     return 0
 
 
@@ -786,6 +895,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "perf": _cmd_perf,
         "store": _cmd_store,
         "workload": _cmd_workload,
+        "sched": _cmd_sched,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

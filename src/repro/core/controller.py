@@ -73,6 +73,7 @@ from repro.runtime.kernel import (
     KIND_PDP,
     KIND_PERF,
     KIND_PROFILING,
+    KIND_SCHED,
     KIND_SLO,
     KIND_STORE,
     KIND_TELEMETRY,
@@ -81,7 +82,7 @@ from repro.runtime.kernel import (
     ServiceKernel,
     default_kernel,
 )
-from repro.runtime.services import gateway_endpoint_name
+from repro.runtime.services import SchedulerGate, gateway_endpoint_name
 
 #: Callback receiving decrypted notifications at an authorized subscriber.
 NotificationHandler = Callable[[NotificationMessage], None]
@@ -135,10 +136,16 @@ class DataController:
             KIND_PERF, self.runtime.perf,
             master_secret=master_secret, telemetry=self.telemetry,
         )
+        self.sched = self._create(
+            KIND_SCHED, self.runtime.sched,
+            clock=self.clock, master_secret=master_secret,
+            telemetry=self.telemetry,
+        )
+        self._sched_gate = SchedulerGate(self.sched, self.clock)
         self.bus = self._create(
             KIND_TRANSPORT, self.runtime.transport,
             clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
-            telemetry=self.telemetry, perf=self.perf,
+            telemetry=self.telemetry, perf=self.perf, sched=self.sched,
         )
         self.endpoints = EndpointRegistry()
         self.actors = ActorDirectory()
@@ -201,6 +208,7 @@ class DataController:
             index_store=self.index,
             transport=self.bus,
             telemetry=self.telemetry,
+            sched=self._sched_gate,
         )
         self._details_pipeline = build_details_edge_pipeline(
             contracts=self.contracts,
@@ -210,6 +218,7 @@ class DataController:
                 "controller.getEventDetails", request
             ),
             telemetry=self.telemetry,
+            sched=self._sched_gate,
         )
         self.endpoints.expose(
             "controller.getEventDetails",
@@ -243,6 +252,11 @@ class DataController:
     def detail_fetcher(self):
         """The kernel-resolved gateway client used by the enforcer."""
         return self._fetcher
+
+    @property
+    def sched_gate(self):
+        """The scheduler's ingress gate (federation nodes admit through it)."""
+        return self._sched_gate
 
     # -- identity management (the paper's future-work extension) --------------
 
@@ -449,10 +463,15 @@ class DataController:
                         credential=None):
         """Resolve a request for details through the SOA endpoint + enforcer.
 
-        Runs the controller-edge pipeline (contract → authenticate) whose
-        terminal stage invokes the ``controller.getEventDetails`` endpoint,
-        i.e. the enforcer's Algorithm 1 chain.
+        Runs the controller-edge pipeline (contract → authenticate; with
+        the fair scheduler also a leading admission stage) whose terminal
+        stage invokes the ``controller.getEventDetails`` endpoint, i.e.
+        the enforcer's Algorithm 1 chain.
         """
+        if self._sched_gate.active and not self._sched_gate.shapes_ingress:
+            # Fifo baseline: no sched stage is composed into the edge
+            # pipeline, so accounting meters the request here.
+            self._sched_gate.meter_details(consumer_id)
         return self._details_pipeline.execute(Invocation(
             REQUEST_DETAILS,
             {"consumer_id": consumer_id, "request": request,

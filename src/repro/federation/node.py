@@ -333,6 +333,10 @@ class FederationNode:
         sealed before it crosses back.
         """
         self.work.add(DETAIL_COST)
+        # Remote requests skip the consumer node's details-edge pipeline,
+        # so the home node is where the scheduler meters (and, under
+        # fair, admission-checks) the requesting organization's ingress.
+        self.controller.sched_gate.details(payload["actor_id"])
         actor = Actor(
             actor_id=payload["actor_id"],
             name=payload.get("actor_name") or payload["actor_id"],
@@ -383,3 +387,15 @@ class FederationNode:
         if telemetry is not None and telemetry.enabled:
             telemetry.gauge(NODE_QUEUE_DEPTH, self.controller.bus.queue_depth,
                             node=self.label)
+
+    def record_fairness(self) -> None:
+        """Publish this node's per-tenant fairness gauges.
+
+        Drains the node scheduler's virtual server to the current clock
+        and emits share/starvation/throttle/shed gauges with guard-hashed
+        tenant labels (see :meth:`repro.sched.TenantScheduler.record_fairness`).
+        """
+        sched = getattr(self.controller, "sched", None)
+        if sched is not None:
+            sched.record_fairness(self.controller.telemetry,
+                                  self.controller.clock.now())

@@ -76,6 +76,7 @@ class FederatedPlatform:
         link_policy: DeliveryPolicy | None = None,
         per_node_telemetry: bool = False,
         telemetry_guard: str = "hash",
+        sched_config=None,
     ) -> None:
         self.clock = clock or Clock()
         self.kernel = kernel or default_kernel()
@@ -84,6 +85,9 @@ class FederatedPlatform:
         self._seed = seed
         self._encrypt_identity = encrypt_identity
         self._base_runtime = runtime or RuntimeConfig()
+        # Optional repro.sched.SchedConfig every node's scheduler is built
+        # with (service rate, buckets, penalty box); None keeps defaults.
+        self._sched_config = sched_config
         # Per-node telemetry: each node controller records into its own
         # backend (site-prefixed span ids), all sharing one clock and one
         # privacy guard so labels hash identically federation-wide; the
@@ -154,6 +158,7 @@ class FederatedPlatform:
                 "membership": self.membership,
                 "node_id": node_id,
                 "shared_telemetry": node_telemetry,
+                "sched_config": self._sched_config,
             },
         )
         node = FederationNode(node_id, controller, self.membership)
@@ -461,6 +466,17 @@ class FederatedPlatform:
         """Refresh every node's queue-depth gauge."""
         for node in self.nodes():
             node.record_queue_depth()
+
+    def record_fairness(self) -> None:
+        """Refresh every node's per-tenant fairness gauges.
+
+        An explicit harness/operator action (like queue-depth recording):
+        drains each node scheduler's virtual server to the shared clock
+        and emits share/starvation/throttle/shed gauges with guard-hashed
+        tenant labels.
+        """
+        for node in self.nodes():
+            node.record_fairness()
 
     # -- distributed tracing ---------------------------------------------------
 

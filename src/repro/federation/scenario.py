@@ -62,6 +62,9 @@ class FederatedScenarioConfig:
     #: Hot-path performance layer on every node: "indexed" or "none"
     #: (the ablation baseline) — see ``RuntimeConfig.perf``.
     perf: str = "indexed"
+    #: Tenant scheduler on every node: "none" (fifo baseline) or "fair"
+    #: (deficit-round-robin with admission) — see ``RuntimeConfig.sched``.
+    sched: str = "none"
     #: Base runtime for every node controller (the platform still forces
     #: the federation-specific fields and per-node data subdirectories).
     #: Use it to run the whole federation on durable backends, e.g.
@@ -155,7 +158,8 @@ class FederatedScenario:
             shards=self.config.nodes,
             clock=self.clock,
             seed=f"fedsc-{self.config.seed}",
-            runtime=replace(base_runtime, perf=self.config.perf),
+            runtime=replace(base_runtime, perf=self.config.perf,
+                            sched=self.config.sched),
             telemetry=self.telemetry,
             link_latency=self.config.link_latency,
             per_node_telemetry=self.config.per_node_telemetry,

@@ -9,6 +9,14 @@ ordered chain of :class:`Interceptor` stages around a terminal operation:
   (endpoint)`` feeding the enforcement chain ``stats → audit → resolve →
   consent → decide → fetch → filter`` (Algorithm 1).
 
+With the fair tenant scheduler (kernel kind ``sched``, implementation
+``fair``) both ingress pipelines additionally lead with a ``sched``
+admission stage — per-tenant token-bucket metering that counts and
+penalty-boxes over-rate tenants without ever denying the operation (see
+:mod:`repro.sched` and docs/SCHEDULING.md).  Under the default ``none``
+scheduler no stage is composed, so the default chains above are
+byte-for-byte unchanged.
+
 Each stage owns exactly one concern; cross-cutting behaviors (audit,
 crypto, stats) are ordinary interceptors, so new stages (metrics, caching,
 retries) can be added without touching ``DataController`` or the enforcer
@@ -693,6 +701,32 @@ class FieldFilterInterceptor:
         return proceed(invocation)
 
 
+class SchedAdmissionInterceptor:
+    """Per-tenant token-bucket admission at an ingress edge (fair sched).
+
+    Composed only when the fair scheduler is wired.  The gate's verdict
+    is advisory by design — an over-rate tenant is counted and demoted to
+    a penalty weight, but the operation itself always proceeds, which is
+    what keeps decisions and audit trails identical across schedulers.
+    """
+
+    name = "sched"
+
+    def __init__(self, gate, actor_key: str, edge: str) -> None:
+        self._gate = gate
+        self._actor_key = actor_key
+        self._edge = edge
+
+    def intercept(self, invocation: Invocation, proceed: Proceed) -> Any:
+        actor_id = invocation.context[self._actor_key]
+        if self._edge == PUBLISH:
+            admitted = self._gate.publish(actor_id)
+        else:
+            admitted = self._gate.details(actor_id)
+        invocation.context["sched_admitted"] = admitted
+        return proceed(invocation)
+
+
 # ---------------------------------------------------------------------------
 # Pipeline assembly
 # ---------------------------------------------------------------------------
@@ -712,10 +746,19 @@ def build_publish_pipeline(
     index_store,
     transport,
     telemetry=None,
+    sched=None,
 ) -> InterceptorPipeline:
-    """The notification-publish hot path (§4): encrypt → index → route → audit."""
+    """The notification-publish hot path (§4): encrypt → index → route → audit.
+
+    ``sched`` (a :class:`~repro.runtime.services.SchedulerGate`) prepends
+    the fair scheduler's admission stage; with the default ``none``
+    scheduler (or no gate) the historical chain is composed unchanged.
+    """
+    stages: list[Interceptor] = []
+    if sched is not None and sched.shapes_ingress:
+        stages.append(SchedAdmissionInterceptor(sched, "producer_id", PUBLISH))
     return InterceptorPipeline(
-        [
+        stages + [
             PublishStatsInterceptor(stats),
             ContractGuardInterceptor(contracts, clock, "producer_id", must="produce"),
             AdmissionInterceptor(catalog),
@@ -771,10 +814,20 @@ def build_details_edge_pipeline(
     identity_lookup,
     endpoint_call,
     telemetry=None,
+    sched=None,
 ) -> InterceptorPipeline:
-    """The controller edge of the details path: contract → authenticate → endpoint."""
+    """The controller edge of the details path: contract → authenticate → endpoint.
+
+    As with the publish pipeline, a shaping ``sched`` gate prepends the
+    fair scheduler's admission stage; otherwise the chain is unchanged.
+    """
+    stages: list[Interceptor] = []
+    if sched is not None and sched.shapes_ingress:
+        stages.append(
+            SchedAdmissionInterceptor(sched, "consumer_id", REQUEST_DETAILS)
+        )
     return InterceptorPipeline(
-        [
+        stages + [
             ContractGuardInterceptor(contracts, clock, "consumer_id", must="consume"),
             AuthenticateInterceptor(identity_lookup),
         ],

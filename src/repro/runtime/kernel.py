@@ -42,6 +42,7 @@ KIND_SLO = "slo"
 KIND_PROFILING = "profiling"
 KIND_PERF = "perf"
 KIND_STORE = "store"
+KIND_SCHED = "sched"
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,12 @@ class RuntimeConfig:
     #: snapshots and point-in-time recovery).  Decisions and audit
     #: trails are byte-identical across both.
     store: str = "jsonl"
+    #: Multi-tenant scheduler at the bus boundary: "none" (today's FIFO
+    #: dispatch, with per-tenant accounting) or "fair" (deficit-round-robin
+    #: fair queueing with token-bucket admission, backpressure shedding to
+    #: the dead-letter queue, and abusive-tenant penalty weights).  Either
+    #: way decisions and audit trails are identical — see docs/SCHEDULING.md.
+    sched: str = "none"
     #: Federation topology: "none" (single controller) or "static"
     #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
     federation: str = "none"
@@ -176,6 +183,7 @@ def _service_bus(**context: Any) -> Any:
         auto_dispatch=context.get("auto_dispatch", True),
         telemetry=context.get("telemetry"),
         perf=context.get("perf"),
+        sched=context.get("sched"),
     )
 
 
@@ -365,6 +373,30 @@ def _segmented_store(**context: Any) -> Any:
     )
 
 
+def _no_sched(**context: Any) -> Any:
+    from repro.sched.scheduler import POLICY_FIFO, TenantScheduler
+
+    return TenantScheduler(
+        clock=context["clock"],
+        policy=POLICY_FIFO,
+        config=context.get("sched_config"),
+        telemetry=context.get("telemetry"),
+        secret=context.get("master_secret", "css-sched"),
+    )
+
+
+def _fair_sched(**context: Any) -> Any:
+    from repro.sched.scheduler import POLICY_DRR, TenantScheduler
+
+    return TenantScheduler(
+        clock=context["clock"],
+        policy=POLICY_DRR,
+        config=context.get("sched_config"),
+        telemetry=context.get("telemetry"),
+        secret=context.get("master_secret", "css-sched"),
+    )
+
+
 def _shared_telemetry(**context: Any) -> Any:
     # The federated platform shares one telemetry instance across all its
     # node controllers; the factory just hands it through the kernel so the
@@ -410,4 +442,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_PERF, "indexed", _indexed_perf)
     kernel.register(KIND_STORE, "jsonl", _jsonl_store)
     kernel.register(KIND_STORE, "segmented", _segmented_store)
+    kernel.register(KIND_SCHED, "none", _no_sched)
+    kernel.register(KIND_SCHED, "fair", _fair_sched)
     return kernel

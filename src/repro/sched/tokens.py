@@ -1,0 +1,118 @@
+"""Token-bucket admission and the abusive-tenant penalty box.
+
+Both primitives run entirely on the simulated clock — refill and
+cool-down are functions of ``now``, never of wall time — so admission
+decisions are deterministic under seed like everything else in the
+platform.
+
+A :class:`TokenBucket` shapes a tenant's *sustained* ingress rate while
+forgiving bursts up to its capacity; a :class:`PenaltyBox` watches the
+bucket's verdicts and demotes a tenant that keeps arriving above its
+sustained rate to a penalty weight for a cool-down period, after which
+it recovers automatically (the scheduler multiplies the tenant's DRR
+weight by :attr:`PenaltyBox.penalty_weight` while the tenant is boxed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/s refill, ``burst`` cap.
+
+    ``take`` refills lazily from the elapsed simulated time, then either
+    consumes and admits or refuses without consuming.  A refusal means
+    the caller's sustained arrival rate exceeds ``rate``.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    updated_at: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError("token-bucket rate must be positive")
+        if self.burst <= 0:
+            raise ConfigurationError("token-bucket burst must be positive")
+        self.tokens = self.burst
+
+    def refill(self, now: float) -> None:
+        """Credit tokens for the simulated time elapsed since last seen."""
+        if now > self.updated_at:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated_at) * self.rate
+            )
+            self.updated_at = now
+
+    def take(self, now: float, amount: float = 1.0) -> bool:
+        """Admit one arrival (consume ``amount`` tokens) or refuse."""
+        self.refill(now)
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+@dataclass
+class PenaltyBox:
+    """Demotes a tenant whose arrivals keep exceeding its bucket.
+
+    Every bucket refusal is a *strike*; ``strike_limit`` strikes demote
+    the tenant (its effective scheduling weight is multiplied by
+    ``penalty_weight``) until ``cooldown_seconds`` of simulated time
+    pass.  A conforming arrival after ``forgive_seconds`` of good
+    behaviour clears accumulated strikes, so a short burst is not
+    punished like sustained abuse.
+    """
+
+    strike_limit: int = 8
+    forgive_seconds: float = 5.0
+    cooldown_seconds: float = 30.0
+    penalty_weight: float = 0.1
+    strikes: int = field(init=False, default=0)
+    last_strike_at: float = field(init=False, default=0.0)
+    penalized_until: float = field(init=False, default=0.0)
+    demotions: int = field(init=False, default=0)
+    recoveries: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.strike_limit < 1:
+            raise ConfigurationError("strike_limit must be at least 1")
+        if not 0.0 < self.penalty_weight <= 1.0:
+            raise ConfigurationError("penalty_weight must be in (0, 1]")
+
+    def record(self, admitted: bool, now: float) -> None:
+        """Feed one bucket verdict into the box's state machine."""
+        self._maybe_recover(now)
+        if admitted:
+            if (
+                self.strikes
+                and now - self.last_strike_at >= self.forgive_seconds
+            ):
+                self.strikes = 0
+            return
+        self.strikes += 1
+        self.last_strike_at = now
+        if self.strikes >= self.strike_limit and not self.is_penalized(now):
+            self.penalized_until = now + self.cooldown_seconds
+            self.demotions += 1
+            self.strikes = 0
+
+    def is_penalized(self, now: float) -> bool:
+        """Whether the tenant is currently demoted."""
+        self._maybe_recover(now)
+        return now < self.penalized_until
+
+    def weight_factor(self, now: float) -> float:
+        """The multiplier applied to the tenant's scheduling weight."""
+        return self.penalty_weight if self.is_penalized(now) else 1.0
+
+    def _maybe_recover(self, now: float) -> None:
+        if self.penalized_until and now >= self.penalized_until:
+            self.penalized_until = 0.0
+            self.recoveries += 1

@@ -9,8 +9,8 @@ trajectory).  Four modules:
 * :mod:`~repro.workload.arrivals` — open-loop Poisson and bursty on/off
   arrival processes plus O(1)-memory Zipf popularity sampling;
 * :mod:`~repro.workload.config` — scenario presets (``steady`` /
-  ``stress`` / ``surge`` / ``anomaly``) as frozen dataclasses,
-  reproducible under ``seed``;
+  ``stress`` / ``surge`` / ``anomaly`` / ``multi_tenant``) as frozen
+  dataclasses, reproducible under ``seed``;
 * :mod:`~repro.workload.engine` — the deterministic operation planner
   (byte-identical streams for equal configs);
 * :mod:`~repro.workload.capacity` — drives a
@@ -21,12 +21,16 @@ trajectory).  Four modules:
 from repro.workload.arrivals import OnOffProcess, PoissonProcess, ZipfSampler
 from repro.workload.capacity import (
     SCHEMA_ID,
+    build_platform,
+    deploy_workload,
+    execute_workload,
     run_capacity,
     run_point,
     write_payload,
 )
 from repro.workload.config import (
     DEFAULT_TENANTS,
+    MULTI_TENANT_ROLES,
     OP_DETAILS,
     OP_PUBLISH,
     OP_SUBSCRIBE,
@@ -34,6 +38,8 @@ from repro.workload.config import (
     CapacityConfig,
     TenantSpec,
     WorkloadConfig,
+    multi_tenant_abuser,
+    multi_tenant_roster,
     workload_config,
 )
 from repro.workload.engine import WorkloadEngine, WorkloadOp
@@ -44,6 +50,7 @@ __all__ = [
     "CapacityConfig",
     "DEFAULT_TENANTS",
     "LazyPopulation",
+    "MULTI_TENANT_ROLES",
     "OP_DETAILS",
     "OP_PUBLISH",
     "OP_SUBSCRIBE",
@@ -56,6 +63,11 @@ __all__ = [
     "WorkloadEngine",
     "WorkloadOp",
     "ZipfSampler",
+    "build_platform",
+    "deploy_workload",
+    "execute_workload",
+    "multi_tenant_abuser",
+    "multi_tenant_roster",
     "run_capacity",
     "run_point",
     "workload_config",

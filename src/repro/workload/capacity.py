@@ -34,6 +34,7 @@ from repro.exceptions import AccessDeniedError
 from repro.federation.platform import FederatedPlatform
 from repro.obs.benchreport import LATENCY_KEYS
 from repro.obs.telemetry import PIPELINE_DURATION, InMemoryTelemetry
+from repro.runtime.kernel import RuntimeConfig
 from repro.workload.config import CapacityConfig, WorkloadConfig
 from repro.workload.engine import OP_DETAILS, OP_PUBLISH, WorkloadEngine
 
@@ -61,37 +62,43 @@ def _latency_sections(telemetry: InMemoryTelemetry) -> dict[str, dict]:
     return sections
 
 
-def run_point(
+def build_platform(
     workload: WorkloadConfig,
     nodes: int,
+    clock: Clock,
+    telemetry: InMemoryTelemetry | None,
     link_latency: float = 0.005,
-    telemetry: InMemoryTelemetry | None = None,
-) -> dict:
-    """One capacity measurement: the whole workload at one node count.
+    sched: str = "none",
+    sched_config=None,
+) -> FederatedPlatform:
+    """A fresh federation for one workload run, seeded from the config.
 
-    ``telemetry`` lets callers supply (and afterwards inspect) the shared
-    backend — the privacy-invariant tests grep its exports; by default a
-    fresh hash-guarded backend is created per point.
+    ``sched``/``sched_config`` select every node's tenant scheduler —
+    the only runtime difference between the fairness harness's two arms.
     """
-    clock = Clock()
-    if telemetry is None:
-        telemetry = InMemoryTelemetry(
-            clock=clock,
-            guard_mode="hash",
-            secret=f"css-workload-{workload.seed}",
-        )
-    platform = FederatedPlatform(
+    return FederatedPlatform(
         shards=nodes,
         clock=clock,
         seed=f"wl-{workload.scenario}-{workload.seed}",
+        runtime=RuntimeConfig(sched=sched),
         telemetry=telemetry,
         link_latency=link_latency,
+        sched_config=sched_config,
     )
-    engine = WorkloadEngine(workload)
-    roles = engine.tenant_roles()
 
-    # Deployment: producers/classes on their home nodes, every tenant
-    # granted exactly its role's needed fields, baseline subscriptions.
+
+def deploy_workload(
+    platform: FederatedPlatform,
+    engine: WorkloadEngine,
+    workload: WorkloadConfig,
+) -> dict[str, object]:
+    """Install producers, event classes, tenants, policies, subscriptions.
+
+    Deployment: producers/classes on their home nodes, every tenant
+    granted exactly its role's needed fields, baseline subscriptions.
+    Returns the declared event classes by template name.
+    """
+    roles = engine.tenant_roles()
     event_classes: dict[str, object] = {}
     for template_name, template in engine.templates.items():
         producer_id = engine.producer_of(template_name)
@@ -122,8 +129,20 @@ def run_point(
                 label=f"{tenant.role} access to {template_name}",
             )
             platform.subscribe(tenant.tenant_id, template_name)
+    return event_classes
 
-    # Open-loop execution over the simulated clock.
+
+def execute_workload(
+    platform: FederatedPlatform,
+    engine: WorkloadEngine,
+    event_classes: dict[str, object],
+    clock: Clock,
+) -> dict[str, int]:
+    """Open-loop execution of the planned stream over the simulated clock.
+
+    Returns the outcome counters (published / blocked / permits / denies /
+    subscribes) shared by the capacity and fairness harnesses.
+    """
     recent: dict[str, deque] = {
         name: deque(maxlen=64) for name in engine.templates
     }
@@ -161,15 +180,65 @@ def run_point(
         else:  # subscribe churn
             platform.subscribe(op.tenant_id, op.template)
             subscribes += 1
+    return {
+        "published": published,
+        "publish_blocked": blocked,
+        "detail_permits": permits,
+        "detail_denies": denies,
+        "subscribe_ops": subscribes,
+    }
 
-    platform.dispatch_all()
-    platform.record_queue_depths()
+
+def audit_digest(platform: FederatedPlatform) -> tuple[str, int]:
+    """Verify every node's audit chain; digest the heads, count records.
+
+    The digest is the scheduler-invariance witness: two same-seed runs —
+    whatever their scheduler — must reproduce it bit-for-bit.
+    """
     heads: list[str] = []
     audit_records = 0
     for node in platform.nodes():
         node.controller.audit_log.verify_integrity()
         heads.append(node.controller.audit_log.head_digest)
         audit_records += len(node.controller.audit_log)
+    digest = "sha256:" + hashlib.sha256("|".join(heads).encode()).hexdigest()
+    return digest, audit_records
+
+
+def run_point(
+    workload: WorkloadConfig,
+    nodes: int,
+    link_latency: float = 0.005,
+    telemetry: InMemoryTelemetry | None = None,
+    sched: str = "none",
+) -> dict:
+    """One capacity measurement: the whole workload at one node count.
+
+    ``telemetry`` lets callers supply (and afterwards inspect) the shared
+    backend — the privacy-invariant tests grep its exports; by default a
+    fresh hash-guarded backend is created per point.  ``sched`` selects
+    every node's tenant scheduler ("none" keeps the historical figures).
+    """
+    clock = Clock()
+    if telemetry is None:
+        telemetry = InMemoryTelemetry(
+            clock=clock,
+            guard_mode="hash",
+            secret=f"css-workload-{workload.seed}",
+        )
+    platform = build_platform(
+        workload, nodes, clock, telemetry,
+        link_latency=link_latency, sched=sched,
+    )
+    engine = WorkloadEngine(workload)
+    event_classes = deploy_workload(platform, engine, workload)
+    counters = execute_workload(platform, engine, event_classes, clock)
+    published = counters["published"]
+    permits = counters["detail_permits"]
+
+    platform.dispatch_all()
+    platform.record_queue_depths()
+    digest, audit_records = audit_digest(platform)
 
     makespan = max(node.work.busy_seconds for node in platform.nodes())
     busy = makespan if makespan > 0 else max(clock.now(), 1e-9)
@@ -184,11 +253,7 @@ def run_point(
     return {
         "nodes": nodes,
         "ops": workload.ops,
-        "published": published,
-        "publish_blocked": blocked,
-        "detail_permits": permits,
-        "detail_denies": denies,
-        "subscribe_ops": subscribes,
+        **counters,
         "events_per_second": published / busy,
         "details_per_second": permits / busy,
         "makespan_seconds": makespan,
@@ -198,9 +263,7 @@ def run_point(
         "queue_depth_high_water": queue_high_water,
         "dead_letter_high_water": dead_letter_high_water,
         "audit_records": audit_records,
-        "audit_digest": "sha256:" + hashlib.sha256(
-            "|".join(heads).encode()
-        ).hexdigest(),
+        "audit_digest": digest,
     }
 
 
@@ -222,7 +285,8 @@ def run_capacity(config: CapacityConfig, source: str) -> dict:
         "ops": workload.ops,
         "arrival": workload.arrival,
         "nodes": [
-            run_point(workload, nodes, link_latency=config.link_latency)
+            run_point(workload, nodes, link_latency=config.link_latency,
+                      sched=config.sched)
             for nodes in config.node_counts
         ],
     }

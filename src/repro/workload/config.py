@@ -23,6 +23,11 @@ Four named scenarios ship with the platform:
     of its fair share of detail requests and popularity collapses onto a
     few hot subjects — the scenario admission-control work is measured
     against.
+``multi_tenant``
+    Fair-sharing probe: a wider roster from :func:`multi_tenant_roster`
+    (N consumer organizations with Zipf-skewed weights, one mid-rank
+    abusive) at an elevated detail-heavy rate — the scenario the
+    ``sched`` kernel kind's fairness figures come from.
 """
 
 from __future__ import annotations
@@ -63,6 +68,53 @@ DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
     TenantSpec("Province-Trentino/Statistics", ROLE_STATISTICIAN, 1.0),
     TenantSpec("Province-Trentino/SocialWelfare", ROLE_ADMINISTRATOR, 2.0),
 )
+
+#: Roles the synthetic multi-tenant roster cycles through.
+MULTI_TENANT_ROLES: tuple[str, ...] = (
+    ROLE_FAMILY_DOCTOR,
+    ROLE_SOCIAL_WORKER,
+    ROLE_STATISTICIAN,
+    ROLE_ADMINISTRATOR,
+)
+
+
+def multi_tenant_roster(count: int = 8,
+                        exponent: float = 0.8) -> tuple[TenantSpec, ...]:
+    """A synthetic roster of ``count`` consumer organizations.
+
+    Weights follow a Zipf law (rank r gets ``1/r**exponent``), scaled so
+    they sum to ``count`` (mean weight 1.0) and rounded to 3 decimals —
+    a skewed-but-not-degenerate share distribution for fairness studies.
+    Roles cycle through :data:`MULTI_TENANT_ROLES`; ids use a synthetic
+    ``Org-NN/…`` namespace that collides with no deployment producer or
+    consumer organization.  Pure function of its arguments, so rosters
+    are as reproducible as everything else under seed.
+    """
+    if count < 2:
+        raise ConfigurationError("a multi-tenant roster needs >= 2 tenants")
+    if exponent < 0:
+        raise ConfigurationError("roster exponent must be non-negative")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    scale = count / sum(raw)
+    return tuple(
+        TenantSpec(
+            tenant_id=f"Org-{rank:02d}/{MULTI_TENANT_ROLES[(rank - 1) % len(MULTI_TENANT_ROLES)]}",
+            role=MULTI_TENANT_ROLES[(rank - 1) % len(MULTI_TENANT_ROLES)],
+            weight=round(weight * scale, 3),
+        )
+        for rank, weight in enumerate(raw, start=1)
+    )
+
+
+def multi_tenant_abuser(count: int = 8) -> str:
+    """The mid-rank roster tenant the preset marks abusive.
+
+    Mid-rank on purpose: an abuser with a *middling* fair share makes
+    the collapse under fifo and the bound under fair both visible —
+    the top-ranked tenant would dominate legitimately anyway.
+    """
+    roster = multi_tenant_roster(count)
+    return roster[len(roster) // 2].tenant_id
 
 
 @dataclass(frozen=True)
@@ -161,6 +213,14 @@ SCENARIOS: dict[str, dict[str, object]] = {
         "hot_subject_share": 0.5,
         "subject_exponent": 1.3,
     },
+    "multi_tenant": {
+        "rate": 150.0,
+        "details_weight": 1.0,
+        "tenants": multi_tenant_roster(),
+        "abusive_tenant": multi_tenant_abuser(),
+        "abusive_factor": 20.0,
+        "subject_exponent": 1.2,
+    },
 }
 
 
@@ -191,6 +251,9 @@ class CapacityConfig:
     #: Detail-request purposes per tenant role (defaults to the
     #: scenario's role-purpose table).
     link_latency: float = 0.005
+    #: Tenant scheduler on every node ("none" or "fair") — see
+    #: ``RuntimeConfig.sched``.
+    sched: str = "none"
 
     def __post_init__(self) -> None:
         if not self.node_counts:

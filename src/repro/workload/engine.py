@@ -71,7 +71,9 @@ class WorkloadOp:
     subject_name: str = ""
     summary: str = ""
     details: dict[str, object] | None = None
-    #: Details / subscribe ops: the issuing tenant.
+    #: The operation's tenant: the issuing consumer organization on
+    #: details/subscribe ops, the producer organization on publish ops —
+    #: every stream line carries the organization the scheduler bills.
     tenant_id: str = ""
     purpose: str = ""
     #: Details ops: 0 targets the latest event of the class, 1 the one
@@ -93,6 +95,7 @@ class WorkloadOp:
                 subject_name=self.subject_name,
                 summary=self.summary,
                 details=self.details,
+                tenant_id=self.tenant_id,
             )
         else:
             payload.update(tenant_id=self.tenant_id, purpose=self.purpose)
@@ -222,6 +225,9 @@ class WorkloadEngine:
                     subject_name=person.name,
                     summary=template.summary_for(patient),
                     details=template.build_details(rng, patient),
+                    # The producing organization (deterministic lookup, no
+                    # RNG draw): the tenant a scheduler bills this publish to.
+                    tenant_id=self.producer_of(template_name),
                 )
                 continue
 

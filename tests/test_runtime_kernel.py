@@ -58,9 +58,10 @@ class TestKernelRegistry:
         assert wiring["profiling"] == ("noop", "sampling")
         assert wiring["perf"] == ("indexed", "none")
         assert wiring["store"] == ("jsonl", "segmented")
+        assert wiring["sched"] == ("fair", "none")
         assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
-                               "index", "pdp", "perf", "profiling", "slo",
-                               "store", "telemetry", "transport"}
+                               "index", "pdp", "perf", "profiling", "sched",
+                               "slo", "store", "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()
