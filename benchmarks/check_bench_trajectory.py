@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Bench-trajectory check: today's BENCH_*.json vs committed baselines.
+
+Every CI run emits fresh ``BENCH_*.json`` payloads but until now nothing
+compared them against history — a PR could silently halve capacity
+throughput and still go green.  This script closes that loop:
+
+* ``benchmarks/baselines/<name>.json`` holds, per bench artifact, the
+  expected schema id and a set of **tracked throughput figures**
+  (dotted paths into the payload);
+* the check fails when a current payload's schema id changed, a tracked
+  figure disappeared, or a figure dropped below ``--min-ratio`` (default
+  0.8 — a >20 % regression) of its committed baseline;
+* figures are only ever *simulated-clock derived* (events per simulated
+  second, Jain's index, cost-model throughput) so the comparison is
+  machine-independent — wall-clock figures stay out of the baselines.
+
+Usage::
+
+    python benchmarks/check_bench_trajectory.py BENCH_capacity.json ...
+    python benchmarks/check_bench_trajectory.py --update BENCH_*.json
+
+``--update`` (re)writes the baselines from the given payloads — how the
+trajectory is seeded and how an intentional perf change is recorded
+(commit the refreshed baseline together with the change).  A payload
+without a committed baseline and without ``--update`` is reported and
+skipped, never failed: new bench artifacts join the trajectory when
+their first baseline lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Dotted payload paths tracked per bench artifact (list indices allowed).
+#: Only simulated-clock-derived figures belong here — never wall time.
+TRACKED_KEYS = {
+    "BENCH_obs": (
+        "benchmarks.0.ops_per_second",
+        "benchmarks.1.ops_per_second",
+    ),
+    "BENCH_capacity": (
+        "nodes.0.events_per_second",
+        "nodes.0.details_per_second",
+    ),
+    "BENCH_fairness": (
+        "arms.fair.jain_index",
+        "arms.fair.victim_share",
+    ),
+    "BENCH_incident": (
+        "arms.ring.sim_events_per_second",
+    ),
+}
+
+
+def resolve(payload: object, path: str):
+    """Walk a dotted path; integer segments index lists; None = missing."""
+    current = payload
+    for segment in path.split("."):
+        if isinstance(current, dict) and segment in current:
+            current = current[segment]
+        elif isinstance(current, list):
+            try:
+                current = current[int(segment)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    return current
+
+
+def baseline_path(bench: Path) -> Path:
+    return BASELINE_DIR / f"{bench.stem}.json"
+
+
+def make_baseline(bench: Path, payload: dict) -> dict:
+    """The baseline document for one payload (tracked figures only)."""
+    tracked = TRACKED_KEYS.get(bench.stem, ())
+    throughput = {}
+    for key in tracked:
+        value = resolve(payload, key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            throughput[key] = value
+    return {
+        "bench": bench.name,
+        "schema": payload.get("schema"),
+        "throughput": throughput,
+    }
+
+
+def compare(bench: Path, payload: dict, baseline: dict,
+            min_ratio: float) -> list[str]:
+    """Every trajectory regression of one payload, human-readable."""
+    problems: list[str] = []
+    expected_schema = baseline.get("schema")
+    if payload.get("schema") != expected_schema:
+        problems.append(
+            f"{bench.name}: schema changed from {expected_schema!r} to "
+            f"{payload.get('schema')!r} — bump the baseline deliberately "
+            "(--update) if this is intentional"
+        )
+    throughput = baseline.get("throughput")
+    if not isinstance(throughput, dict):
+        return problems + [f"{bench.name}: baseline has no throughput map"]
+    for key, reference in throughput.items():
+        current = resolve(payload, key)
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            problems.append(
+                f"{bench.name}: tracked figure {key} disappeared from "
+                "the payload"
+            )
+            continue
+        floor = reference * min_ratio
+        if current < floor:
+            drop = (1 - current / reference) * 100 if reference else 100.0
+            problems.append(
+                f"{bench.name}: {key} dropped {drop:.1f}% "
+                f"({current:.4f} vs baseline {reference:.4f}, "
+                f"floor {floor:.4f})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benches", nargs="+", metavar="BENCH_FILE",
+                        help="BENCH_*.json payloads to compare")
+    parser.add_argument("--update", action="store_true",
+                        help="(re)write the baselines from these payloads "
+                             "instead of comparing")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="minimum current/baseline ratio per tracked "
+                             "figure (default 0.8 = fail on >20%% drops)")
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    compared = updated = skipped = 0
+    for name in args.benches:
+        bench = Path(name)
+        if not bench.exists():
+            problems.append(f"{bench.name}: payload file is missing")
+            continue
+        try:
+            payload = json.loads(bench.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{bench.name}: not valid JSON: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            problems.append(f"{bench.name}: top level must be a JSON object")
+            continue
+        target = baseline_path(bench)
+        if args.update:
+            document = make_baseline(bench, payload)
+            if not document["throughput"]:
+                print(f"check_bench_trajectory: {bench.name} has no tracked "
+                      "figures (add them to TRACKED_KEYS first); skipped")
+                skipped += 1
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"check_bench_trajectory: wrote {target}")
+            updated += 1
+            continue
+        if not target.exists():
+            print(f"check_bench_trajectory: {bench.name} has no committed "
+                  f"baseline yet (seed with --update); skipped")
+            skipped += 1
+            continue
+        baseline = json.loads(target.read_text())
+        problems.extend(compare(bench, payload, baseline, args.min_ratio))
+        compared += 1
+
+    if problems:
+        for problem in problems:
+            print(f"check_bench_trajectory: {problem}", file=sys.stderr)
+        return 1
+    if args.update:
+        print(f"check_bench_trajectory: {updated} baseline(s) updated, "
+              f"{skipped} skipped")
+    else:
+        print(f"check_bench_trajectory: {compared} payload(s) within "
+              f"{(1 - args.min_ratio) * 100:.0f}% of baseline, "
+              f"{skipped} skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

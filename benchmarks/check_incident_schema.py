@@ -1,0 +1,440 @@
+#!/usr/bin/env python
+"""Schema check for ``css-incident/1`` incident bundles.
+
+CI runs ``repro incident --scenario federated --out incidents/`` and
+then this script over the bundle directory.  Beyond shape validation it
+enforces the PR's semantic gates:
+
+* the bundle's ``manifest.json`` must list every payload file with a
+  sha256 that matches the bytes on disk — a tampered or truncated
+  bundle fails the same way a tampered storage snapshot does;
+* the merged event timeline must be sorted by the stitching key
+  ``(at, node, seq)`` and spans by ``(at, seq)`` — the discipline that
+  makes same-seed bundles byte-identical;
+* the trigger must explain itself: an ``slo-breach`` bundle must carry
+  a windowed burn-rate series for every breached objective, and every
+  other trigger for its associated objective;
+* **privacy**: the serialized bundle must carry no plaintext
+  assisted-person id (``ap-NNNNNNNN``) and no plaintext tenant /
+  organization id (scheduler tenant keys must be privacy-guard hashes,
+  ``h:…``).
+
+Usage::
+
+    python benchmarks/check_incident_schema.py incidents/incident-0001
+    python benchmarks/check_incident_schema.py incidents
+    python benchmarks/check_incident_schema.py incident.json
+
+A directory without ``incident.json`` is treated as a container of
+bundle directories (``incident-*``) and every one is checked.
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the mutation tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-incident/1"
+
+#: Watchdog trigger kinds and the objective each non-SLO one must
+#: carry a burn-rate trajectory for (mirrors repro.obs.incident).
+TRIGGER_OBJECTIVES = {
+    "deadletter-spike": "bus-deadletter-ratio",
+    "queue-depth-ceiling": "node-queues-drained",
+    "penalty-demotion": "tenant-starvation",
+}
+TRIGGERS = ("slo-breach", *TRIGGER_OBJECTIVES)
+
+#: The plaintext shape of an assisted-person identifier.
+SUBJECT_ID_PATTERN = re.compile(r"\bap-\d{8}\b")
+
+#: Plaintext fragments of deployment / roster organization ids that must
+#: never appear in the shareable artifact (tenants are guard-hashed).
+TENANT_ID_FRAGMENTS = (
+    "Province-Trentino", "Municipality-Trento", "FamilyDoctors",
+    "Hospital-S-Maria", "HomeAssist-Coop", "Org-0", "Org-1",
+)
+
+INCIDENT_ID_PATTERN = re.compile(r"^incident-\d{4}$")
+
+BUNDLE_FILES = ("incident.json", "events.jsonl", "series.jsonl")
+
+BURN_POINT_KEYS = ("at", "attainment", "observed", "burn_rate")
+
+QUEUE_KEYS = (
+    "queue_depth", "dead_letter_depth",
+    "queue_high_water", "dead_letter_high_water",
+)
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _integer(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_trigger(payload: dict) -> list[str]:
+    problems: list[str] = []
+    trigger = payload.get("trigger")
+    if not isinstance(trigger, dict):
+        return ["trigger must be an object"]
+    if trigger.get("kind") not in TRIGGERS:
+        problems.append(
+            f"trigger.kind must be one of {sorted(TRIGGERS)}, "
+            f"got {trigger.get('kind')!r}"
+        )
+    if not _number(trigger.get("at")) or trigger.get("at", -1) < 0:
+        problems.append("trigger.at must be a non-negative number")
+    if not isinstance(trigger.get("detail"), dict):
+        problems.append("trigger.detail must be an object")
+    return problems
+
+
+def _validate_burn_rates(payload: dict) -> list[str]:
+    problems: list[str] = []
+    burn_rates = payload.get("burn_rates")
+    if not isinstance(burn_rates, dict) or not burn_rates:
+        return ["burn_rates must be a non-empty object "
+                "(every bundle explains at least one objective)"]
+    for objective, windows in burn_rates.items():
+        where = f"burn_rates[{objective!r}]"
+        if not isinstance(windows, dict) or set(windows) != {"short", "long"}:
+            problems.append(f"{where} must carry exactly 'short' and 'long'")
+            continue
+        for window, series in windows.items():
+            if not isinstance(series, list):
+                problems.append(f"{where}.{window} must be a list")
+                continue
+            for index, point in enumerate(series):
+                spot = f"{where}.{window}[{index}]"
+                if not isinstance(point, dict):
+                    problems.append(f"{spot} must be an object")
+                    continue
+                for key in BURN_POINT_KEYS:
+                    if not _number(point.get(key)):
+                        problems.append(f"{spot}.{key} must be a number")
+                attainment = point.get("attainment")
+                if _number(attainment) and not 0.0 <= attainment <= 1.0:
+                    problems.append(f"{spot}.attainment must be in [0, 1]")
+
+    # The trigger must explain itself with a burn trajectory.
+    trigger = payload.get("trigger")
+    if isinstance(trigger, dict):
+        kind = trigger.get("kind")
+        wanted: list[str] = []
+        if kind == "slo-breach":
+            detail = trigger.get("detail")
+            if isinstance(detail, dict):
+                objectives = detail.get("objectives")
+                if isinstance(objectives, list):
+                    wanted = [o for o in objectives if isinstance(o, str)]
+        elif kind in TRIGGER_OBJECTIVES:
+            wanted = [TRIGGER_OBJECTIVES[kind]]
+        for objective in wanted:
+            if objective not in burn_rates:
+                problems.append(
+                    f"burn_rates must carry the trigger's objective "
+                    f"{objective!r}"
+                )
+    return problems
+
+
+def _validate_events(payload: dict) -> list[str]:
+    problems: list[str] = []
+    events = payload.get("events")
+    if not isinstance(events, list):
+        return ["events must be a list"]
+    previous = None
+    for index, row in enumerate(events):
+        where = f"events[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(row.get("kind"), str) or not row.get("kind"):
+            problems.append(f"{where}.kind must be a non-empty string")
+        if not isinstance(row.get("node"), str) or not row.get("node"):
+            problems.append(f"{where}.node must be a non-empty string")
+        if not _integer(row.get("seq")) or row.get("seq", 0) < 1:
+            problems.append(f"{where}.seq must be a positive integer")
+        if not _number(row.get("at")) or row.get("at", -1) < 0:
+            problems.append(f"{where}.at must be a non-negative number")
+        key = (row.get("at"), row.get("node"), row.get("seq"))
+        if previous is not None and all(
+            _number(k) or isinstance(k, str) for k in (*previous, *key)
+        ) and key < previous:
+            problems.append(
+                f"{where} breaks the (at, node, seq) merge order"
+            )
+        previous = key
+    return problems
+
+
+def _validate_spans(payload: dict) -> list[str]:
+    problems: list[str] = []
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return ["spans must be a list"]
+    for index, row in enumerate(spans):
+        where = f"spans[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in ("name", "trace_id", "span_id", "status", "node"):
+            if not isinstance(row.get(key), str) or not row.get(key):
+                problems.append(f"{where}.{key} must be a non-empty string")
+        if not _number(row.get("at")) or row.get("at", -1) < 0:
+            problems.append(f"{where}.at must be a non-negative number")
+        if not _number(row.get("duration")):
+            problems.append(f"{where}.duration must be a number")
+    return problems
+
+
+def _validate_series(payload: dict) -> list[str]:
+    problems: list[str] = []
+    series = payload.get("series")
+    if not isinstance(series, list):
+        return ["series must be a list"]
+    for index, row in enumerate(series):
+        where = f"series[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(row.get("name"), str) or not row.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        if row.get("type") not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}.type must be a metric type")
+        if not isinstance(row.get("labels"), dict):
+            problems.append(f"{where}.labels must be an object")
+        points = row.get("points")
+        if not isinstance(points, list) or not points:
+            problems.append(f"{where}.points must be a non-empty list")
+            continue
+        for pindex, point in enumerate(points):
+            # counters/gauges export [at, value]; histograms [at, count, sum]
+            if (not isinstance(point, list) or len(point) not in (2, 3)
+                    or not all(_number(part) for part in point)):
+                problems.append(
+                    f"{where}.points[{pindex}] must be an [at, value] or "
+                    "[at, count, sum] row"
+                )
+                break
+    return problems
+
+
+def _validate_state(payload: dict) -> list[str]:
+    problems: list[str] = []
+    queues = payload.get("queues")
+    if not isinstance(queues, dict) or "totals" not in queues:
+        problems.append("queues must be an object with per-node rows "
+                        "and 'totals'")
+        queues = {}
+    for node, row in queues.items():
+        keys = ("queue_depth", "dead_letter_depth") if node == "totals" \
+            else QUEUE_KEYS
+        if not isinstance(row, dict):
+            problems.append(f"queues[{node!r}] must be an object")
+            continue
+        for key in keys:
+            if not _integer(row.get(key)) or row.get(key, 0) < 0:
+                problems.append(
+                    f"queues[{node!r}].{key} must be a non-negative integer"
+                )
+    scheduler = payload.get("scheduler")
+    if not isinstance(scheduler, dict):
+        problems.append("scheduler must be an object (possibly empty)")
+        scheduler = {}
+    for node, row in scheduler.items():
+        where = f"scheduler[{node!r}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(row.get("policy"), str) or not row.get("policy"):
+            problems.append(f"{where}.policy must be a non-empty string")
+        tenants = row.get("tenants")
+        if not isinstance(tenants, dict):
+            problems.append(f"{where}.tenants must be an object")
+            continue
+        for key in tenants:
+            if not isinstance(key, str) or not key.startswith("h:"):
+                problems.append(
+                    f"{where}.tenants keys must be privacy-guard hashes "
+                    f"('h:…'), got {key!r}"
+                )
+    recorder = payload.get("recorder")
+    if not isinstance(recorder, dict) or not recorder:
+        problems.append("recorder must be a non-empty object")
+        recorder = {}
+    for node, row in recorder.items():
+        where = f"recorder[{node!r}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in ("dropped_events", "dropped_spans"):
+            if not _integer(row.get(key)) or row.get(key, 0) < 0:
+                problems.append(
+                    f"{where}.{key} must be a non-negative integer"
+                )
+    return problems
+
+
+def _validate_privacy(payload: dict) -> list[str]:
+    """No direct subject or tenant identifier may reach the bundle."""
+    problems: list[str] = []
+    serialized = json.dumps(payload, sort_keys=True)
+    match = SUBJECT_ID_PATTERN.search(serialized)
+    if match:
+        problems.append(
+            f"privacy: plaintext assisted-person id {match.group(0)!r} "
+            "leaked into the incident bundle"
+        )
+    for fragment in TENANT_ID_FRAGMENTS:
+        if fragment in serialized:
+            problems.append(
+                f"privacy: plaintext tenant/organization id fragment "
+                f"{fragment!r} leaked into the incident bundle"
+            )
+    return problems
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    problems: list[str] = []
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    incident_id = payload.get("incident_id")
+    if not isinstance(incident_id, str) \
+            or not INCIDENT_ID_PATTERN.match(incident_id):
+        problems.append("incident_id must match 'incident-NNNN'")
+    if not isinstance(payload.get("source"), str):
+        problems.append("source must be a string")
+    if not _number(payload.get("captured_at")) \
+            or payload.get("captured_at", -1) < 0:
+        problems.append("captured_at must be a non-negative number")
+    slo = payload.get("slo")
+    if slo is not None and not isinstance(slo, dict):
+        problems.append("slo must be null or the SLO report object")
+    problems.extend(_validate_trigger(payload))
+    problems.extend(_validate_burn_rates(payload))
+    problems.extend(_validate_events(payload))
+    problems.extend(_validate_spans(payload))
+    problems.extend(_validate_series(payload))
+    problems.extend(_validate_state(payload))
+    problems.extend(_validate_privacy(payload))
+    return problems
+
+
+def _hash_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def validate_bundle_dir(root: Path) -> list[str]:
+    """Check one on-disk bundle: manifest integrity, then the payload."""
+    problems: list[str] = []
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        return [f"{root}: manifest.json is missing"]
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{root}: manifest.json is not valid JSON: {exc}"]
+    if manifest.get("schema") != SCHEMA_ID:
+        problems.append(f"{root}: manifest schema must be {SCHEMA_ID!r}")
+    files = manifest.get("files")
+    if not isinstance(files, dict):
+        return problems + [f"{root}: manifest.files must be an object"]
+    for name in BUNDLE_FILES:
+        if name not in files:
+            problems.append(f"{root}: manifest does not cover {name}")
+    for name, entry in files.items():
+        target = root / name
+        if not target.exists():
+            problems.append(f"{root}: manifest lists missing file {name}")
+            continue
+        digest = _hash_file(target)
+        if entry.get("sha256") != digest:
+            problems.append(
+                f"{root}/{name}: sha256 mismatch — bundle tampered or "
+                "truncated"
+            )
+        if entry.get("size") != target.stat().st_size:
+            problems.append(f"{root}/{name}: size mismatch")
+    bundle_path = root / "incident.json"
+    if not bundle_path.exists():
+        return problems + [f"{root}: incident.json is missing"]
+    try:
+        payload = json.loads(bundle_path.read_text())
+    except json.JSONDecodeError as exc:
+        return problems + [f"{root}: incident.json is not valid JSON: {exc}"]
+    problems.extend(validate(payload))
+    if isinstance(payload.get("incident_id"), str) \
+            and manifest.get("incident_id") != payload["incident_id"]:
+        problems.append(f"{root}: manifest incident_id disagrees with bundle")
+    return problems
+
+
+def _collect_targets(path: Path) -> list[Path] | None:
+    """Bundle directories under ``path`` (None = nothing checkable)."""
+    if path.is_file():
+        return None  # bare payload, handled by the caller
+    if (path / "incident.json").exists() or (path / "manifest.json").exists():
+        return [path]
+    bundles = sorted(p for p in path.glob("incident-*") if p.is_dir())
+    return bundles or []
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_incident_schema.py BUNDLE_DIR|incident.json",
+              file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_incident_schema: {path} is missing", file=sys.stderr)
+        return 1
+    if path.is_file():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"check_incident_schema: {path} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        problems = validate(payload)
+        checked = 1
+    else:
+        targets = _collect_targets(path)
+        if not targets:
+            print(f"check_incident_schema: no incident bundle under {path}",
+                  file=sys.stderr)
+            return 1
+        problems = []
+        for target in targets:
+            problems.extend(validate_bundle_dir(target))
+        checked = len(targets)
+    if problems:
+        for problem in problems:
+            print(f"check_incident_schema: {problem}", file=sys.stderr)
+        return 1
+    noun = "bundle" if checked == 1 else "bundles"
+    print(f"check_incident_schema: {path} ok ({checked} {noun}, "
+          "manifests verified, no identifier leaks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

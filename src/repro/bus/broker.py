@@ -60,6 +60,7 @@ class ServiceBus:
         telemetry=None,
         perf=None,
         sched=None,
+        recorder=None,
     ) -> None:
         self._clock = clock or Clock()
         self._ids = ids or IdFactory()
@@ -87,6 +88,13 @@ class ServiceBus:
         # subscriber's backlog must shed, draining the virtual server —
         # so the bus layer stays import-free of repro.sched.
         self._sched = sched if sched is not None and sched.enabled else None
+        # The flight recorder (kernel kind "recorder"), duck-typed like
+        # telemetry so the bus stays import-free of repro.obs: saturation
+        # transitions (shedding, high-water advances) leave a trail in
+        # its ring for incident bundles to export.
+        self._recorder = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
 
     @property
     def sched(self):
@@ -190,11 +198,18 @@ class ServiceBus:
             subscription.queue.enqueue(envelope, now=now)
             self.stats.fanned_out += 1
             self.stats.bytes_fanned_out += size
-        if shed_any and self.dead_letter_depth > self._dead_letter_high_water:
-            self._dead_letter_high_water = self.dead_letter_depth
-            if self._telemetry is not None:
-                self._telemetry.gauge("bus.deadletter.high_water",
-                                      self._dead_letter_high_water)
+        if shed_any:
+            if self._recorder is not None:
+                self._recorder.record("bus.deadletter", topic=topic,
+                                      depth=self.dead_letter_depth)
+            if self.dead_letter_depth > self._dead_letter_high_water:
+                self._dead_letter_high_water = self.dead_letter_depth
+                if self._telemetry is not None:
+                    self._telemetry.gauge("bus.deadletter.high_water",
+                                          self._dead_letter_high_water)
+                if self._recorder is not None:
+                    self._recorder.record("bus.deadletter_high_water",
+                                          depth=self._dead_letter_high_water)
         if matching:
             topic_depth = sum(sub.queue.depth for sub in matching)
             if topic_depth > self._queue_high_water.get(topic, 0):
@@ -202,6 +217,9 @@ class ServiceBus:
                 if self._telemetry is not None:
                     self._telemetry.gauge("bus.queue.high_water",
                                           topic_depth, topic=topic)
+                if self._recorder is not None:
+                    self._recorder.record("bus.queue_high_water",
+                                          topic=topic, depth=topic_depth)
             self._queue_high_water_global = max(
                 self._queue_high_water_global, self.queue_depth
             )
@@ -226,11 +244,18 @@ class ServiceBus:
         if self._sched is not None:
             self._sched.drain(self._clock.now())
         report = self._engine.dispatch_all(self._subscriptions.all_subscriptions())
+        if report.dead_lettered and self._recorder is not None:
+            self._recorder.record("bus.deadletter",
+                                  count=report.dead_lettered,
+                                  depth=self.dead_letter_depth)
         if self.dead_letter_depth > self._dead_letter_high_water:
             self._dead_letter_high_water = self.dead_letter_depth
             if self._telemetry is not None:
                 self._telemetry.gauge("bus.deadletter.high_water",
                                       self._dead_letter_high_water)
+            if self._recorder is not None:
+                self._recorder.record("bus.deadletter_high_water",
+                                      depth=self._dead_letter_high_water)
         if self._telemetry is not None:
             self._telemetry.count("bus.dispatch_rounds_total")
             if report.dead_lettered:

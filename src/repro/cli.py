@@ -27,6 +27,12 @@ All subcommands are built on the public API::
     python -m repro sched     [--scenario anomaly|...] [--population N]
                               [--ops N] [--nodes N] [--seed S] [--out FILE]
                               [--list]
+    python -m repro incident  [--scenario anomaly|federated|...]
+                              [--population N] [--ops N] [--nodes N]
+                              [--seed S] [--out DIR] [--list]
+    python -m repro timeline  [--scenario anomaly|federated|...]
+                              [--population N] [--ops N] [--nodes N]
+                              [--seed S] [--limit N] [--out FILE]
     python -m repro inspect   DIR [--secret SECRET]
     python -m repro kernel
 
@@ -55,7 +61,12 @@ high-water marks); ``sched`` runs the same seeded workload twice —
 fifo baseline vs the fair deficit-round-robin tenant scheduler — and
 writes the ``css-bench-fairness/1`` comparison (Jain's index, victim
 share, throttle/shed counters), failing when fair does not beat the
-baseline or the audit digests diverge; ``inspect`` restores an archive
+baseline or the audit digests diverge; ``incident`` runs a watched
+workload — flight recorder on, time-series store ticking, watchdogs
+armed — and writes the ``css-incident/1`` bundles the first trigger
+captures (exit 1 when no watchdog fired); ``timeline`` runs the same
+watched workload and prints the merged cross-node flight-recorder
+timeline; ``inspect`` restores an archive
 and prints its audit summary (verifying the hash chain in the process);
 ``kernel`` prints the service-kernel wiring table.
 """
@@ -273,6 +284,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--list", action="store_true", dest="list_scenarios",
                        help="list the scenario presets and exit")
 
+    incident = sub.add_parser(
+        "incident",
+        help="watched workload run: watchdogs, flight recorder, "
+             "css-incident/1 bundles",
+    )
+    _watched_run_options(incident, "incident")
+    incident.add_argument("--out", metavar="DIR", default=None,
+                          help="write each captured css-incident/1 bundle "
+                               "as a directory under DIR")
+    incident.add_argument("--list", action="store_true",
+                          dest="list_scenarios",
+                          help="list the scenario presets and exit")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="merged cross-node flight-recorder timeline of a watched run",
+    )
+    _watched_run_options(timeline, "timeline")
+    timeline.add_argument("--limit", type=int, default=20,
+                          help="timeline rows to print (default 20, "
+                               "most recent; 0 prints all)")
+    timeline.add_argument("--out", metavar="FILE", default=None,
+                          help="write the full timeline as canonical "
+                               "JSONL to FILE")
+
     inspect = sub.add_parser("inspect", help="restore an archive and audit it")
     inspect.add_argument("directory", help="archive directory to restore")
     inspect.add_argument("--secret", default="css-platform-secret",
@@ -280,6 +316,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("kernel", help="print the service-kernel wiring table")
     return parser
+
+
+def _watched_run_options(parser: argparse.ArgumentParser, prog: str) -> None:
+    """Shared options of the watched-run subcommands (incident, timeline)."""
+    parser.add_argument("--scenario", default="anomaly",
+                        help="workload scenario preset (default anomaly; "
+                             "'federated' is an alias for anomaly on the "
+                             "default 2-node federation)")
+    parser.add_argument("--population", type=int, default=4_000,
+                        help="assisted-person population size (default 4000)")
+    parser.add_argument("--ops", type=int, default=600,
+                        help=f"operations of the {prog} run (default 600)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="federation size (default 2)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed (default: the preset's)")
 
 
 def _scenario_options(parser: argparse.ArgumentParser) -> None:
@@ -547,7 +599,7 @@ def _cmd_kernel(args: argparse.Namespace, out) -> int:
         "telemetry": defaults.telemetry, "federation": defaults.federation,
         "slo": defaults.slo, "profiling": defaults.profiling,
         "perf": defaults.perf, "store": defaults.store,
-        "sched": defaults.sched,
+        "sched": defaults.sched, "recorder": defaults.recorder,
     }
     for kind, names in kernel.wiring().items():
         rendered = ", ".join(
@@ -866,6 +918,127 @@ def _cmd_sched(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _watched_workload(args: argparse.Namespace, prog: str):
+    """Resolve the watched-run workload config shared by incident/timeline.
+
+    ``federated`` is accepted as a scenario alias for ``anomaly`` on the
+    default two-node federation — the shape the CI smoke exercises.
+    """
+    from repro.exceptions import ConfigurationError
+    from repro.workload import workload_config
+
+    scenario = "anomaly" if args.scenario == "federated" else args.scenario
+    overrides: dict[str, object] = {
+        "population": args.population, "ops": args.ops,
+    }
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        wl = workload_config(scenario, **overrides)
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro {prog}: {exc}") from None
+    if args.nodes is not None and args.nodes < 1:
+        raise SystemExit(f"repro {prog}: --nodes must be a positive integer")
+    return wl
+
+
+def _cmd_incident(args: argparse.Namespace, out) -> int:
+    from repro.workload import SCENARIOS, workload_config
+    from repro.workload.incidents import run_incident_capture
+
+    if args.list_scenarios:
+        print("workload scenarios:", file=out)
+        for name in SCENARIOS:
+            config = workload_config(name)
+            print(f"  {name:<12} arrival={config.arrival:<8} "
+                  f"rate={config.rate:>6.1f}/s  "
+                  f"tenants={len(config.tenants)}", file=out)
+        return 0
+
+    wl = _watched_workload(args, "incident")
+    kwargs: dict[str, object] = {}
+    if args.nodes is not None:
+        kwargs["nodes"] = args.nodes
+    source = (f"repro incident --scenario {args.scenario} "
+              f"--population {args.population} --ops {args.ops} "
+              f"--seed {wl.seed}")
+    payload = run_incident_capture(
+        wl, source=source, out_dir=args.out, **kwargs
+    )
+
+    print(f"watched run ({payload['scenario']} scenario, {payload['ops']} "
+          f"ops, {payload['nodes']} nodes, seed {payload['seed']}): "
+          f"published={payload['published']} "
+          f"ticks={payload['ticks']} "
+          f"timeline-rows={len(payload['timeline'])}", file=out)
+    for bundle in payload["incidents"]:
+        trigger = bundle["trigger"]
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(trigger["detail"].items())
+        )
+        print(f"  {bundle['incident_id']}: trigger={trigger['kind']} "
+              f"at t={trigger['at']:.3f}s ({detail})", file=out)
+        for objective, windows in sorted(bundle["burn_rates"].items()):
+            last = windows["short"][-1] if windows["short"] else None
+            if last is not None:
+                print(f"    {objective}: short-window burn-rate "
+                      f"{last['burn_rate']:.3f} at capture", file=out)
+        print(f"    events={len(bundle['events'])} "
+              f"spans={len(bundle['spans'])}", file=out)
+    for path in payload["bundle_paths"]:
+        print(f"wrote {path}", file=out)
+    if not payload["incidents"]:
+        print("no incident captured: every watchdog stayed quiet", file=out)
+        return 1
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace, out) -> int:
+    from repro.obs.exporters import write_jsonl
+    from repro.obs.incident import WatchdogConfig
+    from repro.workload.incidents import run_incident_capture
+
+    wl = _watched_workload(args, "timeline")
+    kwargs: dict[str, object] = {}
+    if args.nodes is not None:
+        kwargs["nodes"] = args.nodes
+    # Disarm every watchdog: a trigger freezes the recorders, and the
+    # timeline view wants the rings still recording at the end of the run.
+    disarmed = WatchdogConfig(
+        dead_letter_spike=2**31, queue_depth_ceiling=2**31,
+        watch_demotions=False, watch_slo=False,
+    )
+    source = (f"repro timeline --scenario {args.scenario} "
+              f"--population {args.population} --ops {args.ops} "
+              f"--seed {wl.seed}")
+    payload = run_incident_capture(
+        wl, watchdogs=disarmed, source=source, **kwargs
+    )
+
+    rows = payload["timeline"]
+    shown = rows if args.limit <= 0 else rows[-args.limit:]
+    print(f"flight-recorder timeline ({payload['scenario']} scenario, "
+          f"{payload['ops']} ops, {payload['nodes']} nodes, seed "
+          f"{payload['seed']}): {len(rows)} rows"
+          + (f", last {len(shown)}" if len(shown) < len(rows) else ""),
+          file=out)
+    for row in shown:
+        label = row.get("kind") or row.get("name")
+        extras = {
+            key: value for key, value in sorted(row.items())
+            if key not in ("at", "node", "entry", "kind", "name", "seq")
+        }
+        detail = " ".join(f"{key}={value}" for key, value in extras.items())
+        print(f"  t={row['at']:>9.3f}s {row['node']:<8} "
+              f"{row['entry']:<5} {label:<28} {detail}", file=out)
+    if args.out:
+        from repro.crypto.hashing import canonical_json
+
+        write_jsonl(args.out, [canonical_json(row) for row in rows])
+        print(f"wrote {args.out}", file=out)
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace, out) -> int:
     controller = PlatformArchive(args.directory).restore(args.secret)
     print(f"restored platform from {args.directory}", file=out)
@@ -896,6 +1069,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "store": _cmd_store,
         "workload": _cmd_workload,
         "sched": _cmd_sched,
+        "incident": _cmd_incident,
+        "timeline": _cmd_timeline,
         "inspect": _cmd_inspect,
         "kernel": _cmd_kernel,
     }

@@ -73,6 +73,7 @@ from repro.runtime.kernel import (
     KIND_PDP,
     KIND_PERF,
     KIND_PROFILING,
+    KIND_RECORDER,
     KIND_SCHED,
     KIND_SLO,
     KIND_STORE,
@@ -128,9 +129,15 @@ class DataController:
             clock=self.clock, telemetry=self.telemetry,
         )
         self.telemetry.attach_profiler(self.profiler)
+        self.recorder = self._create(
+            KIND_RECORDER, self.runtime.recorder,
+            clock=self.clock, telemetry=self.telemetry,
+        )
+        self.telemetry.attach_recorder(self.recorder)
         self.slo = self._create(
             KIND_SLO, self.runtime.slo,
             clock=self.clock, telemetry=self.telemetry,
+            recorder=self.recorder,
         )
         self.perf = self._create(
             KIND_PERF, self.runtime.perf,
@@ -139,13 +146,14 @@ class DataController:
         self.sched = self._create(
             KIND_SCHED, self.runtime.sched,
             clock=self.clock, master_secret=master_secret,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, recorder=self.recorder,
         )
         self._sched_gate = SchedulerGate(self.sched, self.clock)
         self.bus = self._create(
             KIND_TRANSPORT, self.runtime.transport,
             clock=self.clock, ids=self.ids, auto_dispatch=auto_dispatch,
             telemetry=self.telemetry, perf=self.perf, sched=self.sched,
+            recorder=self.recorder,
         )
         self.endpoints = EndpointRegistry()
         self.actors = ActorDirectory()

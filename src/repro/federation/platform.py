@@ -467,6 +467,21 @@ class FederatedPlatform:
         for node in self.nodes():
             node.record_queue_depth()
 
+    def flight_recorders(self) -> dict[str, object]:
+        """Every node's enabled flight recorder, keyed by node id.
+
+        ``RuntimeConfig(recorder="ring")`` propagates to every node
+        controller through the base runtime; nodes running the noop
+        recorder are omitted, so incident capture iterates only over
+        rings that actually hold data.
+        """
+        recorders: dict[str, object] = {}
+        for node in self.nodes():
+            recorder = getattr(node.controller, "recorder", None)
+            if recorder is not None and getattr(recorder, "enabled", False):
+                recorders[node.node_id] = recorder
+        return recorders
+
     def record_fairness(self) -> None:
         """Refresh every node's per-tenant fairness gauges.
 

@@ -5,8 +5,10 @@ See :mod:`repro.obs.telemetry` for the kernel-resolved facade,
 becoming a side channel, :mod:`repro.obs.context` /
 :mod:`repro.obs.stitch` for cross-node trace propagation and stitching,
 :mod:`repro.obs.slo` for the SLO engine, :mod:`repro.obs.profiling` for
-the deterministic profiler, and ``docs/OBSERVABILITY.md`` for the naming
-scheme and exporter formats.
+the deterministic profiler, :mod:`repro.obs.timeseries` for the windowed
+time-series store, :mod:`repro.obs.recorder` for the flight recorder,
+:mod:`repro.obs.incident` for automatic incident capture, and
+``docs/OBSERVABILITY.md`` for the naming scheme and exporter formats.
 """
 
 from repro.obs.context import TraceContext
@@ -23,6 +25,14 @@ from repro.obs.guard import (
     PrivacyGuard,
     TelemetryPrivacyError,
 )
+from repro.obs.incident import (
+    INCIDENT_SCHEMA,
+    IncidentMonitor,
+    WatchdogConfig,
+    build_bundle,
+    merge_events,
+    write_bundle,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -31,6 +41,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiling import NoopProfiler, SamplingProfiler
+from repro.obs.recorder import FlightRecorder, NoopFlightRecorder
 from repro.obs.slo import (
     SLO_ALERT_TOPIC,
     NoopSLOEngine,
@@ -53,17 +64,22 @@ from repro.obs.telemetry import (
     InMemoryTelemetry,
     NoopTelemetry,
 )
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "INCIDENT_SCHEMA",
     "InMemoryTelemetry",
+    "IncidentMonitor",
     "MODE_HASH",
     "MODE_REJECT",
     "MetricsRegistry",
+    "NoopFlightRecorder",
     "NoopProfiler",
     "NoopSLOEngine",
     "NoopTelemetry",
@@ -80,9 +96,13 @@ __all__ = [
     "Span",
     "StitchedTrace",
     "TelemetryPrivacyError",
+    "TimeSeriesStore",
     "TraceContext",
     "Tracer",
+    "WatchdogConfig",
+    "build_bundle",
     "default_objectives",
+    "merge_events",
     "metric_lines",
     "render_latency_table",
     "render_metrics_table",
@@ -90,5 +110,6 @@ __all__ = [
     "stitch",
     "stitch_summary",
     "stitched_lines",
+    "write_bundle",
     "write_jsonl",
 ]

@@ -8,6 +8,7 @@ renderers back the ``repro telemetry`` CLI subcommand.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Iterable
 
@@ -26,11 +27,20 @@ def metric_lines(registry: MetricsRegistry) -> list[str]:
     return [canonical_json(row) for row in registry.snapshot()]
 
 
-def write_jsonl(path: str | Path, lines: list[str]) -> Path:
-    """Write ``lines`` to ``path`` with a trailing newline; returns the path."""
+def write_jsonl(path: str | Path, lines: Iterable[str]) -> Path:
+    """Write ``lines`` to ``path`` with a trailing newline; returns the path.
+
+    Atomic: the content lands in a same-directory temp file first and is
+    renamed into place, so a crashed or interrupted export never leaves a
+    truncated file where a consumer (CI, the stitcher, the incident
+    checker) expects a complete one.
+    """
+    lines = list(lines)  # materialise before touching the filesystem
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text("\n".join(lines) + ("\n" if lines else ""))
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text("\n".join(lines) + ("\n" if lines else ""))
+    os.replace(scratch, target)
     return target
 
 

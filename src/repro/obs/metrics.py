@@ -213,6 +213,20 @@ class MetricsRegistry:
         found.sort(key=lambda pair: sorted(pair[0].items()))
         return found
 
+    # -- full-registry iteration (the time-series store's read surface) ------
+
+    def counter_entries(self) -> list[tuple[tuple[str, Labels], Counter]]:
+        """Every counter series as ``((name, labels), counter)``, sorted."""
+        return sorted(self._counters.items(), key=lambda item: item[0])
+
+    def gauge_entries(self) -> list[tuple[tuple[str, Labels], Gauge]]:
+        """Every gauge series as ``((name, labels), gauge)``, sorted."""
+        return sorted(self._gauges.items(), key=lambda item: item[0])
+
+    def histogram_entries(self) -> list[tuple[tuple[str, Labels], Histogram]]:
+        """Every histogram series as ``((name, labels), histogram)``, sorted."""
+        return sorted(self._histograms.items(), key=lambda item: item[0])
+
     def counter_value(self, name: str, **labels: object) -> float:
         """Current value of one counter series (0.0 if never touched)."""
         key = (name, self.guard.sanitize(labels))

@@ -30,7 +30,12 @@ from dataclasses import dataclass
 
 from repro.crypto.hashing import canonical_json
 from repro.exceptions import ConfigurationError
+from repro.obs.recorder import EVENT_SLO_ALERT
 from repro.obs.telemetry import PIPELINE_DURATION
+
+#: Default multi-window burn-rate horizons (simulated seconds).
+DEFAULT_SHORT_WINDOW = 5.0
+DEFAULT_LONG_WINDOW = 60.0
 
 #: Objective kinds.
 KIND_LATENCY = "latency"
@@ -91,10 +96,13 @@ class SLOStatus:
     error_budget: float
     #: Bad fraction actually spent, as a multiple of the budget (>1 = blown).
     burn_rate: float
+    #: Windowed rows (``("short", {...}), ("long", {...})``) when the
+    #: engine evaluates against a time-series store; empty otherwise.
+    windows: tuple[tuple[str, dict], ...] = ()
 
     def to_payload(self) -> dict:
         """The JSON row of this status (reports and alert bodies)."""
-        return {
+        row = {
             "name": self.objective.name,
             "kind": self.objective.kind,
             "metric": self.objective.metric,
@@ -106,6 +114,9 @@ class SLOStatus:
             "error_budget": round(self.error_budget, 9),
             "burn_rate": round(self.burn_rate, 9),
         }
+        if self.windows:
+            row["windows"] = {name: dict(data) for name, data in self.windows}
+        return row
 
 
 @dataclass(frozen=True)
@@ -210,6 +221,81 @@ def _matches(series_labels: dict[str, str], wanted: tuple[tuple[str, str], ...])
     return all(series_labels.get(key) == value for key, value in wanted)
 
 
+def _burn_rate(objective: SLObjective, attainment: float, observed: float) -> float:
+    """Bad fraction spent as a multiple of the budget (sentinel on zero)."""
+    error_budget = 1.0 - objective.target
+    bad_fraction = 1.0 - attainment
+    if error_budget > _EPSILON:
+        return bad_fraction / error_budget
+    return 0.0 if bad_fraction <= _EPSILON else float(observed)
+
+
+def _histogram_attainment(histogram, threshold: float) -> tuple[float, float]:
+    """Good fraction of one (merged) histogram, bucket upper bounds."""
+    if histogram is None or histogram.count == 0:
+        return 1.0, 0.0  # vacuously met: no demand, no breach
+    if histogram.max <= threshold:
+        return 1.0, float(histogram.count)
+    good = sum(
+        bucket_count
+        for boundary, bucket_count in zip(histogram.boundaries, histogram.counts)
+        if boundary <= threshold
+    )
+    return good / histogram.count, float(histogram.count)
+
+
+def _windowed_attainment(objective: SLObjective, histogram_fn, delta_fn,
+                         worst_fn) -> tuple[float, float]:
+    """(attainment, observed) of one objective from windowed reads.
+
+    The three callables abstract over *which* window is read — the live
+    trailing window during evaluation, or a sample-anchored historical
+    one when reconstructing a burn trajectory for an incident bundle.
+    """
+    if objective.kind == KIND_LATENCY:
+        return _histogram_attainment(
+            histogram_fn(objective.metric, objective.labels),
+            objective.threshold,
+        )
+    if objective.kind == KIND_RATIO:
+        total = delta_fn(objective.metric, objective.labels)
+        bad = delta_fn(objective.bad_metric, objective.bad_labels)
+        if total <= 0.0:
+            return 1.0, 0.0
+        return max(0.0, 1.0 - bad / total), total
+    worst = worst_fn(objective.metric, objective.labels)
+    if worst is None:
+        return 1.0, 0.0
+    return (1.0 if worst <= objective.threshold + _EPSILON else 0.0), 1.0
+
+
+def windowed_burn_series(store, objective: SLObjective,
+                         window: float) -> list[dict]:
+    """The burn-rate trajectory of one objective, one point per tick.
+
+    Every point is computed purely from retained time-series samples
+    (:meth:`~repro.obs.timeseries.TimeSeriesStore.sample_delta` and
+    friends), so the series an incident bundle captures is the same no
+    matter when it is asked for — the minutes *before* the trigger, not
+    the state at export time.
+    """
+    points: list[dict] = []
+    for at in store.tick_times():
+        attainment, observed = _windowed_attainment(
+            objective,
+            lambda name, labels: store.sample_histogram(name, at, window, labels),
+            lambda name, labels: store.sample_delta(name, at, window, labels),
+            lambda name, labels: store.sample_gauge_worst(name, at, window, labels),
+        )
+        points.append({
+            "at": at,
+            "attainment": round(attainment, 9),
+            "observed": observed,
+            "burn_rate": round(_burn_rate(objective, attainment, observed), 9),
+        })
+    return points
+
+
 class NoopSLOEngine:
     """SLO evaluation disabled (kernel kind ``slo: noop``, the default)."""
 
@@ -229,16 +315,30 @@ class SLOEngine:
 
     enabled = True
 
-    def __init__(self, telemetry, objectives=None) -> None:
+    def __init__(self, telemetry, objectives=None, timeseries=None,
+                 recorder=None, short_window: float = DEFAULT_SHORT_WINDOW,
+                 long_window: float = DEFAULT_LONG_WINDOW) -> None:
         if not getattr(telemetry, "enabled", False):
             raise ConfigurationError(
                 "the SLO engine reads metric series; run it against an "
                 "enabled telemetry backend (RuntimeConfig(telemetry='inmemory'))"
             )
+        if short_window <= 0 or long_window < short_window:
+            raise ConfigurationError(
+                "SLO windows need 0 < short_window <= long_window"
+            )
         self.telemetry = telemetry
         self.clock = telemetry.clock
         self.objectives = tuple(objectives if objectives is not None
                                 else default_objectives())
+        #: Optional time-series store: when attached, every status also
+        #: carries short/long-window attainment + burn instead of only
+        #: the lifetime ratio.
+        self.timeseries = timeseries
+        self.short_window = short_window
+        self.long_window = long_window
+        self._recorder = (recorder if recorder is not None
+                          and getattr(recorder, "enabled", False) else None)
         self._alert_topic_declared = False
 
     # -- evaluation ----------------------------------------------------------
@@ -256,22 +356,41 @@ class SLOEngine:
             attainment, observed = self._ratio_attainment(objective)
         else:
             attainment, observed = self._level_attainment(objective)
-        error_budget = 1.0 - objective.target
-        bad_fraction = 1.0 - attainment
-        if error_budget > _EPSILON:
-            burn_rate = bad_fraction / error_budget
-        else:
-            # Zero budget: any bad event is an infinite burn; report a
-            # deterministic sentinel instead of dividing by zero.
-            burn_rate = 0.0 if bad_fraction <= _EPSILON else float(observed)
         return SLOStatus(
             objective=objective,
             attainment=attainment,
             observed=observed,
             breached=attainment < objective.target - _EPSILON,
-            error_budget=error_budget,
-            burn_rate=burn_rate,
+            error_budget=1.0 - objective.target,
+            # Zero budget: any bad event is an infinite burn; _burn_rate
+            # reports a deterministic sentinel instead of dividing by zero.
+            burn_rate=_burn_rate(objective, attainment, observed),
+            windows=self._windows(objective),
         )
+
+    def _windows(self, objective: SLObjective) -> tuple[tuple[str, dict], ...]:
+        """Short/long trailing-window rows, when a store is attached."""
+        if self.timeseries is None:
+            return ()
+        return (
+            ("short", self._window_row(objective, self.short_window)),
+            ("long", self._window_row(objective, self.long_window)),
+        )
+
+    def _window_row(self, objective: SLObjective, window: float) -> dict:
+        store = self.timeseries
+        attainment, observed = _windowed_attainment(
+            objective,
+            lambda name, labels: store.windowed_histogram(name, window, labels),
+            lambda name, labels: store.delta(name, window, labels),
+            lambda name, labels: store.gauge_worst(name, window, labels),
+        )
+        return {
+            "window": window,
+            "attainment": round(attainment, 9),
+            "observed": observed,
+            "burn_rate": round(_burn_rate(objective, attainment, observed), 9),
+        }
 
     def _latency_attainment(self, objective: SLObjective) -> tuple[float, float]:
         """Good fraction = observations ≤ threshold, from bucket counts."""
@@ -348,4 +467,12 @@ class SLOEngine:
                 }),
             )
             self.telemetry.count(SLO_ALERTS, objective=status.objective.name)
+            if self._recorder is not None:
+                self._recorder.record(
+                    EVENT_SLO_ALERT,
+                    objective=status.objective.name,
+                    metric=status.objective.metric,
+                    attainment=round(status.attainment, 9),
+                    burn_rate=round(status.burn_rate, 9),
+                )
         return len(report.breaches())

@@ -70,6 +70,9 @@ class NoopTelemetry:
     def attach_profiler(self, profiler) -> None:
         """No-op — an un-instrumented platform profiles nothing."""
 
+    def attach_recorder(self, recorder) -> None:
+        """No-op — an un-instrumented platform records nothing."""
+
     def profile(self, section: str, seconds: float, **labels: object) -> None:
         """No-op."""
 
@@ -92,6 +95,7 @@ class InMemoryTelemetry:
         self.metrics = MetricsRegistry(self.guard)
         self.tracer = Tracer(self.clock, self.guard, site=site)
         self.profiler = None
+        self.recorder = None
 
     # -- metrics -----------------------------------------------------------
 
@@ -154,6 +158,20 @@ class InMemoryTelemetry:
             return
         if getattr(profiler, "enabled", False) or self.profiler is None:
             self.profiler = profiler
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a flight recorder; spans mirror into its ring.
+
+        Mirrors :meth:`attach_profiler`: on a federated platform every
+        node controller attaches through one shared telemetry, so the
+        first enabled recorder wins — spans mirror into exactly one ring
+        and the merged timeline stays duplicate-free.
+        """
+        if recorder is None or not getattr(recorder, "enabled", False):
+            return
+        if self.recorder is None:
+            self.recorder = recorder
+            self.tracer.recorder = recorder
 
     def profile(self, section: str, seconds: float, **labels: object) -> None:
         """Record one profile sample if an enabled profiler is attached."""

@@ -1,0 +1,426 @@
+"""Windowed time series over the metrics registry.
+
+The SLO engine's lifetime ratios answer *"how has the platform done since
+boot"* — useless five minutes into an incident, when the operator needs
+*"how is it doing right now"*.  :class:`TimeSeriesStore` closes that gap:
+on a fixed simulated-clock interval it snapshots **every** counter, gauge
+and histogram of a :class:`~repro.obs.metrics.MetricsRegistry` into
+bounded ring buffers, and exposes trailing-window reads over them —
+:meth:`delta` and :meth:`rate` for counters, :meth:`quantile` for
+histograms (the same fixed-bucket upper-bound discipline the lifetime
+summaries use), :meth:`gauge_worst` for levels.
+
+Determinism: sample timestamps come from the simulated clock, rings are
+plain deques, and every read iterates series in sorted-key order — two
+same-seed runs produce byte-identical exports (:meth:`export_rows`), the
+property the incident bundles' byte-identity tests rely on.
+
+Privacy: the store only ever sees what the registry already holds, and
+every registry label passed through the
+:class:`~repro.obs.guard.PrivacyGuard` on ingest — there is nothing here
+left to sanitise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import Histogram, Labels, MetricsRegistry
+
+_EPSILON = 1e-12
+
+#: Series key: metric name + guard-sanitised label tuple.
+SeriesKey = tuple[str, Labels]
+
+
+@dataclass(frozen=True)
+class _HistSample:
+    """One histogram snapshot: bucket counts plus the sidecars."""
+
+    at: float
+    boundaries: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    sum: float
+    max: float
+
+
+def _matches(labels: Labels, wanted: tuple[tuple[str, str], ...]) -> bool:
+    """Label-filter subset match, same semantics as the SLO engine's."""
+    table = dict(labels)
+    return all(table.get(key) == value for key, value in wanted)
+
+
+def _at_or_before(ring, edge: float):
+    """The newest sample at or before ``edge`` (None: ring starts later)."""
+    found = None
+    for sample in ring:
+        at = sample[0] if isinstance(sample, tuple) else sample.at
+        if at <= edge + _EPSILON:
+            found = sample
+        else:
+            break
+    return found
+
+
+class TimeSeriesStore:
+    """Interval snapshots of a metrics registry in bounded rings.
+
+    ``interval`` is the simulated-clock sampling period; ``capacity``
+    bounds every series ring, so memory is O(series × capacity) no
+    matter how long the scenario runs.  Callers drive sampling —
+    :meth:`maybe_tick` from their operation loop (cheap: one float
+    compare when no tick is due), or :meth:`tick` to force a sample.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        clock,
+        interval: float = 1.0,
+        capacity: int = 256,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError("time-series interval must be positive")
+        if capacity < 2:
+            raise ConfigurationError("time-series capacity must be at least 2")
+        self.metrics = metrics
+        self.clock = clock
+        self.interval = interval
+        self.capacity = capacity
+        self.ticks = 0
+        self._last_tick: float | None = None
+        self._counters: dict[SeriesKey, deque] = {}
+        self._gauges: dict[SeriesKey, deque] = {}
+        self._histograms: dict[SeriesKey, deque] = {}
+
+    # -- sampling ----------------------------------------------------------
+
+    def maybe_tick(self) -> bool:
+        """Take a sample if at least ``interval`` has elapsed since the last."""
+        now = self.clock.now()
+        if (
+            self._last_tick is not None
+            and now - self._last_tick < self.interval - _EPSILON
+        ):
+            return False
+        self.tick()
+        return True
+
+    def tick(self) -> None:
+        """Snapshot every registry series into its ring, stamped at now."""
+        now = self.clock.now()
+        for key, counter in self.metrics.counter_entries():
+            self._ring(self._counters, key).append((now, counter.value))
+        for key, gauge in self.metrics.gauge_entries():
+            self._ring(self._gauges, key).append((now, gauge.value))
+        for key, histogram in self.metrics.histogram_entries():
+            self._ring(self._histograms, key).append(_HistSample(
+                at=now,
+                boundaries=tuple(histogram.boundaries),
+                counts=tuple(histogram.counts),
+                count=histogram.count,
+                sum=histogram.sum,
+                max=histogram.max,
+            ))
+        self.ticks += 1
+        self._last_tick = now
+
+    def _ring(self, table: dict[SeriesKey, deque], key: SeriesKey) -> deque:
+        ring = table.get(key)
+        if ring is None:
+            ring = table[key] = deque(maxlen=self.capacity)
+        return ring
+
+    def tick_times(self) -> tuple[float, ...]:
+        """Every retained sample time, across all rings, sorted."""
+        times: set[float] = set()
+        for table in (self._counters, self._gauges, self._histograms):
+            for ring in table.values():
+                for sample in ring:
+                    times.add(sample[0] if isinstance(sample, tuple)
+                              else sample.at)
+        return tuple(sorted(times))
+
+    # -- counter windows ---------------------------------------------------
+
+    def delta(
+        self,
+        name: str,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+        now: float | None = None,
+    ) -> float:
+        """Counter increase over the trailing ``window``, summed over the
+        matching series.
+
+        The window's *end* is the live registry value (no staleness); the
+        *start* is the newest retained sample at or before the window
+        edge — a series younger than the window is counted from zero,
+        exactly the monotone-from-boot truth of these counters.
+        """
+        now = self.clock.now() if now is None else now
+        edge = now - window
+        total = 0.0
+        for (metric, labels), counter in self.metrics.counter_entries():
+            if metric != name or not _matches(labels, wanted):
+                continue
+            ring = self._counters.get((metric, labels))
+            base = _at_or_before(ring, edge) if ring else None
+            total += counter.value - (base[1] if base is not None else 0.0)
+        return total
+
+    def rate(
+        self,
+        name: str,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+        now: float | None = None,
+    ) -> float:
+        """Counter increase per simulated second over the trailing window.
+
+        Early in a run the effective span is clamped to the elapsed
+        simulated time (never below one sampling interval), so a burst at
+        t=0.5s is not divided by a 60 s window it never lived through.
+        """
+        now = self.clock.now() if now is None else now
+        span = max(min(window, now), self.interval)
+        return self.delta(name, window, wanted=wanted, now=now) / span
+
+    # -- histogram windows -------------------------------------------------
+
+    def windowed_histogram(
+        self,
+        name: str,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+        now: float | None = None,
+    ) -> Histogram | None:
+        """The matching series' observations from the trailing window only,
+        folded into one synthetic :class:`~repro.obs.metrics.Histogram`.
+
+        ``None`` when no matching series exists.  Bucket counts are the
+        live counts minus the window-edge sample's; the sidecar max is
+        the smallest boundary that covers the highest non-empty bucket
+        (the usual upper-bound estimate — window membership of the true
+        max is unknowable from buckets).
+        """
+        now = self.clock.now() if now is None else now
+        edge = now - window
+        boundaries: tuple[float, ...] | None = None
+        merged: list[int] = []
+        total = 0
+        total_sum = 0.0
+        live_max = 0.0
+        found = False
+        for (metric, labels), histogram in self.metrics.histogram_entries():
+            if metric != name or not _matches(labels, wanted):
+                continue
+            found = True
+            if boundaries is None:
+                boundaries = tuple(histogram.boundaries)
+                merged = [0] * (len(boundaries) + 1)
+            if tuple(histogram.boundaries) != boundaries:
+                continue  # mixed bucket layouts never merge
+            ring = self._histograms.get((metric, labels))
+            base = _at_or_before(ring, edge) if ring else None
+            base_counts = base.counts if base is not None else ()
+            for index, live in enumerate(histogram.counts):
+                before = base_counts[index] if index < len(base_counts) else 0
+                merged[index] += live - before
+            total += histogram.count - (base.count if base is not None else 0)
+            total_sum += histogram.sum - (base.sum if base is not None else 0.0)
+            live_max = max(live_max, histogram.max)
+        if not found or boundaries is None:
+            return None
+        estimated_max = 0.0
+        for index in range(len(merged) - 1, -1, -1):
+            if merged[index]:
+                estimated_max = (
+                    live_max if index == len(boundaries)
+                    else min(boundaries[index], live_max)
+                )
+                break
+        result = Histogram(boundaries=boundaries, counts=merged)
+        result.count = total
+        result.sum = total_sum
+        result.max = estimated_max
+        result.min = 0.0
+        return result
+
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+        now: float | None = None,
+    ) -> float:
+        """Windowed ``q``-quantile of histogram ``name`` (0.0 if empty)."""
+        histogram = self.windowed_histogram(name, window, wanted=wanted, now=now)
+        if histogram is None or histogram.count <= 0:
+            return 0.0
+        return histogram.quantile(q)
+
+    # -- gauge windows -----------------------------------------------------
+
+    def gauge_worst(
+        self,
+        name: str,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+        now: float | None = None,
+    ) -> float | None:
+        """Worst (highest) matching gauge level seen over the window.
+
+        Includes the live value, so a spike between two ticks still
+        counts.  ``None`` when no matching series exists.
+        """
+        now = self.clock.now() if now is None else now
+        edge = now - window
+        worst: float | None = None
+        for (metric, labels), gauge in self.metrics.gauge_entries():
+            if metric != name or not _matches(labels, wanted):
+                continue
+            worst = gauge.value if worst is None else max(worst, gauge.value)
+            ring = self._gauges.get((metric, labels))
+            for at, value in ring or ():
+                if at >= edge - _EPSILON:
+                    worst = max(worst, value)
+        return worst
+
+    # -- sample-anchored windows (historical points, incident bundles) -----
+
+    def sample_delta(
+        self,
+        name: str,
+        at: float,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+    ) -> float:
+        """Counter increase over ``[at - window, at]`` from samples only.
+
+        The historical sibling of :meth:`delta` — both window ends come
+        from retained samples, so the answer is the same whenever it is
+        asked.  Incident bundles use it to reconstruct the burn-rate
+        trajectory leading up to a trigger.
+        """
+        edge = at - window
+        total = 0.0
+        for (metric, labels), ring in sorted(self._counters.items(),
+                                             key=lambda item: item[0]):
+            if metric != name or not _matches(labels, wanted):
+                continue
+            end = _at_or_before(ring, at)
+            if end is None:
+                continue
+            base = _at_or_before(ring, edge)
+            total += end[1] - (base[1] if base is not None else 0.0)
+        return total
+
+    def sample_histogram(
+        self,
+        name: str,
+        at: float,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+    ) -> Histogram | None:
+        """Historical sibling of :meth:`windowed_histogram`, samples only."""
+        edge = at - window
+        boundaries: tuple[float, ...] | None = None
+        merged: list[int] = []
+        total = 0
+        total_sum = 0.0
+        end_max = 0.0
+        found = False
+        for (metric, labels), ring in sorted(self._histograms.items(),
+                                             key=lambda item: item[0]):
+            if metric != name or not _matches(labels, wanted):
+                continue
+            end = _at_or_before(ring, at)
+            if end is None:
+                continue
+            found = True
+            if boundaries is None:
+                boundaries = end.boundaries
+                merged = [0] * (len(boundaries) + 1)
+            if end.boundaries != boundaries:
+                continue
+            base = _at_or_before(ring, edge)
+            base_counts = base.counts if base is not None else ()
+            for index, value in enumerate(end.counts):
+                before = base_counts[index] if index < len(base_counts) else 0
+                merged[index] += value - before
+            total += end.count - (base.count if base is not None else 0)
+            total_sum += end.sum - (base.sum if base is not None else 0.0)
+            end_max = max(end_max, end.max)
+        if not found or boundaries is None:
+            return None
+        estimated_max = 0.0
+        for index in range(len(merged) - 1, -1, -1):
+            if merged[index]:
+                estimated_max = (
+                    end_max if index == len(boundaries)
+                    else min(boundaries[index], end_max)
+                )
+                break
+        result = Histogram(boundaries=boundaries, counts=merged)
+        result.count = total
+        result.sum = total_sum
+        result.max = estimated_max
+        result.min = 0.0
+        return result
+
+    def sample_gauge_worst(
+        self,
+        name: str,
+        at: float,
+        window: float,
+        wanted: tuple[tuple[str, str], ...] = (),
+    ) -> float | None:
+        """Historical sibling of :meth:`gauge_worst`, samples only."""
+        edge = at - window
+        worst: float | None = None
+        for (metric, labels), ring in sorted(self._gauges.items(),
+                                             key=lambda item: item[0]):
+            if metric != name or not _matches(labels, wanted):
+                continue
+            for sample_at, value in ring:
+                if edge - _EPSILON <= sample_at <= at + _EPSILON:
+                    worst = value if worst is None else max(worst, value)
+        return worst
+
+    # -- export ------------------------------------------------------------
+
+    def export_rows(self, names: tuple[str, ...] | None = None) -> list[dict]:
+        """Every retained series as a deterministic plain-dict row.
+
+        ``names`` filters to the given metric names (None: everything).
+        Counter/gauge points are ``[at, value]`` pairs; histogram points
+        are ``[at, count, sum]`` — enough to recompute any windowed rate
+        offline without shipping every bucket of every sample.
+        """
+        rows: list[dict] = []
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges)):
+            for (name, labels), ring in table.items():
+                if names is not None and name not in names:
+                    continue
+                rows.append({
+                    "type": kind, "name": name,
+                    "labels": dict(sorted(labels)),
+                    "points": [[at, value] for at, value in ring],
+                })
+        for (name, labels), ring in self._histograms.items():
+            if names is not None and name not in names:
+                continue
+            rows.append({
+                "type": "histogram", "name": name,
+                "labels": dict(sorted(labels)),
+                "points": [[s.at, s.count, round(s.sum, 9)] for s in ring],
+            })
+        rows.sort(key=lambda row: (row["name"], sorted(row["labels"].items()),
+                                   row["type"]))
+        return rows

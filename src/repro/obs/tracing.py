@@ -96,6 +96,8 @@ class Tracer:
         #: Id prefix distinguishing this tracer's spans across a federation.
         #: Pass the node's guard-hashed label so exports stay pseudonymous.
         self.site = site
+        #: Optional flight recorder mirroring finished spans into its ring.
+        self.recorder = None
         self._finished: list[Span] = []
         self._stack: list[Span] = []
         self._trace_counter = 0
@@ -143,6 +145,8 @@ class Tracer:
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         self._finished.append(span)
+        if self.recorder is not None:
+            self.recorder.record_span(span)
 
     # -- inspection --------------------------------------------------------
 

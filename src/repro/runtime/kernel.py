@@ -43,6 +43,7 @@ KIND_PROFILING = "profiling"
 KIND_PERF = "perf"
 KIND_STORE = "store"
 KIND_SCHED = "sched"
+KIND_RECORDER = "recorder"
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,11 @@ class RuntimeConfig:
     #: the dead-letter queue, and abusive-tenant penalty weights).  Either
     #: way decisions and audit trails are identical — see docs/SCHEDULING.md.
     sched: str = "none"
+    #: Flight recorder: "noop" (default) or "ring" (bounded ring buffers
+    #: of recent guard-sanitized spans, SLO alerts, penalty-box
+    #: transitions and bus saturation events — the raw material for
+    #: incident bundles, cheap enough to stay on in every scenario).
+    recorder: str = "noop"
     #: Federation topology: "none" (single controller) or "static"
     #: (a fixed ring of ``shards`` controller nodes, see repro.federation).
     federation: str = "none"
@@ -184,6 +190,7 @@ def _service_bus(**context: Any) -> Any:
         telemetry=context.get("telemetry"),
         perf=context.get("perf"),
         sched=context.get("sched"),
+        recorder=context.get("recorder"),
     )
 
 
@@ -324,6 +331,8 @@ def _default_slo(**context: Any) -> Any:
     return SLOEngine(
         telemetry=context["telemetry"],
         objectives=context.get("objectives"),
+        timeseries=context.get("timeseries"),
+        recorder=context.get("recorder"),
     )
 
 
@@ -382,6 +391,7 @@ def _no_sched(**context: Any) -> Any:
         config=context.get("sched_config"),
         telemetry=context.get("telemetry"),
         secret=context.get("master_secret", "css-sched"),
+        recorder=context.get("recorder"),
     )
 
 
@@ -394,6 +404,25 @@ def _fair_sched(**context: Any) -> Any:
         config=context.get("sched_config"),
         telemetry=context.get("telemetry"),
         secret=context.get("master_secret", "css-sched"),
+        recorder=context.get("recorder"),
+    )
+
+
+def _noop_recorder(**context: Any) -> Any:
+    from repro.obs.recorder import NoopFlightRecorder
+
+    return NoopFlightRecorder()
+
+
+def _ring_recorder(**context: Any) -> Any:
+    from repro.obs.recorder import FlightRecorder
+
+    telemetry = context.get("telemetry")
+    return FlightRecorder(
+        clock=context["clock"],
+        capacity=context.get("recorder_capacity", 256),
+        span_capacity=context.get("recorder_span_capacity", 256),
+        guard=getattr(telemetry, "guard", None),
     )
 
 
@@ -444,4 +473,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_STORE, "segmented", _segmented_store)
     kernel.register(KIND_SCHED, "none", _no_sched)
     kernel.register(KIND_SCHED, "fair", _fair_sched)
+    kernel.register(KIND_RECORDER, "noop", _noop_recorder)
+    kernel.register(KIND_RECORDER, "ring", _ring_recorder)
     return kernel

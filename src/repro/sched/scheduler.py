@@ -194,6 +194,7 @@ class TenantScheduler:
         config: SchedConfig | None = None,
         telemetry=None,
         secret: str = "css-sched",
+        recorder=None,
     ) -> None:
         if policy not in (POLICY_FIFO, POLICY_DRR):
             raise ConfigurationError(
@@ -222,6 +223,15 @@ class TenantScheduler:
         self._last_drain = 0.0
         self.throttled_total = 0
         self.shed_total = 0
+        # The flight recorder (duck-typed, like telemetry): penalty-box
+        # transitions — demotion into the box, recovery out of it — leave
+        # a trail in its ring with guard-hashed tenant labels.
+        self._recorder = (
+            recorder if recorder is not None and recorder.enabled else None
+        )
+        #: Last (demotions, recoveries) observed per tenant, so the
+        #: recorder sees each transition exactly once.
+        self._penalty_seen: dict[str, tuple[int, int]] = {}
 
     @property
     def shapes_ingress(self) -> bool:
@@ -288,7 +298,32 @@ class TenantScheduler:
         if not admitted:
             state.throttled += 1
             self.throttled_total += 1
+        if self._recorder is not None:
+            self._note_penalty_transitions(tenant, state, now)
         return admitted
+
+    def _note_penalty_transitions(self, tenant: str, state: _TenantState,
+                                  now: float) -> None:
+        """Record demotion/recovery transitions seen since the last look."""
+        if state.penalty is None:
+            return
+        # Poke the lazy recovery check so a cooled-down tenant's exit from
+        # the box is surfaced now, not on its next weight lookup (the
+        # check is a pure function of ``now``, so this changes nothing
+        # about scheduling outcomes).
+        state.penalty.is_penalized(now)
+        seen = self._penalty_seen.get(tenant, (0, 0))
+        current = (state.penalty.demotions, state.penalty.recoveries)
+        if current == seen:
+            return
+        label = self._guard.hash_value(tenant)
+        for _ in range(current[0] - seen[0]):
+            self._recorder.record("sched.penalty_demotion", tenant=label,
+                                  demotions=current[0])
+        for _ in range(current[1] - seen[1]):
+            self._recorder.record("sched.penalty_recovery", tenant=label,
+                                  recoveries=current[1])
+        self._penalty_seen[tenant] = current
 
     def ingress(self, actor_id: str, kind: str, now: float) -> bool:
         """Meter + admit in one step (the node/edge ingress hook)."""
@@ -343,6 +378,12 @@ class TenantScheduler:
             self._advance_fifo(now)
         else:
             self._advance_drr(now)
+        if self._recorder is not None:
+            # Recoveries happen lazily as weights are looked up during the
+            # rotation; sweep after the advance so they hit the ring at
+            # the drain that exposed them.
+            for tenant, state in self._tenants.items():
+                self._note_penalty_transitions(tenant, state, now)
 
     def _serve(self, state: _TenantState, item: _WorkItem, now: float) -> None:
         self._budget -= item.cost
@@ -423,6 +464,14 @@ class TenantScheduler:
             state = self._tenants.get(tenant_of(tenant))
             return len(state.queue) if state is not None else 0
         return sum(len(state.queue) for state in self._tenants.values())
+
+    @property
+    def demotions_total(self) -> int:
+        """Penalty-box demotions across all tenants (cheap watchdog read)."""
+        return sum(
+            state.penalty.demotions
+            for state in self._tenants.values() if state.penalty is not None
+        )
 
     def is_penalized(self, tenant: str, now: float) -> bool:
         """Whether a tenant currently sits in the penalty box."""

@@ -70,17 +70,20 @@ def build_platform(
     link_latency: float = 0.005,
     sched: str = "none",
     sched_config=None,
+    recorder: str = "noop",
 ) -> FederatedPlatform:
     """A fresh federation for one workload run, seeded from the config.
 
     ``sched``/``sched_config`` select every node's tenant scheduler —
     the only runtime difference between the fairness harness's two arms.
+    ``recorder`` switches every node's flight recorder on ("ring") for
+    incident-capture runs.
     """
     return FederatedPlatform(
         shards=nodes,
         clock=clock,
         seed=f"wl-{workload.scenario}-{workload.seed}",
-        runtime=RuntimeConfig(sched=sched),
+        runtime=RuntimeConfig(sched=sched, recorder=recorder),
         telemetry=telemetry,
         link_latency=link_latency,
         sched_config=sched_config,
@@ -137,11 +140,15 @@ def execute_workload(
     engine: WorkloadEngine,
     event_classes: dict[str, object],
     clock: Clock,
+    on_advance=None,
 ) -> dict[str, int]:
     """Open-loop execution of the planned stream over the simulated clock.
 
     Returns the outcome counters (published / blocked / permits / denies /
     subscribes) shared by the capacity and fairness harnesses.
+    ``on_advance`` (a no-arg callable) runs after every clock advance —
+    the incident harness hooks its time-series ticking and watchdog
+    polling there without the capacity path paying anything.
     """
     recent: dict[str, deque] = {
         name: deque(maxlen=64) for name in engine.templates
@@ -150,6 +157,8 @@ def execute_workload(
     for op in engine.plan():
         if op.at > clock.now():
             clock.set(op.at)
+            if on_advance is not None:
+                on_advance()
         if op.kind == OP_PUBLISH:
             notification = platform.publish(
                 engine.producer_of(op.template),

@@ -358,6 +358,29 @@ class TestExporters:
         target = write_jsonl(tmp_path / "empty.jsonl", [])
         assert target.read_text() == ""
 
+    def test_write_jsonl_is_atomic(self, tmp_path):
+        target = tmp_path / "rows.jsonl"
+        target.write_text('{"stale": true}\n')
+        write_jsonl(target, ['{"fresh": 1}', '{"fresh": 2}'])
+        assert [json.loads(line) for line in
+                target.read_text().splitlines()] \
+            == [{"fresh": 1}, {"fresh": 2}]
+        # The scratch file is renamed over the target, never left behind;
+        # a reader only ever sees the old rows or the complete new ones.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_write_jsonl_leaves_target_untouched_on_failure(self, tmp_path):
+        target = tmp_path / "rows.jsonl"
+        target.write_text('{"stale": true}\n')
+
+        def poisoned():
+            yield '{"ok": 1}'
+            raise RuntimeError("mid-stream failure")
+
+        with pytest.raises(RuntimeError):
+            write_jsonl(target, poisoned())
+        assert json.loads(target.read_text()) == {"stale": True}
+
     def test_console_tables_render(self):
         telemetry = InMemoryTelemetry(clock=Clock())
         assert "no counters" in render_metrics_table(telemetry.metrics)

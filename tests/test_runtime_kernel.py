@@ -59,9 +59,11 @@ class TestKernelRegistry:
         assert wiring["perf"] == ("indexed", "none")
         assert wiring["store"] == ("jsonl", "segmented")
         assert wiring["sched"] == ("fair", "none")
+        assert wiring["recorder"] == ("noop", "ring")
         assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
-                               "index", "pdp", "perf", "profiling", "sched",
-                               "slo", "store", "telemetry", "transport"}
+                               "index", "pdp", "perf", "profiling",
+                               "recorder", "sched", "slo", "store",
+                               "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()
