@@ -35,13 +35,26 @@ def _print_summary(payload: dict) -> None:
         indexed = section["indexed"]
         baseline = section["none"]
         print(f"{name:<24} indexed {indexed['ops_per_second']:>10.0f} ops/s "
-              f"(p95 {indexed['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
+              f"(p50 {indexed['latency_seconds']['p50'] * 1e6:>7.1f}us "
+              f"p95 {indexed['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
               f"none {baseline['ops_per_second']:>10.0f} ops/s "
-              f"(p95 {baseline['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
+              f"(p50 {baseline['latency_seconds']['p50'] * 1e6:>7.1f}us "
+              f"p95 {baseline['latency_seconds']['p95'] * 1e6:>7.1f}us)   "
               f"speedup {section['speedup']:>6.2f}x")
 
     line("pdp.decide", payload["pdp_decide"])
     line("publish.fanout", payload["publish_fanout"])
+    batch = payload["batch_publish"]
+    baseline = batch["baseline"]
+    print(f"{'publish.batch(off)':<24} "
+          f"{baseline['ops_per_second']:>10.0f} ops/s "
+          f"(per-op {baseline['per_op_seconds'] * 1e6:>7.1f}us)")
+    for figure in batch["sweep"]:
+        name = f"publish.batch@{figure['batch_size']}"
+        print(f"{name:<24} "
+              f"{figure['ops_per_second']:>10.0f} ops/s "
+              f"(per-op {figure['per_op_seconds'] * 1e6:>7.1f}us)   "
+              f"speedup {figure['speedup']:>6.2f}x")
     for point in payload["federated_details"]:
         line(f"federated.details@{point['nodes']}", point)
     equivalence = payload["equivalence"]

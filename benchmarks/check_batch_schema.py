@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Schema check for ``BENCH_batch.json`` (schema ``css-bench-batch/1``).
+
+CI runs ``bench_batch.py --out BENCH_batch.json`` and then this script.
+Beyond shape validation it enforces the two semantic gates of batched
+execution:
+
+* ``equivalence.identical`` must be ``true``, and every matrix cell must
+  report identical audit and decision digests — batching may never
+  change what the platform decides or what its audit trail says;
+* the batched capacity path at ``batch_size=256`` must sustain at least
+  ``1.3x`` the unbatched events/sec at every node count
+  (``speedup.min_speedup_at_256 >= 1.3``).
+
+Usage::
+
+    python benchmarks/check_batch_schema.py BENCH_batch.json
+
+Importable: ``validate(payload)`` returns the list of problems (empty =
+valid), which the unit tests exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_ID = "css-bench-batch/1"
+
+#: Batch sizes the equivalence matrix must cover.
+REQUIRED_BATCH_SIZES = (1, 16, 256)
+
+#: Durable store kinds the matrix must cover.
+REQUIRED_STORES = ("jsonl", "segmented")
+
+#: CI floor for the batched/unbatched throughput ratio at size 256.
+MIN_SPEEDUP = 1.3
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _positive_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value > 0
+
+
+def _validate_check(entry: object, where: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where} must be an object"]
+    if not _positive_int(entry.get("nodes")):
+        problems.append(f"{where}.nodes must be a positive integer")
+    if entry.get("store") not in REQUIRED_STORES:
+        problems.append(f"{where}.store must be one of "
+                        f"{', '.join(REQUIRED_STORES)}")
+    if not _positive_int(entry.get("batch_size")):
+        problems.append(f"{where}.batch_size must be a positive integer")
+    for flag in ("audit_identical", "decisions_identical"):
+        if entry.get(flag) is not True:
+            problems.append(
+                f"{where}.{flag} must be true — batching changed this cell"
+            )
+    for digest in ("audit_digest", "decision_digest"):
+        value = entry.get(digest)
+        if not isinstance(value, str) or not value.startswith("sha256:"):
+            problems.append(f"{where}.{digest} must be a sha256: digest string")
+    return problems
+
+
+def _validate_speedup_figure(entry: object, where: str,
+                             keys: tuple[str, ...]) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"{where} must be an object"]
+    for key in keys:
+        value = entry.get(key)
+        if not _number(value) or value <= 0:
+            problems.append(f"{where}.{key} must be a positive number")
+    return problems
+
+
+def validate(payload: object) -> list[str]:
+    """Every schema violation in ``payload``, human-readable."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("source"), str) or not payload.get("source"):
+        problems.append("source must be a non-empty string")
+    if not isinstance(payload.get("quick"), bool):
+        problems.append("quick must be a boolean")
+
+    equivalence = payload.get("equivalence")
+    if not isinstance(equivalence, dict):
+        problems.append("equivalence must be an object")
+    else:
+        if equivalence.get("identical") is not True:
+            problems.append(
+                "equivalence.identical must be true — a batched run "
+                "produced a different audit digest or decision stream"
+            )
+        checks = equivalence.get("checks")
+        if not isinstance(checks, list) or not checks:
+            problems.append("equivalence.checks must be a non-empty list")
+            checks = []
+        covered_sizes: set[int] = set()
+        covered_stores: set[str] = set()
+        for index, entry in enumerate(checks):
+            problems.extend(
+                _validate_check(entry, f"equivalence.checks[{index}]")
+            )
+            if isinstance(entry, dict):
+                if _positive_int(entry.get("batch_size")):
+                    covered_sizes.add(entry["batch_size"])
+                if isinstance(entry.get("store"), str):
+                    covered_stores.add(entry["store"])
+        for size in REQUIRED_BATCH_SIZES:
+            if checks and size not in covered_sizes:
+                problems.append(
+                    f"equivalence matrix must cover batch_size={size}"
+                )
+        for store in REQUIRED_STORES:
+            if checks and store not in covered_stores:
+                problems.append(
+                    f"equivalence matrix must cover the {store!r} store kind"
+                )
+
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, dict):
+        problems.append("speedup must be an object")
+        return problems
+    figures = speedup.get("nodes")
+    if not isinstance(figures, list) or not figures:
+        problems.append("speedup.nodes must be a non-empty list")
+        figures = []
+    for index, figure in enumerate(figures):
+        where = f"speedup.nodes[{index}]"
+        problems.extend(_validate_speedup_figure(
+            figure, where,
+            ("baseline_events_per_second", "batched_events_per_second",
+             "speedup"),
+        ))
+        if isinstance(figure, dict) and not _positive_int(figure.get("nodes")):
+            problems.append(f"{where}.nodes must be a positive integer")
+    sweep = speedup.get("batch_sweep")
+    if not isinstance(sweep, list) or not sweep:
+        problems.append("speedup.batch_sweep must be a non-empty list")
+        sweep = []
+    for index, figure in enumerate(sweep):
+        problems.extend(_validate_speedup_figure(
+            figure, f"speedup.batch_sweep[{index}]",
+            ("events_per_second", "speedup"),
+        ))
+    minimum = speedup.get("min_speedup_at_256")
+    if not _number(minimum) or minimum <= 0:
+        problems.append("speedup.min_speedup_at_256 must be a positive number")
+    elif minimum < MIN_SPEEDUP:
+        problems.append(
+            f"speedup.min_speedup_at_256 {minimum:.2f} is below the "
+            f"{MIN_SPEEDUP:.1f}x floor — batching stopped paying for itself"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_batch_schema.py BENCH_batch.json", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"check_batch_schema: {path} is missing", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"check_batch_schema: {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"check_batch_schema: {problem}", file=sys.stderr)
+        return 1
+    cells = len(payload["equivalence"]["checks"])
+    minimum = payload["speedup"]["min_speedup_at_256"]
+    print(f"check_batch_schema: {path} ok ({cells} equivalence cells "
+          f"identical, min speedup {minimum:.2f}x at batch_size=256)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -55,6 +55,10 @@ TRACKED_KEYS = {
     "BENCH_incident": (
         "arms.ring.sim_events_per_second",
     ),
+    "BENCH_batch": (
+        "speedup.min_speedup_at_256",
+        "speedup.nodes.0.batched_events_per_second",
+    ),
 }
 
 

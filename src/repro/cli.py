@@ -165,6 +165,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="tenant scheduler on every node: none (fifo "
                                "baseline) or fair (per-tenant admission + "
                                "deficit round-robin)")
+    federate.add_argument("--batch", default="off",
+                          help="batched execution on every node: off "
+                               "(per-event writes and frames) or on "
+                               "(group commit + coalesced shard frames)")
+    federate.add_argument("--batch-size", type=int, default=256,
+                          help="records per group commit / entries per "
+                               "coalesced frame (default 256)")
     federate.add_argument("--rebalance", action="store_true",
                           help="add a node after the run and re-home the "
                                "moved index entries")
@@ -257,6 +264,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="tenant scheduler on every node: none (fifo "
                                "baseline) or fair (per-tenant admission + "
                                "deficit round-robin)")
+    workload.add_argument("--batch", default="off",
+                          help="batched execution on every node: off "
+                               "(per-event writes and frames) or on "
+                               "(group commit + coalesced shard frames)")
+    workload.add_argument("--batch-size", type=int, default=256,
+                          help="records per group commit / entries per "
+                               "coalesced frame (default 256)")
     workload.add_argument("--out", metavar="FILE", default=None,
                           help="write the css-bench-capacity/1 payload "
                                "to FILE (e.g. BENCH_capacity.json)")
@@ -483,14 +497,21 @@ def _cmd_telemetry(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_federate(args: argparse.Namespace, out) -> int:
+    from repro.exceptions import ConfigurationError
     from repro.federation import FederatedScenario, FederatedScenarioConfig
 
-    scenario = FederatedScenario(FederatedScenarioConfig(
-        nodes=args.nodes, n_patients=args.patients, n_events=args.events,
-        detail_request_rate=args.rate, seed=args.seed, sched=args.sched,
-        # SLO evaluation needs metric series, so --slo-out turns telemetry on.
-        telemetry_guard="hash" if args.slo_out else None,
-    ))
+    try:
+        config = FederatedScenarioConfig(
+            nodes=args.nodes, n_patients=args.patients, n_events=args.events,
+            detail_request_rate=args.rate, seed=args.seed, sched=args.sched,
+            batch=args.batch, batch_size=args.batch_size,
+            # SLO evaluation needs metric series, so --slo-out turns
+            # telemetry on.
+            telemetry_guard="hash" if args.slo_out else None,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro federate: {exc}") from None
+    scenario = FederatedScenario(config)
     report = scenario.run()
     print(report.to_text(), file=out)
     trail = scenario.platform.guarantor_inquiry()
@@ -828,7 +849,7 @@ def _cmd_workload(args: argparse.Namespace, out) -> int:
         )
         config = CapacityConfig(
             workload=wl, node_counts=_parse_node_counts(args.nodes),
-            sched=args.sched,
+            sched=args.sched, batch=args.batch, batch_size=args.batch_size,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"repro workload: {exc}") from None
@@ -836,7 +857,8 @@ def _cmd_workload(args: argparse.Namespace, out) -> int:
     source = (f"repro workload --scenario {args.scenario} "
               f"--population {args.population} --ops {args.ops} "
               f"--nodes {args.nodes} --seed {args.seed} "
-              f"--sched {args.sched}")
+              f"--sched {args.sched} --batch {args.batch} "
+              f"--batch-size {args.batch_size}")
     payload = run_capacity(config, source=source)
 
     print(f"capacity trajectory ({args.scenario} scenario, "

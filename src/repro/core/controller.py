@@ -67,6 +67,7 @@ from repro.runtime.interceptors import (
 from repro.runtime.interfaces import CooperationGateway
 from repro.runtime.kernel import (
     KIND_AUDIT,
+    KIND_BATCH,
     KIND_CIPHER,
     KIND_FETCHER,
     KIND_INDEX,
@@ -164,17 +165,25 @@ class DataController:
             KIND_STORE, self.runtime.store,
             data_dir=self.runtime.data_dir, telemetry=self.telemetry,
         )
+        # The batched-execution policy (None when off): durable backends
+        # group-commit through it and the federated index coalesces its
+        # shard frames against it.
+        self.batch = self._create(
+            KIND_BATCH, self.runtime.batch,
+            batch_size=self.runtime.batch_size,
+        )
         self.index = self._create(
             KIND_INDEX, self.runtime.index_store,
             keystore=self.keystore, encrypt_identity=encrypt_identity,
             data_dir=self.runtime.data_dir, perf=self.perf,
-            store=self.store,
+            store=self.store, batch=self.batch,
         )
         self.id_map = EventIdMap()
         self.policies = PolicyRepository()
         self.audit_log = self._create(
             KIND_AUDIT, self.runtime.audit_sink,
             data_dir=self.runtime.data_dir, store=self.store,
+            batch=self.batch,
         )
         self.pending_requests = PendingRequestQueue()
         self.roster = PatientRoster()
@@ -243,6 +252,20 @@ class DataController:
         """kernel.create with the controller-wide services context merged in."""
         merged = {**self._services_context, **context}
         return self.kernel.create(kind, name, **merged)
+
+    def flush_storage(self) -> None:
+        """Group-commit barrier over every durable backend of this node.
+
+        With batching off (the default) this is a no-op.  With batching
+        on it drains the index store's buffered rows (and, federated, its
+        coalesced shard frames) and the audit sink's buffered chain rows,
+        so the on-disk logs are complete before a snapshot, an external
+        verification, or a restart replays them.
+        """
+        for backend in (self.index, self.audit_log):
+            flush = getattr(backend, "flush", None)
+            if flush is not None:
+                flush()
 
     # -- pipelines (inspectable wiring) ----------------------------------------
 

@@ -55,12 +55,23 @@ class FederatedIndexStore:
     """One node's view of the cluster-wide events index."""
 
     def __init__(self, local: EventsIndex, membership: "StaticMembership",
-                 node_id: str, perf=None) -> None:
+                 node_id: str, perf=None, batch=None) -> None:
         self.local = local
         self.membership = membership
         self.node_id = node_id
         self.stats = FederatedIndexStats()
         self._perf = perf if perf is not None and perf.enabled else None
+        #: Batch policy (kernel kind ``batch``): when enabled, remote
+        #: stores coalesce into per-owner frames instead of one link call
+        #: per entry.  ``None``/disabled keeps the historical behavior.
+        self._batch = batch if batch is not None and getattr(
+            batch, "enabled", False) else None
+        #: Per-owner buffers of entries awaiting a coalesced frame.
+        self._pending: dict[str, list[dict]] = {}
+        if self._batch is not None:
+            register = getattr(membership, "register_flusher", None)
+            if register is not None:
+                register(self.flush_pending)
 
     @property
     def encrypt_identity(self) -> bool:
@@ -104,6 +115,8 @@ class FederatedIndexStore:
         # The identity slots are already index-key tokens, but the summary
         # text may name the subject — the whole entry crosses sealed under
         # this node's channel key.
+        if self._batch is not None:
+            return self._enqueue_remote(owner, entry)
         response = self.membership.link(self.node_id, owner).call(
             "index.store", self._self_node().seal_channel({"entry": entry})
         )
@@ -114,6 +127,63 @@ class FederatedIndexStore:
             )
         self.stats.remote_stores += 1
         return response
+
+    # -- coalesced shipping (batch kind ``on``) ------------------------------
+
+    def _enqueue_remote(self, owner: str, entry: dict) -> dict:
+        """Buffer a remote entry for the owner's next coalesced frame.
+
+        The link latency is charged to the clock *now* — exactly where
+        the unbatched ``link.call`` would have advanced it — so every
+        record stamped after this store carries the same timestamp in
+        both modes; the flush then ships with ``advance=0.0``.
+        """
+        link = self.membership.link(self.node_id, owner)
+        self.membership.clock.advance(link.latency)
+        self.stats.remote_stores += 1
+        buffer = self._pending.setdefault(owner, [])
+        buffer.append(entry)
+        if len(buffer) >= self._batch.batch_size:
+            self._flush_owner(owner)
+        return {"ok": True, "node": owner, "queued": True}
+
+    def _flush_owner(self, owner: str) -> None:
+        entries = self._pending.pop(owner, None)
+        if not entries:
+            return
+        # One seal over the whole frame: one key-schedule invocation for
+        # N entries instead of N.
+        sealed = self._self_node().seal_channel({"entries": entries})
+        response = self.membership.link(self.node_id, owner).call_batch(
+            "index.store", sealed, count=len(entries), advance=0.0,
+        )
+        if "error" in response:
+            raise FederationError(
+                f"shard {owner!r} rejected a coalesced frame of "
+                f"{len(entries)} entries: {response['message']}"
+            )
+
+    def flush_pending(self) -> None:
+        """Ship every buffered frame (deterministic owner order)."""
+        for owner in sorted(self._pending):
+            self._flush_owner(owner)
+
+    def flush(self) -> None:
+        """Group-commit barrier: pending frames out, durable rows down."""
+        self.flush_pending()
+        flush = getattr(self.local, "flush", None)
+        if flush is not None:
+            flush()
+
+    def _read_barrier(self) -> None:
+        """Make cluster state current before a read crosses shards.
+
+        Any node may hold frames destined for the shard a read is about
+        to touch, so the barrier flushes every shipper in the membership,
+        not just this node's.
+        """
+        if self._batch is not None:
+            self.membership.flush_shippers()
 
     def accept_remote(self, entry: dict) -> None:
         """Store an entry shipped by a peer (identity slots still sealed)."""
@@ -218,6 +288,7 @@ class FederatedIndexStore:
 
     def get(self, event_id: str) -> NotificationMessage:
         """Rebuild a notification from whichever shard holds it."""
+        self._read_barrier()
         obj = self._live_local(event_id)
         if obj is not None:
             return self.local.get(event_id)
@@ -238,6 +309,7 @@ class FederatedIndexStore:
         producer_id: str | None = None,
     ) -> list[NotificationMessage]:
         """Cluster-wide inquiry: local shard + sealed fan-out, opened here."""
+        self._read_barrier()
         self.local.stats.inquiries += 1
         results = {
             entry["event_id"]: self._entry_to_notification(entry)
@@ -265,6 +337,7 @@ class FederatedIndexStore:
 
     def count_for_type(self, event_type: str) -> int:
         """Cluster-wide live count of one class."""
+        self._read_barrier()
         total = self.local_count_for_type(event_type)
         peers = self._peer_ids()
         payload = {"event_type": event_type}
@@ -303,6 +376,7 @@ class FederatedIndexStore:
         Moved entries are withdrawn locally (hidden, not erased).
         Returns how many entries moved.
         """
+        self._read_barrier()
         moved = 0
         for obj in self._live_local_objects():
             subject_ref = self.local.open_identity(obj.slot_value("subjectRef") or "")

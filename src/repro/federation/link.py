@@ -42,6 +42,11 @@ LINK_ATTEMPTS = "federation.link.attempts_total"
 #: Counter of dropped transmission attempts (scripted or hooked failures).
 LINK_DROPS = "federation.link.drops_total"
 
+#: Per-entry serialization/deserialization cost of a coalesced frame: a
+#: batch of *n* entries advances the clock by ``latency + n * cost``
+#: instead of ``n * latency`` — the amortization batching buys.
+BATCH_ENTRY_COST = 0.0002
+
 
 def wire_message(operation: str, payload: dict) -> str:
     """The canonical wire encoding of an untraced request message.
@@ -179,6 +184,87 @@ class Link:
                         HOP_COUNTER, source=self._source_label,
                         target=self._target_label, op=operation,
                     )
+                    telemetry.profile(
+                        SECTION_LINK_HOP, self._clock.now() - started,
+                        source=self._source_label, target=self._target_label,
+                    )
+                return response
+            assert last_error is not None
+            raise last_error
+
+    def call_batch(
+        self,
+        operation: str,
+        payload: dict,
+        count: int,
+        advance: float | None = None,
+    ) -> dict:
+        """Send one coalesced frame carrying ``count`` logical entries.
+
+        The frame is one wire message and one transmission attempt (one
+        ``calls`` tick, one transcript entry), but delivery accounting
+        stays per entry: on success ``delivered`` (and the hop counter)
+        grow by ``count``; a drop fails all ``count`` entries together.
+
+        The clock advances by ``latency + count * BATCH_ENTRY_COST`` per
+        attempt — the coalesced cost model — unless the caller passes an
+        explicit ``advance`` (shippers that pre-charged the latency at
+        enqueue time flush with ``advance=0.0`` so record timestamps are
+        identical to the unbatched run).
+        """
+        if count < 1:
+            raise LinkFailureError("a coalesced frame needs at least one entry")
+        self.stats.calls += 1
+        hop_cost = advance if advance is not None else (
+            self.latency + count * BATCH_ENTRY_COST
+        )
+        telemetry = self._telemetry
+        span_scope = (
+            telemetry.span("link.call_batch", op=operation, entries=str(count),
+                           source=self._source_label, target=self._target_label)
+            if telemetry is not None else nullcontext()
+        )
+        with span_scope:
+            context = telemetry.current_context() if telemetry is not None else None
+            message: dict[str, object] = {"op": operation, "payload": payload}
+            if context is not None:
+                message[WIRE_KEY] = context.to_wire()
+            wire = canonical_json(message)
+            self.transcript.append(wire)
+            self.stats.bytes_carried += len(wire)
+            started = self._clock.now()
+            last_error: LinkFailureError | None = None
+            for attempt in range(1, self.policy.max_attempts + 1):
+                if attempt > 1:
+                    self.stats.retries += 1
+                self._clock.advance(hop_cost)
+                if telemetry is not None:
+                    telemetry.count(LINK_ATTEMPTS, source=self._source_label,
+                                    target=self._target_label)
+                if self._should_fail(operation, payload):
+                    self.stats.failed_attempts += count
+                    if telemetry is not None:
+                        telemetry.count(LINK_DROPS, source=self._source_label,
+                                        target=self._target_label)
+                    last_error = LinkFailureError(
+                        f"link {self.source}->{self.target.node_id} dropped "
+                        f"batched {operation!r} of {count} entries "
+                        f"(attempt {attempt}/{self.policy.max_attempts})"
+                    )
+                    continue
+                response = self.target.handle_batch(
+                    operation, payload, count, trace=context,
+                )
+                response_wire = canonical_json(response)
+                self.transcript.append(response_wire)
+                self.stats.bytes_carried += len(response_wire)
+                self.stats.delivered += count
+                if telemetry is not None:
+                    for _ in range(count):
+                        telemetry.count(
+                            HOP_COUNTER, source=self._source_label,
+                            target=self._target_label, op=operation,
+                        )
                     telemetry.profile(
                         SECTION_LINK_HOP, self._clock.now() - started,
                         source=self._source_label, target=self._target_label,

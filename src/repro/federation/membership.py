@@ -61,6 +61,7 @@ class StaticMembership:
         self._label_guard = label_guard
         self._nodes: dict[str, FederationNode] = {}
         self._links: dict[tuple[str, str], Link] = {}
+        self._flushers: list = []
         self._next_shard = 0
         self.planned_nodes: tuple[str, ...] = tuple(
             self.add_shard() for _ in range(shards)
@@ -115,6 +116,23 @@ class StaticMembership:
     def nodes(self) -> tuple["FederationNode", ...]:
         """Every registered node, ordered by node id."""
         return tuple(self._nodes[node_id] for node_id in sorted(self._nodes))
+
+    # -- coalesced shipping barriers ---------------------------------------
+
+    def register_flusher(self, flusher) -> None:
+        """Register a shipper drain hook (batched federated index stores).
+
+        Each batched :class:`~repro.federation.index.FederatedIndexStore`
+        registers its ``flush_pending`` here so any node about to read
+        cluster state can force every in-flight coalesced frame onto the
+        wire first — the cluster-wide visibility barrier.
+        """
+        self._flushers.append(flusher)
+
+    def flush_shippers(self) -> None:
+        """Drain every registered shipper (no-op when none are batched)."""
+        for flusher in self._flushers:
+            flusher()
 
     # -- links -------------------------------------------------------------
 

@@ -64,6 +64,13 @@ RELAY_COST = 0.001
 DETAIL_COST = 0.003
 AUDIT_COST = 0.001
 
+#: Marginal per-entry service times inside a batch (batch kind ``on``):
+#: the first entry of a batch pays the full fixed cost, every further
+#: entry only the marginal one, so a batch of 1 costs exactly what the
+#: unbatched path does.
+PUBLISH_UNIT_COST = 0.002
+INDEX_UNIT_COST = 0.001
+
 #: Gauge of each node's bus queue depth, labelled by hashed node id.
 NODE_QUEUE_DEPTH = "federation.node.queue_depth"
 
@@ -116,6 +123,9 @@ class FederationNode:
             "bus.relay": self._op_bus_relay,
             "details.get": self._op_details_get,
             "audit.records": self._op_audit_records,
+        }
+        self._batch_handlers: dict[str, Callable[[dict], dict]] = {
+            "index.store": self._op_index_store_batch,
         }
         membership.register(self)
 
@@ -180,6 +190,32 @@ class FederationNode:
                                    response["error"])
             return response
 
+    def handle_batch(self, operation: str, payload: dict, count: int,
+                     trace: TraceContext | None = None) -> dict:
+        """Serve one coalesced frame of ``count`` logical entries.
+
+        Only operations with a batch handler accept coalesced frames
+        (today: ``index.store``).  The frame counts as ``count`` inbound
+        hops — per-entry accounting survives coalescing — but is decided
+        in one dispatch under one server span.
+        """
+        handler = self._batch_handlers.get(operation)
+        if handler is None:
+            return {"error": "unknown-operation", "message": f"batched {operation}"}
+        self.hops_in += count
+        telemetry = self.controller.telemetry
+        span_scope = (
+            telemetry.span(f"federation.{operation}", remote_parent=trace,
+                           node=self.label, entries=str(count))
+            if telemetry is not None and telemetry.enabled else nullcontext()
+        )
+        with span_scope as span:
+            response = self._dispatch(handler, payload)
+            if span is not None and "error" in response:
+                span.set_attribute(telemetry.guard, "outcome",
+                                   response["error"])
+            return response
+
     def _dispatch(self, handler: Callable[[dict], dict], payload: dict) -> dict:
         try:
             return handler(payload)
@@ -201,6 +237,19 @@ class FederationNode:
         self.work.add(INDEX_COST)
         self.controller.index.accept_remote(self.open_channel(payload)["entry"])
         return {"ok": True, "node": self.node_id}
+
+    def _op_index_store_batch(self, payload: dict) -> dict:
+        """Accept a coalesced frame of shard entries in one key schedule.
+
+        The frame was sealed once by the shipper, so it is opened once
+        here; the work meter charges the fixed cost for the first entry
+        and the marginal unit cost for each further one.
+        """
+        entries = self.open_channel(payload)["entries"]
+        self.work.add(INDEX_COST + (len(entries) - 1) * INDEX_UNIT_COST)
+        for entry in entries:
+            self.controller.index.accept_remote(entry)
+        return {"ok": True, "node": self.node_id, "stored": len(entries)}
 
     def _op_index_inquire(self, payload: dict) -> dict:
         self.work.add(INDEX_COST)

@@ -37,7 +37,13 @@ from repro.core.messages import DetailMessage, NotificationMessage
 from repro.core.producer import DataProducer
 from repro.exceptions import AccessDeniedError, FederationError
 from repro.federation.audit import FederatedAuditTrail, guarantor_inquiry
-from repro.federation.node import INDEX_COST, PUBLISH_COST, FederationNode
+from repro.federation.node import (
+    INDEX_COST,
+    INDEX_UNIT_COST,
+    PUBLISH_COST,
+    PUBLISH_UNIT_COST,
+    FederationNode,
+)
 from repro.federation.router import FederationRouter
 from repro.obs.guard import PrivacyGuard
 from repro.obs.stitch import StitchedTrace, stitch
@@ -107,6 +113,13 @@ class FederatedPlatform:
             telemetry=self.telemetry,
             label_guard=self._node_guard if per_node_telemetry else None,
         )
+        # Batched execution (kernel kind ``batch``): group-commit work
+        # amortization.  The first operation of every batch_size-long run
+        # pays the fixed service cost, later ones the marginal unit cost.
+        self._batching = getattr(self._base_runtime, "batch", "off") == "on"
+        self._batch_size = max(1, getattr(self._base_runtime, "batch_size", 256))
+        self._publish_seq: dict[str, int] = {}
+        self._index_seq: dict[str, int] = {}
         self._routers: dict[str, FederationRouter] = {}
         self._producers: dict[str, DataProducer] = {}
         self._consumers: dict[str, DataConsumer] = {}
@@ -298,7 +311,8 @@ class FederatedPlatform:
         the subject's owner shard (possibly another node)."""
         home = self._producer_home[producer_id]
         node = self.membership.node(home)
-        node.work.add(PUBLISH_COST)
+        node.work.add(self._amortized(self._publish_seq, home,
+                                      PUBLISH_COST, PUBLISH_UNIT_COST))
         notification = self._producers[producer_id].publish(
             event_class, subject_id, subject_name, summary, details,
             occurred_at=occurred_at,
@@ -308,9 +322,25 @@ class FederatedPlatform:
             if owner == home:
                 # Remote stores charge the owner through the link handler;
                 # local stores are charged here.
-                node.work.add(INDEX_COST)
+                node.work.add(self._amortized(self._index_seq, home,
+                                              INDEX_COST, INDEX_UNIT_COST))
         node.record_queue_depth()
         return notification
+
+    def _amortized(self, counters: dict[str, int], home: str,
+                   fixed: float, unit: float) -> float:
+        """The simulated service cost of one operation on ``home``.
+
+        Unbatched: always the fixed cost.  Batched: the first operation
+        of each ``batch_size``-long run pays the fixed cost (the write
+        and flush of the group commit), the rest the marginal unit cost.
+        A batch size of 1 therefore costs exactly the unbatched figure.
+        """
+        if not self._batching:
+            return fixed
+        position = counters.get(home, 0)
+        counters[home] = (position + 1) % self._batch_size
+        return fixed if position == 0 else unit
 
     # -- subscriptions -------------------------------------------------------
 
@@ -442,12 +472,34 @@ class FederatedPlatform:
         since: float | None = None,
         until: float | None = None,
     ) -> FederatedAuditTrail:
-        """A guarantor's audit inquiry fanned out across every node."""
+        """A guarantor's audit inquiry fanned out across every node.
+
+        Runs behind the group-commit barrier: every coalesced shard frame
+        and buffered durable row is flushed first, so the verified trails
+        cover everything published before the inquiry.
+        """
+        self.flush_batches()
         node_ids = self.membership.node_ids
         coordinator = self.membership.node(coordinator_id or node_ids[0])
         return guarantor_inquiry(
             coordinator, event_type=event_type, since=since, until=until
         )
+
+    # -- batching barriers -----------------------------------------------------
+
+    def flush_batches(self) -> None:
+        """Platform-wide group-commit barrier.
+
+        Ships every pending coalesced shard frame (cluster-wide) and then
+        drains every node's buffered durable writes.  A no-op with the
+        batch kind off; call it before snapshotting data directories,
+        verifying on-disk trails, or handing the platform to a guarantor.
+        """
+        flush_shippers = getattr(self.membership, "flush_shippers", None)
+        if flush_shippers is not None:
+            flush_shippers()
+        for node in self.nodes():
+            node.controller.flush_storage()
 
     # -- instrumentation -------------------------------------------------------
 

@@ -65,6 +65,12 @@ class FederatedScenarioConfig:
     #: Tenant scheduler on every node: "none" (fifo baseline) or "fair"
     #: (deficit-round-robin with admission) — see ``RuntimeConfig.sched``.
     sched: str = "none"
+    #: Batched execution across the hot path: "off" (per-event writes and
+    #: frames) or "on" (group commit + coalesced shard frames) — see
+    #: ``RuntimeConfig.batch`` and docs/PERFORMANCE.md.
+    batch: str = "off"
+    #: Records per group commit / entries per coalesced frame.
+    batch_size: int = 256
     #: Base runtime for every node controller (the platform still forces
     #: the federation-specific fields and per-node data subdirectories).
     #: Use it to run the whole federation on durable backends, e.g.
@@ -82,6 +88,15 @@ class FederatedScenarioConfig:
             raise ConfigurationError("detail_request_rate must be within [0, 1]")
         if self.scripted_drops < 0:
             raise ConfigurationError("scripted_drops must be non-negative")
+        if self.batch not in ("off", "on"):
+            from repro.runtime.kernel import suggest
+            raise ConfigurationError(
+                f"unknown batch mode {self.batch!r};"
+                f"{suggest(self.batch, ('off', 'on'))} "
+                f"available: off, on"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
 
 
 @dataclass
@@ -159,7 +174,9 @@ class FederatedScenario:
             clock=self.clock,
             seed=f"fedsc-{self.config.seed}",
             runtime=replace(base_runtime, perf=self.config.perf,
-                            sched=self.config.sched),
+                            sched=self.config.sched,
+                            batch=self.config.batch,
+                            batch_size=self.config.batch_size),
             telemetry=self.telemetry,
             link_latency=self.config.link_latency,
             per_node_telemetry=self.config.per_node_telemetry,
@@ -298,6 +315,7 @@ class FederatedScenario:
                 permits += 1
 
         platform.dispatch_all()
+        platform.flush_batches()  # barrier before reading cluster state
         platform.record_queue_depths()
         for node in platform.nodes():
             node.controller.audit_log.verify_integrity()

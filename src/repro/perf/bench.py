@@ -190,6 +190,60 @@ def run_publish_fanout(perf: str, subscribers: int = 64,
     return result
 
 
+def run_batch_publish_sweep(
+    sizes: tuple[int, ...] = (1, 16, 256),
+    messages: int = 1536,
+    subscribers: int = 64,
+    topics: int = 12,
+) -> dict:
+    """Wall-clock sweep of ``publish_many`` batch sizes vs per-call publish.
+
+    Pushes the same ``messages`` stream through the fan-out rig once via
+    sequential :meth:`~repro.bus.broker.ServiceBus.publish` (the
+    baseline) and once per batch size via
+    :meth:`~repro.bus.broker.ServiceBus.publish_many` in ``size``-long
+    chunks.  Amortization measured: one trie resolution per distinct
+    topic per chunk and one dispatch round per chunk instead of one of
+    each per message.
+    """
+    def stream() -> list[tuple[str, str, object]]:
+        bus, topic_names = build_fanout_rig(
+            "indexed", subscribers=subscribers, topics=topics,
+        )
+        items = [
+            (topic_names[position % len(topic_names)], "bench", "<event/>")
+            for position in range(messages)
+        ]
+        return bus, items
+
+    clock = time.perf_counter
+    bus, items = stream()
+    started = clock()
+    for topic, sender, body in items:
+        bus.publish(topic, sender=sender, body=body)
+    baseline_elapsed = max(clock() - started, 1e-9)
+    baseline = {
+        "messages": messages,
+        "ops_per_second": messages / baseline_elapsed,
+        "per_op_seconds": baseline_elapsed / messages,
+    }
+    sweep = []
+    for size in sizes:
+        bus, items = stream()
+        started = clock()
+        for position in range(0, len(items), size):
+            bus.publish_many(items[position:position + size])
+        elapsed = max(clock() - started, 1e-9)
+        sweep.append({
+            "batch_size": size,
+            "messages": messages,
+            "ops_per_second": messages / elapsed,
+            "per_op_seconds": elapsed / messages,
+            "speedup": baseline_elapsed / elapsed,
+        })
+    return {"baseline": baseline, "sweep": sweep}
+
+
 # -- figure 3: federated request-for-details --------------------------------
 
 
@@ -334,12 +388,16 @@ def run_suite(quick: bool = False, node_counts: tuple[int, ...] | None = None,
     equivalence = run_equivalence_check(
         events=int(60 * scale) or 20, seed=seed,
     )
+    batch_publish = run_batch_publish_sweep(
+        messages=int(1536 * scale) or 256,
+    )
     return {
         "schema": SCHEMA_ID,
         "source": source,
         "quick": quick,
         "pdp_decide": {**pdp, "speedup": _speedup(pdp)},
         "publish_fanout": {**fanout, "speedup": _speedup(fanout)},
+        "batch_publish": batch_publish,
         "federated_details": federated,
         "equivalence": equivalence,
     }

@@ -91,6 +91,18 @@ class JsonlAuditSink:
         self._store.append({**record.to_payload(), "digest": digest})
         return digest
 
+    def flush(self) -> None:
+        """Group-commit barrier: make every buffered append durable.
+
+        A no-op for unbatched logs.  The in-memory chain is always
+        current — only the durable write-through can lag, so this must
+        run before the underlying files are snapshotted, verified on
+        disk, or replayed by another process.
+        """
+        flush = getattr(self._store, "flush", None)
+        if flush is not None:
+            flush()
+
     def records(self) -> tuple[AuditRecord, ...]:
         """A snapshot of all records, oldest first."""
         return self._log.records()
@@ -186,6 +198,16 @@ class JsonlIndexStore:
         obj = self._inner.store(notification, sealed=sealed)
         self._store.append(self._row_of(obj))
         return obj
+
+    def flush(self) -> None:
+        """Group-commit barrier: make every buffered row durable.
+
+        Queries always read the in-memory index (never stale); the
+        barrier protects snapshot/restart visibility of the durable log.
+        """
+        flush = getattr(self._store, "flush", None)
+        if flush is not None:
+            flush()
 
     def withdraw(self, event_id: str) -> None:
         """Hide an indexed entry and persist the withdrawal as a tombstone.

@@ -1,0 +1,124 @@
+"""Group-commit batching for durable record logs (kernel kind ``batch``).
+
+The durable backends (:class:`~repro.runtime.backends.JsonlIndexStore`,
+:class:`~repro.runtime.backends.JsonlAuditSink`) write one record per
+append — one open/write/flush per event, the fixed per-event toll the
+batched execution engine amortizes.  A :class:`BatchWriter` sits between
+a backend and its :class:`~repro.storage.engine.RecordLog` and buffers
+appends until ``batch_size`` records are pending (or :meth:`flush` is
+called), then commits them all through the log's ``append_many`` — one
+write+flush per batch.
+
+Visibility semantics are unchanged: the backends keep their in-memory
+structures (events index, audit chain) current on every append, so local
+queries never see stale data; only the *durable* write-through lags, and
+every read of the durable log (:meth:`iter_records`, ``__len__``) is a
+flush barrier.  Callers that hand the underlying files to someone else —
+snapshots, crash-recovery tests, guarantor exports — must call
+:meth:`flush` first (see ``DataController.flush_storage``).
+
+``BatchPolicy`` is what the kernel's ``batch`` kind produces: ``off``
+yields ``None`` (no wrapping anywhere), ``on`` yields a policy carrying
+the configured ``batch_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The platform-wide batching knob (kernel kind ``batch: on``)."""
+
+    batch_size: int = 256
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+
+
+@dataclass
+class BatchWriterStats:
+    """Group-commit counters (benchmarks and the flush-barrier tests)."""
+
+    appended: int = 0
+    flushes: int = 0
+    flushed_records: int = 0
+
+
+class BatchWriter:
+    """A :class:`~repro.storage.engine.RecordLog` that group-commits.
+
+    Buffered records are committed in arrival order, so after a flush the
+    underlying log is byte-identical to what per-record appends would
+    have produced — group commit changes *when* durability happens, never
+    *what* is durable.
+    """
+
+    def __init__(self, log, batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        self._log = log
+        self._batch_size = batch_size
+        self._buffer: list[dict] = []
+        self.stats = BatchWriterStats()
+
+    @property
+    def batch_size(self) -> int:
+        """Records buffered before an automatic group commit."""
+        return self._batch_size
+
+    @property
+    def pending(self) -> int:
+        """Records buffered but not yet durable."""
+        return len(self._buffer)
+
+    @property
+    def path(self):
+        """The wrapped log's backing file, when it has one."""
+        return getattr(self._log, "path", None)
+
+    def append(self, record: dict) -> int:
+        """Buffer one record; auto-flush at the batch boundary.
+
+        Returns the projected count after this record (mirroring the
+        per-record append contract); the durable sequence is assigned at
+        flush time, in the same order.
+        """
+        self._buffer.append(record)
+        self.stats.appended += 1
+        projected = len(self)
+        if len(self._buffer) >= self._batch_size:
+            self.flush()
+        return projected
+
+    def append_many(self, records: list[dict]) -> tuple[int, int] | None:
+        """Buffer several records at once (still one flush per batch)."""
+        if not records:
+            return None
+        first = len(self._log) + len(self._buffer) + 1
+        for record in records:
+            self.append(record)
+        return first, first + len(records) - 1
+
+    def flush(self) -> None:
+        """Commit every buffered record in one ``append_many`` write."""
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self._log.append_many(batch)
+        self.stats.flushes += 1
+        self.stats.flushed_records += len(batch)
+
+    def iter_records(self) -> Iterator[dict]:
+        """Stream the durable log — a read, so the flush barrier runs."""
+        self.flush()
+        return self._log.iter_records()
+
+    def __len__(self) -> int:
+        return len(self._log) + len(self._buffer)

@@ -44,6 +44,7 @@ KIND_PERF = "perf"
 KIND_STORE = "store"
 KIND_SCHED = "sched"
 KIND_RECORDER = "recorder"
+KIND_BATCH = "batch"
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,16 @@ class RuntimeConfig:
     #: the dead-letter queue, and abusive-tenant penalty weights).  Either
     #: way decisions and audit trails are identical — see docs/SCHEDULING.md.
     sched: str = "none"
+    #: Batched execution across the hot path: "off" (default — one
+    #: durable append, one wire frame, one work charge per event) or
+    #: "on" (group-commit durability, coalesced federation frames and
+    #: amortized per-event work, ``batch_size`` records per batch).
+    #: Audit digests and PDP decisions are byte-identical either way —
+    #: see docs/PERFORMANCE.md.
+    batch: str = "off"
+    #: Records per batch when batching is on (flush boundary of the
+    #: group-commit writers and the shard-frame coalescer).
+    batch_size: int = 256
     #: Flight recorder: "noop" (default) or "ring" (bounded ring buffers
     #: of recent guard-sanitized spans, SLO alerts, penalty-box
     #: transitions and bus saturation events — the raw material for
@@ -231,11 +242,21 @@ def _durable_log(context: dict, name: str) -> Any:
     return _data_file(context, f"{name}.jsonl")
 
 
+def _maybe_batched(log: Any, context: dict) -> Any:
+    """Wrap a durable log in a group-commit writer when batching is on."""
+    policy = context.get("batch")
+    if policy is None or not getattr(policy, "enabled", False):
+        return log
+    from repro.runtime.batching import BatchWriter
+
+    return BatchWriter(log, batch_size=policy.batch_size)
+
+
 def _jsonl_index(**context: Any) -> Any:
     from repro.runtime.backends import JsonlIndexStore
 
     return JsonlIndexStore(
-        _durable_log(context, "index"),
+        _maybe_batched(_durable_log(context, "index"), context),
         context["keystore"],
         encrypt_identity=context.get("encrypt_identity", True),
     )
@@ -250,7 +271,7 @@ def _memory_audit(**context: Any) -> Any:
 def _jsonl_audit(**context: Any) -> Any:
     from repro.runtime.backends import JsonlAuditSink
 
-    return JsonlAuditSink(_durable_log(context, "audit"))
+    return JsonlAuditSink(_maybe_batched(_durable_log(context, "audit"), context))
 
 
 def _xacml_enforcer(**context: Any) -> Any:
@@ -302,7 +323,7 @@ def _federated_index(**context: Any) -> Any:
         from repro.runtime.backends import JsonlIndexStore
 
         local: Any = JsonlIndexStore(
-            _durable_log(context, "index"),
+            _maybe_batched(_durable_log(context, "index"), context),
             context["keystore"],
             encrypt_identity=context.get("encrypt_identity", True),
         )
@@ -316,6 +337,7 @@ def _federated_index(**context: Any) -> Any:
         membership=context["membership"],
         node_id=context["node_id"],
         perf=context.get("perf"),
+        batch=context.get("batch"),
     )
 
 
@@ -408,6 +430,18 @@ def _fair_sched(**context: Any) -> Any:
     )
 
 
+def _off_batch(**context: Any) -> Any:
+    # No policy object at all: every batching seam checks for None and
+    # stays on the historical per-record/per-frame path.
+    return None
+
+
+def _on_batch(**context: Any) -> Any:
+    from repro.runtime.batching import BatchPolicy
+
+    return BatchPolicy(batch_size=context.get("batch_size", 256))
+
+
 def _noop_recorder(**context: Any) -> Any:
     from repro.obs.recorder import NoopFlightRecorder
 
@@ -475,4 +509,6 @@ def default_kernel() -> ServiceKernel:
     kernel.register(KIND_SCHED, "fair", _fair_sched)
     kernel.register(KIND_RECORDER, "noop", _noop_recorder)
     kernel.register(KIND_RECORDER, "ring", _ring_recorder)
+    kernel.register(KIND_BATCH, "off", _off_batch)
+    kernel.register(KIND_BATCH, "on", _on_batch)
     return kernel

@@ -57,8 +57,9 @@ class RecordLog(Protocol):
         """Commit one record; returns its sequence number."""
         ...
 
-    def append_many(self, records: list[dict]) -> None:
-        """Commit several records in one write."""
+    def append_many(self, records: list[dict]) -> tuple[int, int] | None:
+        """Commit several records in one write; returns the assigned
+        ``(first, last)`` sequence range, or ``None`` for an empty batch."""
         ...
 
     def iter_records(self) -> Iterator[dict]:
@@ -81,14 +82,18 @@ class JsonlRecordLog:
         return self._file.path
 
     def append(self, record: dict) -> int:
+        count = len(self)  # resolve before the write: len scans the file
         self._file.append(record)
-        self._count = len(self) + 1 if self._count is None else self._count + 1
+        self._count = count + 1
         return self._count
 
-    def append_many(self, records: list[dict]) -> None:
+    def append_many(self, records: list[dict]) -> tuple[int, int] | None:
+        if not records:
+            return None
+        first = len(self) + 1
         self._file.append_many(records)
-        if self._count is not None:
-            self._count += len(records)
+        self._count = first + len(records) - 1
+        return first, self._count
 
     def iter_records(self) -> Iterator[dict]:
         return self._file.iter_records()

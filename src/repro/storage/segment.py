@@ -220,15 +220,26 @@ class SegmentedLog:
         self._write_frames([(sequence, encode_frame(sequence, record))])
         return sequence
 
-    def append_many(self, records: list[dict]) -> None:
-        """Commit several records in one write."""
+    def append_many(self, records: list[dict]) -> tuple[int, int] | None:
+        """Commit several records in one write; returns the sequence range.
+
+        The group-commit primitive: every frame is encoded up front and
+        written through one file handle (rolling to fresh segments
+        mid-batch exactly as per-record appends would), so the on-disk
+        layout is identical to ``len(records)`` single appends.  Returns
+        ``(first, last)`` — the sequence numbers assigned to the first and
+        last record, mirroring :meth:`append` — or ``None`` for an empty
+        batch.
+        """
         frames = []
         sequence = self._sequence
         for record in records:
             sequence += 1
             frames.append((sequence, encode_frame(sequence, record)))
-        if frames:
-            self._write_frames(frames)
+        if not frames:
+            return None
+        self._write_frames(frames)
+        return frames[0][0], frames[-1][0]
 
     def _write_frames(self, frames: list[tuple[int, bytes]]) -> None:
         """Append frames to the active segment, rolling over as it fills."""

@@ -15,10 +15,13 @@ trajectory).  Four modules:
   (byte-identical streams for equal configs);
 * :mod:`~repro.workload.capacity` — drives a
   :class:`~repro.federation.platform.FederatedPlatform` at 1/2/4/8 nodes
-  and emits the ``css-bench-capacity/1`` trajectory payload.
+  and emits the ``css-bench-capacity/1`` trajectory payload;
+* :mod:`~repro.workload.batch` — the batched-execution equivalence gate
+  and speedup figures (``css-bench-batch/1``).
 """
 
 from repro.workload.arrivals import OnOffProcess, PoissonProcess, ZipfSampler
+from repro.workload.batch import run_batch_suite
 from repro.workload.capacity import (
     SCHEMA_ID,
     build_platform,
@@ -68,6 +71,7 @@ __all__ = [
     "execute_workload",
     "multi_tenant_abuser",
     "multi_tenant_roster",
+    "run_batch_suite",
     "run_capacity",
     "run_point",
     "workload_config",

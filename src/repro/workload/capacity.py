@@ -71,19 +71,35 @@ def build_platform(
     sched: str = "none",
     sched_config=None,
     recorder: str = "noop",
+    batch: str = "off",
+    batch_size: int = 256,
+    store: str = "jsonl",
+    data_dir=None,
 ) -> FederatedPlatform:
     """A fresh federation for one workload run, seeded from the config.
 
     ``sched``/``sched_config`` select every node's tenant scheduler —
     the only runtime difference between the fairness harness's two arms.
     ``recorder`` switches every node's flight recorder on ("ring") for
-    incident-capture runs.
+    incident-capture runs.  ``batch``/``batch_size`` switch batched
+    execution on (group commit + coalesced frames + amortized work);
+    ``data_dir`` (with ``store`` picking the log engine) makes every
+    node's index and audit trail durable — the batch equivalence gate
+    runs the same workload over both store kinds.
     """
+    runtime = RuntimeConfig(sched=sched, recorder=recorder,
+                            batch=batch, batch_size=batch_size)
+    if data_dir is not None:
+        runtime = RuntimeConfig(
+            sched=sched, recorder=recorder, batch=batch,
+            batch_size=batch_size, store=store, data_dir=data_dir,
+            index_store="jsonl", audit_sink="jsonl",
+        )
     return FederatedPlatform(
         shards=nodes,
         clock=clock,
         seed=f"wl-{workload.scenario}-{workload.seed}",
-        runtime=RuntimeConfig(sched=sched, recorder=recorder),
+        runtime=runtime,
         telemetry=telemetry,
         link_latency=link_latency,
         sched_config=sched_config,
@@ -141,6 +157,7 @@ def execute_workload(
     event_classes: dict[str, object],
     clock: Clock,
     on_advance=None,
+    decision_log: list[str] | None = None,
 ) -> dict[str, int]:
     """Open-loop execution of the planned stream over the simulated clock.
 
@@ -149,6 +166,9 @@ def execute_workload(
     ``on_advance`` (a no-arg callable) runs after every clock advance —
     the incident harness hooks its time-series ticking and watchdog
     polling there without the capacity path paying anything.
+    ``decision_log`` (a caller-owned list) collects one outcome string
+    per operation in stream order — the PDP decision stream the batch
+    equivalence gate digests.
     """
     recent: dict[str, deque] = {
         name: deque(maxlen=64) for name in engine.templates
@@ -170,9 +190,11 @@ def execute_workload(
             )
             if notification is None:
                 blocked += 1
+                outcome = "publish:blocked"
             else:
                 published += 1
                 recent[op.template].append(notification.event_id)
+                outcome = "publish:ok"
         elif op.kind == OP_DETAILS:
             window = recent[op.template]
             if not window:
@@ -184,11 +206,16 @@ def execute_workload(
                 )
             except AccessDeniedError:
                 denies += 1
+                outcome = "details:deny"
             else:
                 permits += 1
+                outcome = "details:permit"
         else:  # subscribe churn
             platform.subscribe(op.tenant_id, op.template)
             subscribes += 1
+            outcome = "subscribe"
+        if decision_log is not None:
+            decision_log.append(outcome)
     return {
         "published": published,
         "publish_blocked": blocked,
@@ -220,13 +247,22 @@ def run_point(
     link_latency: float = 0.005,
     telemetry: InMemoryTelemetry | None = None,
     sched: str = "none",
+    batch: str = "off",
+    batch_size: int = 256,
+    store: str = "jsonl",
+    data_dir=None,
+    collect_decisions: bool = False,
 ) -> dict:
     """One capacity measurement: the whole workload at one node count.
 
     ``telemetry`` lets callers supply (and afterwards inspect) the shared
     backend — the privacy-invariant tests grep its exports; by default a
     fresh hash-guarded backend is created per point.  ``sched`` selects
-    every node's tenant scheduler ("none" keeps the historical figures).
+    every node's tenant scheduler ("none" keeps the historical figures);
+    ``batch``/``batch_size`` batched execution.  With
+    ``collect_decisions`` the point additionally carries a
+    ``decision_digest`` — a SHA-256 over the ordered PDP outcome stream,
+    the second witness of the batch equivalence gate.
     """
     clock = Clock()
     if telemetry is None:
@@ -238,14 +274,20 @@ def run_point(
     platform = build_platform(
         workload, nodes, clock, telemetry,
         link_latency=link_latency, sched=sched,
+        batch=batch, batch_size=batch_size, store=store, data_dir=data_dir,
     )
     engine = WorkloadEngine(workload)
     event_classes = deploy_workload(platform, engine, workload)
-    counters = execute_workload(platform, engine, event_classes, clock)
+    decision_log: list[str] | None = [] if collect_decisions else None
+    counters = execute_workload(platform, engine, event_classes, clock,
+                                decision_log=decision_log)
     published = counters["published"]
     permits = counters["detail_permits"]
 
     platform.dispatch_all()
+    # Group-commit barrier before anything reads cross-shard or on-disk
+    # state: pending coalesced frames out, buffered durable rows down.
+    platform.flush_batches()
     platform.record_queue_depths()
     digest, audit_records = audit_digest(platform)
 
@@ -259,7 +301,7 @@ def run_point(
         node.controller.bus.dead_letter_high_water
         for node in platform.nodes()
     )
-    return {
+    point = {
         "nodes": nodes,
         "ops": workload.ops,
         **counters,
@@ -274,6 +316,11 @@ def run_point(
         "audit_records": audit_records,
         "audit_digest": digest,
     }
+    if decision_log is not None:
+        point["decision_digest"] = "sha256:" + hashlib.sha256(
+            "|".join(decision_log).encode()
+        ).hexdigest()
+    return point
 
 
 def _purpose_of(role: str) -> str:
@@ -293,9 +340,12 @@ def run_capacity(config: CapacityConfig, source: str) -> dict:
         "population": workload.population,
         "ops": workload.ops,
         "arrival": workload.arrival,
+        "batch": config.batch,
+        "batch_size": config.batch_size,
         "nodes": [
             run_point(workload, nodes, link_latency=config.link_latency,
-                      sched=config.sched)
+                      sched=config.sched, batch=config.batch,
+                      batch_size=config.batch_size)
             for nodes in config.node_counts
         ],
     }

@@ -254,9 +254,22 @@ class CapacityConfig:
     #: Tenant scheduler on every node ("none" or "fair") — see
     #: ``RuntimeConfig.sched``.
     sched: str = "none"
+    #: Batched execution across the hot path ("off" or "on") — see
+    #: ``RuntimeConfig.batch`` and docs/PERFORMANCE.md.
+    batch: str = "off"
+    #: Records per group commit / entries per coalesced frame.
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if not self.node_counts:
             raise ConfigurationError("node_counts cannot be empty")
         if any(n < 1 for n in self.node_counts):
             raise ConfigurationError("every node count must be >= 1")
+        if self.batch not in ("off", "on"):
+            raise ConfigurationError(
+                f"unknown batch mode {self.batch!r};"
+                f"{suggest(self.batch, ('off', 'on'))} "
+                f"available: off, on"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")

@@ -87,6 +87,32 @@ class TestFederateCommand:
         assert code == 0
         assert "rebalance: added node-2" in output
 
+    def test_batched_run_matches_unbatched_outcomes(self):
+        args = ("--nodes", "2", "--events", "40", "--patients", "10",
+                "--seed", "5")
+        _code, plain = run_cli("federate", *args)
+        code, batched = run_cli("federate", *args, "--batch", "on",
+                                "--batch-size", "64")
+        assert code == 0
+        assert "2 verified chains" in batched
+
+        def outcomes(report: str) -> list[str]:
+            # Timing lines shrink under batching (the point of the knob);
+            # every decision-derived line must be identical.
+            keep = ("events published", "blocked by consent",
+                    "notifications delivered", "detail requests",
+                    "cross-node hops", "audit chains verified",
+                    "federated audit")
+            return [line for line in report.splitlines()
+                    if line.strip().startswith(keep)]
+
+        assert outcomes(batched) == outcomes(plain)
+
+    def test_unknown_batch_name_suggests_the_nearest(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("federate", "--batch", "onn")
+        assert "did you mean 'on'?" in str(excinfo.value)
+
     def test_telemetry_federated_scenario(self):
         code, output = run_cli("telemetry", "--scenario", "federated",
                                "--nodes", "2", "--events", "40",

@@ -60,10 +60,11 @@ class TestKernelRegistry:
         assert wiring["store"] == ("jsonl", "segmented")
         assert wiring["sched"] == ("fair", "none")
         assert wiring["recorder"] == ("noop", "ring")
-        assert set(wiring) == {"audit", "cipher", "federation", "fetcher",
-                               "index", "pdp", "perf", "profiling",
-                               "recorder", "sched", "slo", "store",
-                               "telemetry", "transport"}
+        assert wiring["batch"] == ("off", "on")
+        assert set(wiring) == {"audit", "batch", "cipher", "federation",
+                               "fetcher", "index", "pdp", "perf",
+                               "profiling", "recorder", "sched", "slo",
+                               "store", "telemetry", "transport"}
 
     def test_unknown_kind_and_name_are_configuration_errors(self):
         kernel = default_kernel()

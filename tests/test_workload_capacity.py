@@ -191,3 +191,24 @@ class TestWorkloadCli:
             run_cli("workload", "--nodes", "0,2")
         with pytest.raises(SystemExit, match="comma-separated"):
             run_cli("workload", "--nodes", "two")
+
+    def test_batched_run_carries_the_knob_in_the_payload(self, tmp_path):
+        target = tmp_path / "BENCH_capacity.json"
+        code, output = run_cli(
+            "workload", "--scenario", "steady", "--population", "200",
+            "--ops", "60", "--nodes", "1", "--batch", "on",
+            "--batch-size", "64", "--out", str(target),
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["batch"] == "on"
+        assert payload["batch_size"] == 64
+        assert "--batch on --batch-size 64" in payload["source"]
+
+    def test_unknown_batch_name_suggests_the_nearest(self):
+        with pytest.raises(SystemExit, match="did you mean 'off'"):
+            run_cli("workload", "--batch", "of")
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(SystemExit, match="batch_size"):
+            run_cli("workload", "--batch", "on", "--batch-size", "0")
